@@ -1,0 +1,71 @@
+"""Figure 10 — relative throughput of background (non-sandboxed) servers.
+
+Regenerates the OpenSSH and Nginx throughput-vs-file-size series under
+full Erebor, relative to native. Paper targets: average reductions of
+8.2% (ssh) and 5.1% (nginx), worst cases ~18% / ~17.6% on small files,
+and <5% loss on large files where interposition amortizes.
+"""
+
+import pytest
+
+from repro.bench.report import format_table, pct
+from repro.bench.servers import FILE_SIZES, ServerBench
+
+
+@pytest.fixture(scope="module")
+def series():
+    bench = ServerBench(requests_per_size=16)
+    return {kind: bench.run_series(kind) for kind in ("ssh", "nginx")}
+
+
+def _size_label(size: int) -> str:
+    return f"{size // 1024}K" if size < 1024 * 1024 else f"{size // (1024 * 1024)}M"
+
+
+def test_print_fig10(benchmark, series):
+    def build():
+        rows = []
+        for size in FILE_SIZES:
+            rows.append([_size_label(size),
+                         f"{series['ssh'].relative_throughput(size):.3f}",
+                         f"{series['nginx'].relative_throughput(size):.3f}"])
+        rows.append(["avg loss",
+                     pct(series["ssh"].average_reduction()),
+                     pct(series["nginx"].average_reduction())])
+        rows.append(["max loss",
+                     pct(series["ssh"].max_reduction()),
+                     pct(series["nginx"].max_reduction())])
+        return format_table(
+            "Figure 10: relative throughput under Erebor "
+            "(paper: ssh avg -8.2% max -18%; nginx avg -5.1% max -17.6%)",
+            ["file size", "OpenSSH", "Nginx"], rows)
+
+    print("\n" + benchmark.pedantic(build, rounds=1, iterations=1))
+
+
+def test_small_files_hurt_most(benchmark, series):
+    data = benchmark.pedantic(lambda: series, rounds=1, iterations=1)
+    for kind in ("ssh", "nginx"):
+        s = data[kind]
+        assert s.relative_throughput(1024) == min(
+            s.relative_throughput(sz) for sz in FILE_SIZES)
+
+
+def test_large_files_amortize_below_5pct(benchmark, series):
+    data = benchmark.pedantic(lambda: series, rounds=1, iterations=1)
+    for kind in ("ssh", "nginx"):
+        for size in (4 * 1024 * 1024, 16 * 1024 * 1024):
+            assert data[kind].relative_throughput(size) >= 0.94, (kind, size)
+
+
+def test_average_and_max_reductions_in_band(benchmark, series):
+    data = benchmark.pedantic(lambda: series, rounds=1, iterations=1)
+    assert 0.05 <= data["ssh"].average_reduction() <= 0.12     # paper 8.2%
+    assert 0.03 <= data["nginx"].average_reduction() <= 0.09   # paper 5.1%
+    assert 0.13 <= data["ssh"].max_reduction() <= 0.22         # paper 18%
+    assert 0.10 <= data["nginx"].max_reduction() <= 0.20       # paper 17.6%
+
+
+def test_ssh_worse_than_nginx_on_average(benchmark, series):
+    data = benchmark.pedantic(lambda: series, rounds=1, iterations=1)
+    assert data["ssh"].average_reduction() > data["nginx"].average_reduction()

@@ -1,0 +1,63 @@
+"""Figure 8 — Erebor's overhead on LMBench system microbenchmarks.
+
+Regenerates the per-benchmark Native-vs-Erebor overhead series (the
+figure's bars) plus the EMC rate annotations. Shape targets from the
+paper: pagefault is the worst case at ~3.8x, fork is also expensive
+(MMU-heavy), plain syscall paths stay close to native.
+"""
+
+import pytest
+
+from repro.bench.lmbench import LmbenchSuite
+from repro.bench.report import format_table
+
+
+@pytest.fixture(scope="module")
+def results():
+    return LmbenchSuite(iterations=150).run_all()
+
+
+def test_print_fig8(benchmark, results):
+    def build():
+        rows = [[r.name, f"{r.native_cycles:.0f}", f"{r.erebor_cycles:.0f}",
+                 f"{r.ratio:.2f}x", f"{r.emc_per_op:.1f}",
+                 f"{r.emc_per_sec / 1e6:.2f}M"]
+                for r in results]
+        return format_table(
+            "Figure 8: LMBench under Erebor (non-sandboxed)",
+            ["bench", "native cyc/op", "erebor cyc/op", "overhead",
+             "EMC/op", "EMC/s"], rows)
+
+    print("\n" + benchmark.pedantic(build, rounds=1, iterations=1))
+
+
+def test_pagefault_is_worst_case(benchmark, results):
+    by_name = {r.name: r for r in benchmark.pedantic(
+        lambda: results, rounds=1, iterations=1)}
+    pf = by_name["pagefault"]
+    assert pf.ratio == max(r.ratio for r in results)
+    # paper: 3.8x
+    assert 3.2 <= pf.ratio <= 4.4, pf.ratio
+
+
+def test_fork_is_mmu_heavy(benchmark, results):
+    by_name = {r.name: r for r in benchmark.pedantic(
+        lambda: results, rounds=1, iterations=1)}
+    fork = by_name["fork"]
+    assert fork.emc_per_op == max(r.emc_per_op for r in results)
+    assert fork.ratio >= 2.5
+
+
+def test_syscall_paths_stay_moderate(benchmark, results):
+    by_name = {r.name: r for r in benchmark.pedantic(
+        lambda: results, rounds=1, iterations=1)}
+    for name in ("null", "select", "signal"):
+        assert by_name[name].ratio <= 1.5, name
+
+
+def test_bench_one_null_syscall(benchmark):
+    """A wall-clock benchmark of the simulator's hot syscall path."""
+    suite = LmbenchSuite(iterations=1)
+    machine, kernel, task = suite._machine("erebor")
+
+    benchmark(lambda: kernel.syscall(task, "getpid"))

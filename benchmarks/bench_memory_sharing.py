@@ -1,0 +1,84 @@
+"""§9.2 memory-sharing claim — Erebor vs unikernel-per-client footprints.
+
+Regenerates both halves of the paper's claim: a *measured* footprint of N
+real sandboxes sharing one common region on one CVM, and the paper-scale
+llama arithmetic (8 clients, 4 GB model) reproducing the headline
+"~36 GB -> ~8 GB, up to 89.1% saved".
+"""
+
+import pytest
+
+from repro.apps.base import workload as make_workload
+from repro.baselines.unikernel import (
+    MemoryComparison,
+    erebor_footprint,
+    measured_erebor_footprint,
+    paper_scale_comparison,
+    unikernel_footprint,
+)
+from repro.bench.report import format_table, mib, pct
+from repro.vm import MIB
+
+CLIENTS = 8
+
+
+@pytest.fixture(scope="module")
+def measured():
+    work = make_workload("llama.cpp", scale=0.25)
+    confined, common = measured_erebor_footprint(work, CLIENTS)
+    manifest = work.manifest()
+    replicated = unikernel_footprint(
+        CLIENTS, confined // CLIENTS, sum(s.size for s in manifest.common))
+    shared = erebor_footprint(
+        CLIENTS, confined // CLIENTS, sum(s.size for s in manifest.common))
+    return confined, common, replicated, shared
+
+
+def test_print_memory_table(benchmark, measured):
+    confined, common, replicated, shared = measured
+    paper = paper_scale_comparison(CLIENTS)
+
+    def build():
+        rows = [
+            ["llama (sim scale, measured)", CLIENTS, mib(replicated),
+             mib(shared), pct(1 - shared / replicated)],
+            [paper.label, paper.clients, mib(paper.unikernel_bytes),
+             mib(paper.erebor_bytes), pct(paper.reduction)],
+        ]
+        return format_table(
+            "Memory: unikernel-per-client vs Erebor common sharing "
+            "(paper: ~36GB -> ~8GB, up to 89.1% saved)",
+            ["configuration", "clients", "unikernel", "erebor", "saved"],
+            rows)
+
+    print("\n" + benchmark.pedantic(build, rounds=1, iterations=1))
+
+
+def test_common_region_stored_once(benchmark, measured):
+    confined, common, _, _ = measured
+    work = make_workload("llama.cpp", scale=0.25)
+    expected_common = sum(s.size for s in work.manifest().common)
+    got = benchmark.pedantic(lambda: common, rounds=1, iterations=1)
+    assert got == expected_common      # one copy for all 8 sandboxes
+
+
+def test_paper_scale_reduction_headline(benchmark):
+    cmp = benchmark.pedantic(lambda: paper_scale_comparison(8),
+                             rounds=1, iterations=1)
+    # ~36GB -> ~8GB
+    assert 34 * 1024 * MIB <= cmp.unikernel_bytes <= 38 * 1024 * MIB
+    assert 7 * 1024 * MIB <= cmp.erebor_bytes <= 9 * 1024 * MIB
+    assert 0.75 <= cmp.reduction <= 0.92   # paper: up to 89.1%
+
+
+def test_reduction_grows_with_clients(benchmark):
+    def reductions():
+        out = []
+        for n in (1, 2, 4, 8, 16):
+            cmp = paper_scale_comparison(n)
+            out.append(cmp.reduction)
+        return out
+
+    values = benchmark.pedantic(reductions, rounds=1, iterations=1)
+    assert values == sorted(values)
+    assert values[0] < 0.1 < values[-1]

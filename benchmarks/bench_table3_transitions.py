@@ -1,0 +1,78 @@
+"""Table 3 — privilege-transition round-trip costs.
+
+Regenerates: empty EMC vs syscall vs tdcall (TD guest hypercall) vs
+vmcall (plain-guest hypercall), in simulated CPU cycles, with the ratios
+the paper prints. The EMC number is *measured* by executing the Fig. 5
+gate code instruction-by-instruction on the micro CPU.
+"""
+
+import pytest
+
+from repro.bench.report import format_table
+from repro.core.emc import EmcCall
+from repro.core.microrig import GateRig
+from repro.hw.cycles import Cost
+from repro.tdx.module import VMCALL_HLT
+from repro.vm import CvmMachine, MachineConfig, MIB
+
+PAPER = {"EMC": 1224, "SYSCALL": 684, "TDCALL": 5276, "VMCALL": 4031}
+
+
+def measure_emc() -> int:
+    return GateRig().run_emc(int(EmcCall.NOP))
+
+
+def measure_syscall() -> int:
+    machine = CvmMachine(MachineConfig(memory_bytes=128 * MIB))
+    kernel = machine.boot_native_kernel()
+    task = kernel.spawn("t")
+    # isolate the raw transition: total syscall minus dispatch/handler work
+    before = machine.clock.cycles
+    kernel.syscall(task, "getpid")
+    total = machine.clock.cycles - before
+    return total - machine.clock.by_tag["syscall_work"]  # strip handler body
+
+
+def measure_tdcall() -> int:
+    machine = CvmMachine(MachineConfig(memory_bytes=128 * MIB))
+    before = machine.clock.cycles
+    machine.tdx.guest_vmcall(VMCALL_HLT)
+    return machine.clock.cycles - before
+
+
+def measure_vmcall() -> int:
+    machine = CvmMachine(MachineConfig(memory_bytes=128 * MIB, td=False))
+    before = machine.clock.cycles
+    machine.vmm.plain_vmcall()
+    return machine.clock.cycles - before
+
+
+MEASURES = {
+    "EMC": measure_emc,
+    "SYSCALL": measure_syscall,
+    "TDCALL": measure_tdcall,
+    "VMCALL": measure_vmcall,
+}
+
+
+@pytest.mark.parametrize("name", list(MEASURES))
+def test_transition_cost(benchmark, name):
+    cycles = benchmark.pedantic(MEASURES[name], rounds=3, iterations=1)
+    assert cycles == PAPER[name], f"{name}: {cycles} != paper {PAPER[name]}"
+
+
+def test_print_table3(benchmark):
+    def build():
+        emc = measure_emc()
+        rows = []
+        for name, fn in MEASURES.items():
+            cycles = fn()
+            rows.append([name, cycles, f"{cycles / emc:.2f}x",
+                         PAPER[name], f"{PAPER[name] / PAPER['EMC']:.2f}x"])
+        return format_table(
+            "Table 3: privilege-transition round trips (CPU cycles)",
+            ["call", "cycles", "vs EMC", "paper", "paper vs EMC"], rows)
+
+    table = benchmark.pedantic(build, rounds=1, iterations=1)
+    print("\n" + table)
+    assert "EMC" in table

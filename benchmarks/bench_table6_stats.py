@@ -1,0 +1,82 @@
+"""Table 6 — program execution statistics under full Erebor.
+
+Regenerates the columns: per-second sandbox exit rates (#PF / #Timer /
+#VE / total), EMC rate, data-processing time, confined and common memory,
+and the one-time initialization overhead vs native. Paper bands: exits
+2.2-4.4k/s, EMC tens of k/s, init overhead 11.5-52.7%.
+"""
+
+import pytest
+
+from repro.bench.report import format_table, mib, pct
+
+PAPER = {
+    # workload: (pf/s, timer/s, ve/s, total, emc/s, conf MB, com MB, init %)
+    "llama.cpp": (1800, 900, 1700, 4400, 46900, 501, 4096, 52.7),
+    "yolo": (1200, 1000, 1300, 3500, 77600, 757, 132, 13.3),
+    "drugbank": (500, 500, 1200, 2200, 87600, 814, 400, 28.5),
+    "graphchi": (800, 2700, 700, 4200, 40900, 1340, 0, 36.8),
+    "unicorn": (700, 2300, 900, 3900, 39500, 1254, 0, 31.2),
+}
+
+
+def test_print_table6(benchmark, workload_matrix):
+    def build():
+        rows = []
+        for name, runs in workload_matrix.items():
+            r = runs["erebor"]
+            native = runs["native"]
+            init_ovh = r.init_seconds / native.init_seconds - 1.0
+            rows.append([
+                name,
+                f"{r.rate('page_fault'):.0f}",
+                f"{r.rate('timer_interrupt'):.0f}",
+                f"{r.rate('ve'):.0f}",
+                f"{r.total_exit_rate:.0f}",
+                f"{r.rate('emc') / 1000:.1f}k",
+                f"{r.run_seconds:.2f}s",
+                mib(r.confined_bytes),
+                mib(r.common_bytes) if r.common_bytes else "-",
+                pct(init_ovh),
+            ])
+        return format_table(
+            "Table 6: execution statistics (full Erebor; simulated rates)",
+            ["program", "#PF/s", "#Timer/s", "#VE/s", "exits/s", "EMC/s",
+             "time", "conf.", "com.", "init ovh"], rows)
+
+    print("\n" + benchmark.pedantic(build, rounds=1, iterations=1))
+
+
+def test_exit_rates_in_paper_band(benchmark, workload_matrix):
+    data = benchmark.pedantic(lambda: workload_matrix, rounds=1, iterations=1)
+    for name, runs in data.items():
+        total = runs["erebor"].total_exit_rate
+        assert 1500 <= total <= 7000, (name, total)   # paper: 2.2k-4.4k
+
+
+def test_emc_rates_tens_of_thousands(benchmark, workload_matrix):
+    data = benchmark.pedantic(lambda: workload_matrix, rounds=1, iterations=1)
+    for name, runs in data.items():
+        emc = runs["erebor"].rate("emc")
+        assert 15_000 <= emc <= 120_000, (name, emc)  # paper: 39.5k-87.6k
+
+
+def test_init_overhead_band(benchmark, workload_matrix):
+    """Paper: one-time initialization costs 11.5-52.7% over native."""
+    data = benchmark.pedantic(lambda: workload_matrix, rounds=1, iterations=1)
+    ovh = {}
+    for name, runs in data.items():
+        ovh[name] = (runs["erebor"].init_seconds
+                     / runs["native"].init_seconds - 1.0)
+    assert all(0.08 <= v <= 0.60 for v in ovh.values()), ovh
+    assert max(ovh, key=ovh.get) == "llama.cpp"  # biggest prefault volume
+
+
+def test_memory_columns_match_manifests(benchmark, workload_matrix):
+    from repro.apps.base import workload as make_workload
+    data = benchmark.pedantic(lambda: workload_matrix, rounds=1, iterations=1)
+    for name, runs in data.items():
+        prof = make_workload(name).profile
+        r = runs["erebor"]
+        assert r.confined_bytes >= prof.heap_bytes
+        assert r.common_bytes == sum(s.size for s in prof.common)

@@ -1,0 +1,19 @@
+"""Shared fixtures for the benchmark suite.
+
+The workload matrix (5 programs x 5 settings) is expensive, and both the
+Fig. 9 and Table 6 benches consume it — so it is computed once per
+session and cached here.
+"""
+
+import pytest
+
+from repro.bench.runner import SETTINGS, WorkloadRunner
+
+WORKLOADS = ("llama.cpp", "yolo", "drugbank", "graphchi", "unicorn")
+
+
+@pytest.fixture(scope="session")
+def workload_matrix():
+    """{workload: {setting: RunResult}} for the full evaluation matrix."""
+    runner = WorkloadRunner(scale=0.5)
+    return {name: runner.run_all_settings(name) for name in WORKLOADS}

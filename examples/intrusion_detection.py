@@ -1,0 +1,60 @@
+#!/usr/bin/env python3
+"""Cloud intrusion detection over corporate audit logs (§3.1).
+
+Unicorn-style provenance analysis as a service: a corporation ships its
+(parsed) system audit log — full of internal hostnames, process names and
+connection patterns — and gets back an APT verdict. The log must never be
+readable by the analytics provider. This example runs both a clean and an
+attack-bearing log through sandboxed analysis.
+
+Run:  python examples/intrusion_detection.py
+"""
+
+from repro import CvmMachine, MachineConfig, MIB, erebor_boot
+from repro.apps import LibOsRuntime, synth_log, workload
+from repro.client import RemoteClient
+from repro.core import SecureChannel, UntrustedProxy, published_measurement
+from repro.libos import LibOs
+
+
+def analyze(system, machine, detector, log: bytes, seed: int) -> bytes:
+    libos = LibOs.boot_sandboxed(system, detector.manifest(),
+                                 confined_budget=20 * MIB)
+    runtime = LibOsRuntime(libos)
+    proxy = UntrustedProxy(system.monitor)
+    channel = SecureChannel(system.monitor, libos.sandbox)
+    client = RemoteClient(machine.authority, published_measurement(),
+                          seed=seed)
+    client.connect(proxy, channel)
+    client.request(proxy, channel, log)
+    detector.serve(runtime, runtime.recv_input())
+    verdict = client.fetch_result(proxy, channel)
+    libos.sandbox.cleanup()    # stateless: scrub between customers
+    return verdict
+
+
+def main() -> None:
+    machine = CvmMachine(MachineConfig(memory_bytes=768 * MIB))
+    system = erebor_boot(machine, cma_bytes=96 * MIB)
+    detector = workload("unicorn", scale=0.25)
+
+    clean = synth_log(seed=100, events=3000, attack=False)
+    attacked = synth_log(seed=100, events=3000, attack=True)
+
+    v_clean = analyze(system, machine, detector, clean, seed=31)
+    v_attack = analyze(system, machine, detector, attacked, seed=32)
+    print(f"clean log   -> {v_clean.split(b';')[0].decode()}")
+    print(f"attack log  -> {v_attack.split(b';')[0].decode()} "
+          f"({v_attack.split(b';')[2][:40].decode()}...)")
+
+    assert v_clean.startswith(b"clean")
+    assert v_attack.startswith(b"ALERT")
+
+    # the log's internal identifiers never left the sandbox boundary
+    host = machine.vmm.observed_blob()
+    assert b"proc7" not in host and b"exfil" not in host
+    print("verdicts differ, log contents never exposed. OK")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,68 @@
+#!/usr/bin/env python3
+"""Paravisor-enhanced deployment (§10): RTMR-based monitor attestation.
+
+In emerging cloud deployments (Azure OpenHCL / COCONUT-SVSM), the cloud
+provider's paravisor owns the boot-time measurement, and tenant payloads
+like the Erebor monitor are recorded in *runtime* measurement registers.
+This example boots that shape, shows the client verifying both the
+paravisor MRTD and the monitor RTMR from published binaries, and the two
+failure cases: a client with drop-in expectations, and a paravisor that
+loaded a tampered monitor.
+
+Run:  python examples/paravisor_deployment.py
+"""
+
+from repro import CvmMachine, MachineConfig, MIB, erebor_boot
+from repro.client import AttestationFailure, RemoteClient
+from repro.core import SecureChannel, UntrustedProxy, published_measurement
+from repro.core.boot import PARAVISOR_RTMR_INDEX, published_paravisor_measurement
+
+
+def main() -> None:
+    machine = CvmMachine(MachineConfig(memory_bytes=512 * MIB))
+    system = erebor_boot(machine, cma_bytes=32 * MIB, paravisor=True)
+    mrtd, rtmr = published_paravisor_measurement()
+    print("paravisor CVM booted:")
+    print(f"  MRTD  (firmware+paravisor): {mrtd.hex()[:24]}...")
+    print(f"  RTMR2 (erebor monitor):     {rtmr.hex()[:24]}...")
+
+    sandbox = system.monitor.create_sandbox("svc", confined_budget=4 * MIB)
+    sandbox.declare_confined(512 * 1024)
+    proxy = UntrustedProxy(system.monitor)
+    channel = SecureChannel(system.monitor, sandbox)
+
+    # a correctly-configured client verifies BOTH registers
+    client = RemoteClient(machine.authority, mrtd,
+                          expected_rtmrs={PARAVISOR_RTMR_INDEX: rtmr})
+    client.connect(proxy, channel)
+    client.request(proxy, channel, b"pv-secret")
+    print(f"  RTMR-aware client attested and connected; "
+          f"sandbox got {sandbox.take_input()!r}")
+
+    # a drop-in-profile client refuses this deployment (different MRTD)
+    naive = RemoteClient(machine.authority, published_measurement(), seed=9)
+    chan2 = SecureChannel(system.monitor,
+                          system.monitor.create_sandbox(
+                              "svc2", confined_budget=4 * MIB))
+    try:
+        naive.connect(proxy, chan2)
+        raise SystemExit("naive client should have refused!")
+    except AttestationFailure as exc:
+        print(f"  drop-in-profile client correctly refused: "
+              f"{str(exc)[:60]}...")
+
+    # a paravisor loading a tampered monitor fails RTMR verification
+    evil = CvmMachine(MachineConfig(memory_bytes=256 * MIB))
+    from repro.core.boot import FIRMWARE_BLOB, PARAVISOR_BLOB
+    evil.tdx.build_load("firmware", FIRMWARE_BLOB)
+    evil.tdx.build_load("paravisor", PARAVISOR_BLOB)
+    evil.tdx.finalize()
+    evil.tdx.measurement.extend_rtmr(PARAVISOR_RTMR_INDEX, b"evil monitor")
+    assert evil.tdx.measurement.rtmrs[PARAVISOR_RTMR_INDEX] != rtmr
+    print("  tampered-monitor RTMR differs from the published value "
+          "(client verification would fail)")
+    print("OK")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,11 @@
+"""Legacy setuptools shim.
+
+`pip install -e .` needs the `wheel` package for editable installs on
+older pip/setuptools combinations; fully-offline environments without it
+can fall back to `python setup.py develop` (or add `src/` to a .pth).
+All real metadata lives in pyproject.toml.
+"""
+
+from setuptools import setup
+
+setup()

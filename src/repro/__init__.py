@@ -1,0 +1,40 @@
+"""Erebor reproduction: drop-in CVM sandboxing on a simulated platform.
+
+Reproduces *Erebor: A Drop-In Sandbox Solution for Private Data Processing
+in Untrusted Confidential Virtual Machines* (EuroSys 2025) as a pure-Python
+system: a simulated confidential-VM hardware platform (``repro.hw``,
+``repro.tdx``), an untrusted guest kernel (``repro.kernel``), the Erebor
+monitor/sandbox/channel (``repro.core``), a Gramine-like LibOS
+(``repro.libos``), the evaluation's workloads (``repro.apps``), comparison
+baselines (``repro.baselines``), the remote client (``repro.client``), and
+the benchmark harness regenerating every table and figure (``repro.bench``
++ the ``benchmarks/`` directory).
+
+Quickstart::
+
+    from repro import CvmMachine, MachineConfig, erebor_boot
+    from repro.core import SecureChannel, UntrustedProxy, published_measurement
+    from repro.client import RemoteClient
+
+    machine = CvmMachine(MachineConfig(memory_bytes=512 * 1024 * 1024))
+    system = erebor_boot(machine, cma_bytes=64 * 1024 * 1024)
+    sandbox = system.monitor.create_sandbox("svc", confined_budget=8 << 20)
+    sandbox.declare_confined(1 << 20)
+    client = RemoteClient(machine.authority, published_measurement())
+    client.connect(UntrustedProxy(system.monitor),
+                   SecureChannel(system.monitor, sandbox))
+"""
+
+from .core.boot import EreborSystem, erebor_boot, published_measurement
+from .core.monitor import EreborFeatures, EreborMonitor
+from .core.policy import PolicyViolation, SandboxViolation
+from .core.sandbox import Sandbox
+from .vm import CvmMachine, GIB, MIB, MachineConfig
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "CvmMachine", "EreborFeatures", "EreborMonitor", "EreborSystem", "GIB",
+    "MIB", "MachineConfig", "PolicyViolation", "Sandbox", "SandboxViolation",
+    "erebor_boot", "published_measurement", "__version__",
+]

@@ -1,0 +1,11 @@
+"""The evaluation's service applications (Table 5) and runtime adapters."""
+
+from . import drugbank, graphchi, helloworld, llama, unicorn, yolo  # noqa: F401 - registry
+from .base import MIB, REGISTRY, Workload, WorkloadProfile, workload
+from .runtime import AppRuntime, LibOsRuntime, NativeRuntime
+from .unicorn import synth_log
+
+__all__ = [
+    "AppRuntime", "LibOsRuntime", "MIB", "NativeRuntime", "REGISTRY",
+    "Workload", "WorkloadProfile", "synth_log", "workload",
+]

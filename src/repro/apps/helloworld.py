@@ -1,0 +1,32 @@
+"""The artifact's minimal sandbox program: no input, outputs "AA..A".
+
+Mirrors the paper's Helloworld demo (artifact experiment E2): it needs no
+client input and emits ``0x4141..41`` through the monitor's output
+channel — the smallest program exercising the whole sandbox pipeline.
+"""
+
+from __future__ import annotations
+
+from .base import MIB, Workload, WorkloadProfile, register
+
+
+@register
+class HelloworldWorkload(Workload):
+    name = "helloworld"
+    description = "minimal demo sandbox: outputs ten 'A' bytes"
+
+    @property
+    def profile(self) -> WorkloadProfile:
+        return WorkloadProfile(heap_bytes=1 * MIB, threads=1,
+                               bg_mmu_ops_per_tick=2, bg_copy_ops_per_tick=1)
+
+    def default_request(self) -> bytes:
+        return b""
+
+    def serve(self, rt, request: bytes) -> bytes:
+        buf = rt.malloc(4096)
+        rt.touch_range(buf, 4096, write=True)
+        rt.compute(1_000_000)
+        output = b"A" * 10
+        rt.send_output(output)
+        return output

@@ -1,0 +1,27 @@
+"""Comparison systems: enclave-style (Veil/NestedSGX) and unikernel-per-client."""
+
+from .enclave import Enclave, EnclaveAccessError, EnclaveBaselineSystem
+from .sfi import (
+    SfiRegion,
+    SfiVerifyError,
+    sfi_instrument,
+    sfi_overhead,
+    sfi_verify,
+)
+from .unikernel import (
+    GIB,
+    MemoryComparison,
+    UNIKERNEL_BASE_BYTES,
+    erebor_footprint,
+    measured_erebor_footprint,
+    paper_scale_comparison,
+    unikernel_footprint,
+)
+
+__all__ = [
+    "Enclave", "EnclaveAccessError", "EnclaveBaselineSystem", "GIB",
+    "MemoryComparison", "UNIKERNEL_BASE_BYTES", "erebor_footprint",
+    "measured_erebor_footprint", "paper_scale_comparison",
+    "SfiRegion", "SfiVerifyError", "sfi_instrument", "sfi_overhead",
+    "sfi_verify", "unikernel_footprint",
+]

@@ -1,0 +1,95 @@
+"""Unikernel-per-client baseline (paper §11) and the memory-saving claim.
+
+The alternative to in-CVM sandboxing is a dedicated Unikernel CVM per
+client (Gramine-TDX style): strong isolation, but every instance carries
+a full copy of the "common" artifacts (model, database, libraries) plus
+its own kernel image, and a host supports only a limited number of
+concurrent CVMs. The paper's §9.2 claim: Erebor's read-only common
+sharing cuts memory by 0.15-9.2x, up to 89.1% for llama-shaped services.
+
+Two evaluation paths:
+
+* :func:`measured_erebor_footprint` boots N real sandboxes sharing one
+  common region and reads the physical-memory ledger;
+* :func:`unikernel_footprint` / :func:`paper_scale_comparison` compute
+  the replicated footprint analytically (including at the paper's
+  full-size Table 5 numbers, where simulation memory would not permit
+  actually allocating 8 x 5 GB).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..core.boot import erebor_boot
+from ..libos.libos import LibOs
+from ..vm import CvmMachine, MachineConfig, MIB
+
+GIB = 1024 * MIB
+
+#: resident size of a minimal Unikernel image + its runtime state
+UNIKERNEL_BASE_BYTES = 48 * MIB
+
+
+@dataclass
+class MemoryComparison:
+    label: str
+    clients: int
+    unikernel_bytes: int
+    erebor_bytes: int
+
+    @property
+    def reduction(self) -> float:
+        """Fraction of memory saved by Erebor's sharing."""
+        return 1.0 - self.erebor_bytes / self.unikernel_bytes
+
+    @property
+    def factor(self) -> float:
+        """'N x reduction' in the paper's phrasing (ratio - 1)."""
+        return self.unikernel_bytes / self.erebor_bytes - 1.0
+
+
+def unikernel_footprint(clients: int, confined_bytes: int,
+                        common_bytes: int,
+                        base_bytes: int = UNIKERNEL_BASE_BYTES) -> int:
+    """Replicated footprint: every client CVM holds everything privately."""
+    return clients * (confined_bytes + common_bytes + base_bytes)
+
+
+def erebor_footprint(clients: int, confined_bytes: int, common_bytes: int,
+                     base_bytes: int = UNIKERNEL_BASE_BYTES) -> int:
+    """Shared footprint: one kernel, one common copy, per-client confined."""
+    return clients * confined_bytes + common_bytes + base_bytes
+
+
+def measured_erebor_footprint(workload, clients: int,
+                              *, cma_bytes: int | None = None) -> tuple[int, int]:
+    """Boot N sandboxes of ``workload`` on one CVM; return (confined, common)
+    bytes actually resident, from the physical-memory ledger."""
+    manifest = workload.manifest()
+    need = clients * (manifest.heap_bytes + 2 * MIB)
+    machine = CvmMachine(MachineConfig(
+        memory_bytes=max(2 * need, 512 * MIB)))
+    system = erebor_boot(machine, cma_bytes=cma_bytes or need + 16 * MIB)
+    for i in range(clients):
+        LibOs.boot_sandboxed(system, manifest,
+                             confined_budget=manifest.heap_bytes + 2 * MIB)
+    usage = machine.phys.usage_by_owner()
+    confined = sum(v for k, v in usage.items() if k.startswith("sandbox:"))
+    common = sum(v for k, v in usage.items() if k.startswith("common:"))
+    return confined, common
+
+
+def paper_scale_comparison(clients: int = 8) -> MemoryComparison:
+    """The paper's llama arithmetic: ~4 GB model, ~0.5 GB confined, 8 ways.
+
+    'without memory sharing ... a 4GB model must be replicated across 8
+    containers, requiring ~36GB; reduced to ~8GB in our experiments.'
+    """
+    confined = 501 * MIB       # Table 6 llama.cpp confined
+    common = 4 * GIB           # Table 6 llama.cpp common
+    return MemoryComparison(
+        "llama.cpp (paper scale)", clients,
+        unikernel_bytes=unikernel_footprint(clients, confined, common),
+        erebor_bytes=erebor_footprint(clients, confined, common),
+    )

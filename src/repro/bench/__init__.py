@@ -1,0 +1,14 @@
+"""Benchmark harness: workload runner, LMBench suite, server rigs, reports."""
+
+from .analysis import MECHANISMS, OverheadBreakdown, decompose
+from .lmbench import LmbenchResult, LmbenchSuite
+from .report import check, format_table, mib, pct, ratio
+from .runner import RunResult, SETTINGS, WorkloadRunner
+from .servers import FILE_SIZES, ServerBench, ServerPoint, ServerSeries
+
+__all__ = [
+    "FILE_SIZES", "LmbenchResult", "LmbenchSuite", "MECHANISMS",
+    "OverheadBreakdown", "RunResult", "SETTINGS", "ServerBench",
+    "ServerPoint", "ServerSeries", "WorkloadRunner", "check", "decompose",
+    "format_table", "mib", "pct", "ratio",
+]

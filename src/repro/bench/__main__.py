@@ -1,0 +1,154 @@
+"""Command-line harness: regenerate the paper's tables and figures.
+
+Usage::
+
+    python -m repro.bench                  # everything (a few minutes)
+    python -m repro.bench table3 fig9      # selected experiments
+    python -m repro.bench --list
+    python -m repro.bench fig9 --scale 0.25
+
+This is a convenience front-end over the same code paths the
+``benchmarks/`` pytest suite drives.
+"""
+
+from __future__ import annotations
+
+import argparse
+import math
+import sys
+
+from .lmbench import LmbenchSuite
+from .report import format_table, mib, pct
+from .runner import WorkloadRunner
+from .servers import FILE_SIZES, ServerBench
+
+WORKLOADS = ("llama.cpp", "yolo", "drugbank", "graphchi", "unicorn")
+
+
+def run_table3(args) -> None:
+    from repro.core.emc import EmcCall
+    from repro.core.microrig import GateRig
+    from repro.hw.cycles import Cost
+    emc = GateRig().run_emc(int(EmcCall.NOP))
+    rows = [["EMC", emc, "1.00x"],
+            ["SYSCALL", Cost.SYSCALL_ROUND_TRIP,
+             f"{Cost.SYSCALL_ROUND_TRIP / emc:.2f}x"],
+            ["TDCALL", Cost.TDCALL_ROUND_TRIP,
+             f"{Cost.TDCALL_ROUND_TRIP / emc:.2f}x"],
+            ["VMCALL", Cost.VMCALL_ROUND_TRIP,
+             f"{Cost.VMCALL_ROUND_TRIP / emc:.2f}x"]]
+    print(format_table("Table 3: privilege transitions (cycles)",
+                       ["call", "cycles", "vs EMC"], rows))
+
+
+def run_table4(args) -> None:
+    from repro.hw.cycles import Cost
+    rows = [
+        ["MMU", Cost.PTE_WRITE_NATIVE, Cost.EREBOR_MMU],
+        ["CR", Cost.CR_WRITE_NATIVE, Cost.EREBOR_CR],
+        ["SMAP", Cost.STAC_CLAC_NATIVE, Cost.EREBOR_SMAP],
+        ["IDT", Cost.LIDT_NATIVE, Cost.EREBOR_IDT],
+        ["MSR", Cost.WRMSR_SLOW_NATIVE, Cost.EREBOR_MSR],
+        ["GHCI", Cost.TDREPORT_NATIVE, Cost.EREBOR_GHCI],
+    ]
+    print(format_table("Table 4: privileged operations (cycles)",
+                       ["op", "native", "erebor"], rows))
+
+
+def run_fig8(args) -> None:
+    results = LmbenchSuite(iterations=args.iterations).run_all()
+    rows = [[r.name, f"{r.native_cycles:.0f}", f"{r.erebor_cycles:.0f}",
+             f"{r.ratio:.2f}x", f"{r.emc_per_op:.1f}"] for r in results]
+    print(format_table("Figure 8: LMBench", ["bench", "native", "erebor",
+                                             "overhead", "EMC/op"], rows))
+
+
+def run_fig9(args) -> None:
+    runner = WorkloadRunner(scale=args.scale)
+    rows = []
+    full = []
+    for name in WORKLOADS:
+        runs = runner.run_all_settings(name)
+        native = runs["native"].run_seconds
+        ovh = {s: runs[s].run_seconds / native - 1 for s in runs}
+        full.append(ovh["erebor"])
+        rows.append([name, pct(ovh["libos"]), pct(ovh["mmu"]),
+                     pct(ovh["exit"]), pct(ovh["erebor"])])
+        print(f"  {name}: done")
+    geo = math.exp(sum(math.log(1 + v) for v in full) / len(full)) - 1
+    rows.append(["geomean", "-", "-", "-", pct(geo)])
+    print(format_table("Figure 9: workload overhead vs native",
+                       ["workload", "LibOS", "MMU", "Exit", "full"], rows))
+
+
+def run_table6(args) -> None:
+    runner = WorkloadRunner(scale=args.scale)
+    rows = []
+    for name in WORKLOADS:
+        native = runner.run(name, "native")
+        r = runner.run(name, "erebor")
+        rows.append([name, f"{r.rate('page_fault'):.0f}",
+                     f"{r.rate('timer_interrupt'):.0f}",
+                     f"{r.rate('ve'):.0f}", f"{r.rate('emc') / 1000:.1f}k",
+                     mib(r.confined_bytes),
+                     mib(r.common_bytes) if r.common_bytes else "-",
+                     pct(r.init_seconds / native.init_seconds - 1)])
+    print(format_table("Table 6: execution statistics",
+                       ["program", "#PF/s", "#Timer/s", "#VE/s", "EMC/s",
+                        "conf", "com", "init ovh"], rows))
+
+
+def run_fig10(args) -> None:
+    bench = ServerBench(requests_per_size=args.requests)
+    series = {k: bench.run_series(k) for k in ("ssh", "nginx")}
+    rows = [[f"{size // 1024}K",
+             f"{series['ssh'].relative_throughput(size):.3f}",
+             f"{series['nginx'].relative_throughput(size):.3f}"]
+            for size in FILE_SIZES]
+    rows.append(["avg loss", pct(series["ssh"].average_reduction()),
+                 pct(series["nginx"].average_reduction())])
+    print(format_table("Figure 10: server relative throughput",
+                       ["size", "ssh", "nginx"], rows))
+
+
+EXPERIMENTS = {
+    "table3": run_table3,
+    "table4": run_table4,
+    "fig8": run_fig8,
+    "fig9": run_fig9,
+    "table6": run_table6,
+    "fig10": run_fig10,
+}
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(prog="python -m repro.bench",
+                                     description=__doc__)
+    parser.add_argument("experiments", nargs="*",
+                        help=f"subset of {sorted(EXPERIMENTS)} (default: all)")
+    parser.add_argument("--list", action="store_true",
+                        help="list available experiments")
+    parser.add_argument("--scale", type=float, default=0.5,
+                        help="workload scale factor (default 0.5)")
+    parser.add_argument("--iterations", type=int, default=150,
+                        help="LMBench iterations (default 150)")
+    parser.add_argument("--requests", type=int, default=16,
+                        help="server requests per file size (default 16)")
+    args = parser.parse_args(argv)
+
+    if args.list:
+        for name in EXPERIMENTS:
+            print(name)
+        return 0
+    selected = args.experiments or list(EXPERIMENTS)
+    unknown = [e for e in selected if e not in EXPERIMENTS]
+    if unknown:
+        parser.error(f"unknown experiments: {unknown}")
+    for name in selected:
+        EXPERIMENTS[name](args)
+        print()
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

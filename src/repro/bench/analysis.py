@@ -1,0 +1,77 @@
+"""Overhead decomposition: where did Erebor's cycles go?
+
+Given a native and a protected run of the same workload, attribute the
+extra cycles to the monitor's mechanisms using the cycle ledger's tags —
+the programmatic version of the paper's §9.2 discussion ("llama.cpp ...
+has a considerable amount of runtime sandbox exits and EMCs").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from .report import format_table, pct
+from .runner import RunResult
+
+#: ledger tags attributed to each Erebor mechanism
+MECHANISMS = {
+    "EMC gates": ("emc", "emc_validate"),
+    "uarch disturbance": ("uarch",),
+    "exit interposition": ("exit_interpose", "int_gate"),
+    "sandbox state masking": ("sandbox_state",),
+    "LibOS spin sync": ("libos_spin",),
+    "channel (crypto+copy)": ("channel_crypto", "channel_copy"),
+    "secure pager": ("secure_pager",),
+    "mitigations": ("mitigation_flush", "mitigation_throttle",
+                    "mitigation_quantize", "mitigation_noise"),
+}
+
+
+@dataclass
+class OverheadBreakdown:
+    """Attribution of a protected run's overhead vs its native twin."""
+
+    workload: str
+    setting: str
+    native_cycles: int
+    protected_cycles: int
+    by_mechanism: dict[str, float] = field(default_factory=dict)
+
+    @property
+    def total_overhead(self) -> float:
+        return self.protected_cycles / self.native_cycles - 1.0
+
+    @property
+    def attributed(self) -> float:
+        return sum(self.by_mechanism.values())
+
+    @property
+    def unattributed(self) -> float:
+        return self.total_overhead - self.attributed
+
+    def table(self) -> str:
+        rows = [[name, pct(share)]
+                for name, share in sorted(self.by_mechanism.items(),
+                                          key=lambda kv: -kv[1]) if share]
+        rows.append(["(other/kernel-path deltas)", pct(self.unattributed)])
+        rows.append(["total", pct(self.total_overhead)])
+        return format_table(
+            f"Overhead decomposition: {self.workload} [{self.setting}]",
+            ["mechanism", "share of native runtime"], rows)
+
+
+def decompose(native: RunResult, protected: RunResult) -> OverheadBreakdown:
+    """Attribute ``protected``'s overhead over ``native`` per mechanism.
+
+    Shares are (protected_tag_cycles - native_tag_cycles) / native_cycles,
+    so a mechanism absent natively contributes its full cost.
+    """
+    if native.workload != protected.workload:
+        raise ValueError("decompose() needs runs of the same workload")
+    breakdown = OverheadBreakdown(protected.workload, protected.setting,
+                                  native.run_cycles, protected.run_cycles)
+    for name, tags in MECHANISMS.items():
+        extra = sum(protected.by_tag.get(t, 0) - native.by_tag.get(t, 0)
+                    for t in tags)
+        breakdown.by_mechanism[name] = extra / native.run_cycles
+    return breakdown

@@ -1,0 +1,155 @@
+"""LMBench-style system microbenchmarks (paper Fig. 8).
+
+Each benchmark is a tight loop of one system event, run non-sandboxed on
+(a) a native CVM kernel and (b) an Erebor-governed kernel. Reported per
+benchmark: cycles/op under both settings, the overhead ratio, and the EMC
+rate during the Erebor run — the quantities Fig. 8 plots. The paper's
+headline shape: *pagefault* is the worst case (3.8x) because every fault
+crosses the gate several times; plain syscalls only pay the monitor's
+entry inspection.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..core.boot import erebor_boot
+from ..hw.cycles import Cost
+from ..hw.memory import PAGE_SIZE
+from ..kernel.kernel import GuestKernel
+from ..kernel.process import PROT_READ, PROT_WRITE, Task
+from ..vm import CvmMachine, MachineConfig, MIB
+
+#: lmbench's own loop/setup work per iteration, cycles
+LOOP_WORK = 1_300
+#: modelled fork body outside page-table work (COW setup, task struct)
+FORK_BASE_WORK = 40_000
+#: page-table entries copied per fork (top levels only; COW)
+FORK_PTE_COPIES = 48
+#: in-kernel signal delivery handler work
+SIGNAL_HANDLER_WORK = 1_000
+
+
+@dataclass
+class LmbenchResult:
+    name: str
+    native_cycles: float
+    erebor_cycles: float
+    emc_per_op: float
+    emc_per_sec: float
+
+    @property
+    def ratio(self) -> float:
+        return self.erebor_cycles / self.native_cycles
+
+
+class LmbenchSuite:
+    """Builds machines and runs the benchmark set under both settings."""
+
+    BENCH_NAMES = ("null", "read", "write", "select", "signal", "mmap",
+                   "pagefault", "fork", "ctx")
+
+    def __init__(self, iterations: int = 200, seed: int = 7):
+        self.iterations = iterations
+        self.seed = seed
+
+    # ------------------------------------------------------------------ #
+    # rig construction
+    # ------------------------------------------------------------------ #
+
+    def _machine(self, setting: str) -> tuple[CvmMachine, GuestKernel, Task]:
+        machine = CvmMachine(MachineConfig(memory_bytes=512 * MIB,
+                                           seed=self.seed))
+        if setting == "native":
+            kernel = machine.boot_native_kernel()
+        else:
+            kernel = erebor_boot(machine, cma_bytes=16 * MIB).kernel
+        task = kernel.spawn("lmbench")
+        kernel.vfs.create("/tmp/lmbench.dat", b"x" * PAGE_SIZE)
+        return machine, kernel, task
+
+    # ------------------------------------------------------------------ #
+    # individual benchmarks (one iteration each)
+    # ------------------------------------------------------------------ #
+
+    def _iter_null(self, kernel, task, state, i):
+        kernel.syscall(task, "getpid")
+
+    def _iter_read(self, kernel, task, state, i):
+        if "fd" not in state:
+            state["fd"] = kernel.syscall(task, "open", "/tmp/lmbench.dat")
+        kernel.syscall(task, "pread", state["fd"], 64, 0)
+
+    def _iter_write(self, kernel, task, state, i):
+        if "fd" not in state:
+            state["fd"] = kernel.syscall(task, "open", "/tmp/lmbench.out",
+                                         create=True, write=True)
+        kernel.syscall(task, "write", state["fd"], b"y" * 64)
+
+    def _iter_select(self, kernel, task, state, i):
+        kernel.syscall(task, "stat", "/tmp/lmbench.dat")
+
+    def _iter_signal(self, kernel, task, state, i):
+        # signal delivery: exception-style kernel entry + handler + return
+        kernel.clock.charge(Cost.EXC_DELIVERY, "irq")
+        kernel.exit_path.on_interrupt(task, 64)
+        kernel.clock.charge(SIGNAL_HANDLER_WORK, "irq")
+        kernel.clock.charge(Cost.IRET, "irq")
+        kernel.exit_path.on_interrupt_return(task, 64)
+        kernel.clock.count("signal")
+
+    def _iter_mmap(self, kernel, task, state, i):
+        vma = kernel.syscall(task, "mmap", 4 * PAGE_SIZE,
+                             PROT_READ | PROT_WRITE)
+        kernel.touch_pages(task, vma.start, PAGE_SIZE, write=True)
+        kernel.syscall(task, "munmap", vma)
+
+    def _iter_pagefault(self, kernel, task, state, i):
+        if "vma" not in state:
+            state["vma"] = kernel.mmap(task, (self.iterations + 2) * PAGE_SIZE,
+                                       PROT_READ | PROT_WRITE)
+        kernel.touch_pages(task, state["vma"].start + i * PAGE_SIZE,
+                           PAGE_SIZE)
+
+    def _iter_ctx(self, kernel, task, state, i):
+        """Context-switch latency: two tasks yielding to each other.
+
+        Under Erebor every switch also crosses the gate for the per-task
+        shadow-stack swap and the CR3 load."""
+        if "peer" not in state:
+            state["peer"] = kernel.spawn("lmbench-peer")
+        kernel.syscall(kernel.current or task, "sched_yield")
+
+    def _iter_fork(self, kernel, task, state, i):
+        child = kernel.syscall(task, "clone")
+        kernel.clock.charge(FORK_BASE_WORK, "fork")
+        kernel.ops.mmu_housekeeping(FORK_PTE_COPIES)
+        kernel.syscall(child, "exit", 0)
+
+    # ------------------------------------------------------------------ #
+    # driving
+    # ------------------------------------------------------------------ #
+
+    def run_bench(self, name: str, setting: str) -> tuple[float, float]:
+        """Run one benchmark; returns (cycles/op, emc/op)."""
+        machine, kernel, task = self._machine(setting)
+        body = getattr(self, f"_iter_{name}")
+        state: dict = {}
+        body(kernel, task, state, 0)  # warm-up (fds, vmas)
+        before = machine.clock.snapshot()
+        for i in range(1, self.iterations + 1):
+            kernel.clock.charge(LOOP_WORK, "loop")
+            body(kernel, task, state, i)
+        delta = machine.clock.since(before)
+        return (delta.cycles / self.iterations,
+                delta.events.get("emc", 0) / self.iterations)
+
+    def run_all(self) -> list[LmbenchResult]:
+        results = []
+        for name in self.BENCH_NAMES:
+            native, _ = self.run_bench(name, "native")
+            erebor, emc_per_op = self.run_bench(name, "erebor")
+            emc_per_sec = emc_per_op / (erebor / 2_100_000_000)
+            results.append(LmbenchResult(name, native, erebor,
+                                         emc_per_op, emc_per_sec))
+        return results

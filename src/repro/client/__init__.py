@@ -1,0 +1,5 @@
+"""The remote client: attestation verification + sealed request/response."""
+
+from .client import AttestationFailure, RemoteClient
+
+__all__ = ["AttestationFailure", "RemoteClient"]

@@ -1,0 +1,138 @@
+"""The remote client's side of the Erebor protocol.
+
+The client trusts only: the hardware attestation authority, the published
+firmware + monitor binaries (from which it derives the golden
+measurement), and its own crypto. Everything in the CVM — the service
+program, the kernel, the proxy — and the whole host are untrusted. The
+client will only release data after a quote proves that (a) a genuine TDX
+platform signed it, (b) the measured boot payload is exactly
+firmware+monitor, and (c) the quote's report data binds this very
+handshake transcript (no replay, no impersonation).
+"""
+
+from __future__ import annotations
+
+import random
+
+from ..crypto import (
+    SealedSession,
+    derive_channel_keys,
+    generate_keypair,
+    shared_secret,
+    transcript_hash,
+    unpad_fixed,
+)
+from ..core.channel import ClientHello, SecureChannel, ServerHello, UntrustedProxy
+from ..tdx.attestation import AttestationAuthority, QuoteVerificationError
+
+
+class AttestationFailure(Exception):
+    """The CVM failed to prove it runs the expected monitor."""
+
+
+class RemoteClient:
+    """One client session against one Erebor sandbox."""
+
+    def __init__(self, authority: AttestationAuthority, expected_mrtd: bytes,
+                 *, expected_rtmrs: dict[int, bytes] | None = None,
+                 seed: int = 7):
+        self.authority = authority
+        self.expected_mrtd = expected_mrtd
+        #: paravisor deployments (§10): runtime registers to verify too
+        self.expected_rtmrs = expected_rtmrs or {}
+        self.rng = random.Random(seed)
+        self.keypair = None
+        self.nonce: bytes | None = None
+        self.tx: SealedSession | None = None   # client -> monitor
+        self.rx: SealedSession | None = None   # monitor -> client
+
+    # ------------------------------------------------------------------ #
+    # handshake
+    # ------------------------------------------------------------------ #
+
+    def hello(self) -> ClientHello:
+        self.keypair = generate_keypair(self.rng)
+        self.nonce = self.rng.getrandbits(128).to_bytes(16, "big")
+        return ClientHello(public=self.keypair.public, nonce=self.nonce)
+
+    def finish(self, reply: ServerHello) -> None:
+        """Verify the quote and derive channel keys; raises on any doubt."""
+        transcript = transcript_hash(
+            self.nonce,
+            self.keypair.public.to_bytes(256, "big"),
+            reply.public.to_bytes(256, "big"),
+        )
+        try:
+            report = self.authority.verify(reply.quote,
+                                           expected_mrtd=self.expected_mrtd)
+        except QuoteVerificationError as exc:
+            raise AttestationFailure(str(exc)) from exc
+        for index, wanted in self.expected_rtmrs.items():
+            if report.rtmrs[index] != wanted:
+                raise AttestationFailure(
+                    f"RTMR[{index}] mismatch: the paravisor did not load "
+                    "the expected monitor")
+        if report.report_data[:len(transcript)] != transcript:
+            raise AttestationFailure(
+                "quote does not bind this handshake transcript "
+                "(possible replay or man-in-the-middle)")
+        shared = shared_secret(self.keypair, reply.public)
+        c2m, m2c = derive_channel_keys(shared, transcript)
+        self.tx = SealedSession(c2m)
+        self.rx = SealedSession(m2c)
+
+    def connect(self, proxy: UntrustedProxy, channel: SecureChannel) -> None:
+        """Run the full handshake through the untrusted proxy."""
+        reply = proxy.relay_handshake(channel, self.hello())
+        self.finish(reply)
+
+    @property
+    def established(self) -> bool:
+        return self.tx is not None
+
+    # ------------------------------------------------------------------ #
+    # sealed request / response
+    # ------------------------------------------------------------------ #
+
+    def seal_request(self, data: bytes) -> bytes:
+        if self.tx is None:
+            raise AttestationFailure("channel not established")
+        return self.tx.seal(data)
+
+    def open_response(self, record: bytes) -> bytes:
+        if self.rx is None:
+            raise AttestationFailure("channel not established")
+        return unpad_fixed(self.rx.open(record))
+
+    def request(self, proxy: UntrustedProxy, channel: SecureChannel,
+                data: bytes) -> None:
+        """Send one sealed request through the proxy."""
+        proxy.relay_request(channel, self.seal_request(data))
+
+    def request_chunked(self, proxy: UntrustedProxy, channel: SecureChannel,
+                        data: bytes, *, chunk_size: int = 64 * 1024) -> int:
+        """Stream a large request as sealed chunks; returns chunk count.
+
+        Each chunk is an independently-sealed record (ordering enforced by
+        the AEAD sequence numbers) with a continuation/final header byte.
+        """
+        if self.tx is None:
+            raise AttestationFailure("channel not established")
+        if chunk_size < 1:
+            raise ValueError("chunk_size must be positive")
+        chunks = [data[i:i + chunk_size]
+                  for i in range(0, max(len(data), 1), chunk_size)]
+        for i, chunk in enumerate(chunks):
+            last = i == len(chunks) - 1
+            flag = bytes([SecureChannel.CHUNK_FINAL if last
+                          else SecureChannel.CHUNK_MORE])
+            record = self.tx.seal(flag + chunk, aad=b"chunk")
+            proxy.relay_chunk(channel, record)
+        return len(chunks)
+
+    def fetch_result(self, proxy: UntrustedProxy,
+                     channel: SecureChannel) -> bytes | None:
+        record = proxy.relay_response(channel)
+        if record is None:
+            return None
+        return self.open_response(record)

@@ -1,0 +1,50 @@
+"""EREBOR core: monitor, gates, verified boot, sandboxes, secure channel."""
+
+from .boot import (
+    FIRMWARE_BLOB,
+    EreborSystem,
+    erebor_boot,
+    monitor_binary,
+    published_measurement,
+)
+from .channel import (
+    DEVICE_PATH,
+    ClientHello,
+    EreborDevice,
+    SecureChannel,
+    ServerHello,
+    UntrustedProxy,
+)
+from .emc import ENTRY_GATE_VA, EmcCall, MONITOR_BASE_VA
+from .gates import (
+    PKEY_KTEXT,
+    PKEY_MONITOR,
+    PKEY_PT,
+    PKRS_KERNEL,
+    PKRS_MONITOR,
+    build_monitor_code,
+)
+from .boot import published_paravisor_measurement
+from .mitigations import MitigationConfig, SideChannelMitigations
+from .monitor import (
+    BootVerificationError,
+    EreborFeatures,
+    EreborMonitor,
+    MonitorOps,
+)
+from .nested_mmu import CommonRegion, NestedMmu
+from .policy import PolicyViolation, SandboxViolation
+from .sandbox import Sandbox
+
+__all__ = [
+    "BootVerificationError", "ClientHello", "CommonRegion", "DEVICE_PATH",
+    "EmcCall", "ENTRY_GATE_VA", "EreborDevice", "EreborFeatures",
+    "EreborMonitor", "EreborSystem", "FIRMWARE_BLOB", "MitigationConfig",
+    "MONITOR_BASE_VA",
+    "MonitorOps", "NestedMmu", "PKEY_KTEXT", "PKEY_MONITOR", "PKEY_PT",
+    "SideChannelMitigations", "published_paravisor_measurement",
+    "PKRS_KERNEL", "PKRS_MONITOR", "PolicyViolation", "Sandbox",
+    "SandboxViolation", "SecureChannel", "ServerHello", "UntrustedProxy",
+    "build_monitor_code", "erebor_boot", "monitor_binary",
+    "published_measurement",
+]

@@ -1,0 +1,20 @@
+"""EMC ABI re-export (canonical definition lives in :mod:`repro.emc_abi`).
+
+The ABI module sits at the package top level so that the kernel-side
+instrumentation pass can import it without pulling in the whole monitor
+(`repro.core`) package — the same reason the real kernel patch only shares
+a header with the monitor.
+"""
+
+from ..emc_abi import (
+    ENTRY_GATE_VA,
+    EmcCall,
+    MONITOR_BASE_VA,
+    MONITOR_DATA_VA,
+    MONITOR_STACK_TOP,
+)
+
+__all__ = [
+    "ENTRY_GATE_VA", "EmcCall", "MONITOR_BASE_VA", "MONITOR_DATA_VA",
+    "MONITOR_STACK_TOP",
+]

@@ -1,0 +1,163 @@
+"""Sandbox exit interposition: the monitor between every exit and the OS.
+
+This is the macro-level realization of Figure 7: the monitor's special
+syscall entry, exception vectors and GHCI ownership mean *every* exit is
+inspected before the kernel sees it. For non-sandbox tasks the inspection
+is a cheap classify-and-forward (the system-wide overhead Fig. 10
+measures); for a locked sandbox the monitor
+
+* kills the sandbox on any software-controlled exit (syscalls other than
+  the channel ioctl, hypercalls, software exceptions),
+* emulates ``cpuid`` from its cache instead of exiting,
+* saves and masks the register file at external interrupts and restores
+  it on resume (so the kernel never sees live sandbox state).
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from ..hw.cycles import Cost
+from ..kernel.kernel import ExitPath
+from ..kernel.process import Task
+from .policy import SandboxViolation
+
+if TYPE_CHECKING:
+    from .monitor import EreborMonitor
+
+#: the only syscall a locked sandbox may issue: the channel ioctl
+LOCKED_ALLOWED_SYSCALLS = frozenset({"ioctl"})
+
+
+class MonitorExitPath(ExitPath):
+    """ExitPath implementation wired into the kernel by stage-2 boot."""
+
+    def __init__(self, monitor: "EreborMonitor"):
+        self.monitor = monitor
+        self.clock = monitor.clock
+
+    # ------------------------------------------------------------------ #
+    # helpers
+    # ------------------------------------------------------------------ #
+
+    def _sandbox_of(self, task: Task | None):
+        if task is not None and task.kind == "sandbox":
+            return task.sandbox
+        return None
+
+    def _charge_exit(self, *, sandboxed: bool, sandbox=None) -> None:
+        self.clock.charge(Cost.EXIT_INSPECT, "exit_interpose")
+        if sandboxed:
+            self.clock.count("sandbox_exit")
+            if sandbox is not None:
+                sandbox.stats["exits"] += 1
+            if self.monitor.features.uarch_model:
+                self.clock.charge(Cost.UARCH_PER_SANDBOX_EXIT, "uarch")
+            if self.monitor.mitigations is not None:
+                self.monitor.mitigations.on_sandbox_exit(sandbox)
+
+    @property
+    def _active(self) -> bool:
+        return self.monitor.features.exit_protection
+
+    # ------------------------------------------------------------------ #
+    # hook implementations
+    # ------------------------------------------------------------------ #
+
+    def on_syscall(self, task: Task, name: str) -> None:
+        if not self._active:
+            return
+        sandbox = self._sandbox_of(task)
+        self._charge_exit(sandboxed=sandbox is not None, sandbox=sandbox)
+        if sandbox is not None:
+            self.clock.count("sandbox_syscall_exit")
+            sandbox.stats["syscall_exits"] += 1
+            if sandbox.locked and name not in LOCKED_ALLOWED_SYSCALLS:
+                self.monitor.clock.count("sandbox_kill")
+                sandbox.kill(f"syscall {name!r} after client data load")
+                raise SandboxViolation(sandbox.sandbox_id,
+                                       f"syscall {name!r} while locked")
+
+    def on_secure_pagefault(self, task: Task, va: int, write: bool) -> bool:
+        """Self-paging (§6.1 future work / Autarky): the monitor resolves
+        faults on secure-paged confined memory without exposing the
+        faulting address to the OS, closing the controlled channel."""
+        sandbox = self._sandbox_of(task)
+        if sandbox is None or not sandbox.secure_paging:
+            return False
+        vma = task.find_vma(va)
+        if vma is None or vma.kind != "confined":
+            return False
+        if write and not vma.prot & 0x2:
+            return False      # real protection violation: let the OS kill it
+        from ..hw.paging import PTE_NX, PTE_P, PTE_U, PTE_W, make_pte
+        page_va = va & ~0xFFF
+        fn = vma.backing.frame_for(vma.page_index(va), self.monitor.phys,
+                                   task.owner_tag)
+        flags = PTE_P | PTE_U | PTE_NX | (PTE_W if vma.prot & 0x2 else 0)
+        self.clock.charge(Cost.PF_HANDLER_BASE // 2, "secure_pager")
+        self.monitor.vmmu.write_pte(task.aspace, page_va,
+                                    make_pte(fn, flags, vma.pkey))
+        self.clock.count("secure_fault")
+        return True
+
+    def on_pagefault(self, task: Task, va: int, write: bool) -> None:
+        if not self._active:
+            return
+        sandbox = self._sandbox_of(task)
+        self._charge_exit(sandboxed=sandbox is not None, sandbox=sandbox)
+        self.clock.charge(Cost.INT_GATE_OVERHEAD, "int_gate")
+        if sandbox is not None:
+            self.clock.count("sandbox_pf_exit")
+            sandbox.stats["pf_exits"] += 1
+            if sandbox.locked:
+                # exception exits expose state: mask and later restore
+                self.clock.charge(Cost.SANDBOX_STATE_SAVE
+                                  + Cost.SANDBOX_STATE_RESTORE, "sandbox_state")
+
+    def on_interrupt(self, task: Task, vector: int) -> None:
+        if not self._active:
+            return
+        sandbox = self._sandbox_of(task)
+        self._charge_exit(sandboxed=sandbox is not None, sandbox=sandbox)
+        self.clock.charge(Cost.INT_GATE_OVERHEAD, "int_gate")
+        if sandbox is not None:
+            self.clock.count("sandbox_irq_exit")
+            sandbox.stats["irq_exits"] += 1
+            if sandbox.locked:
+                # save + mask the register file before the OS handler runs
+                self.clock.charge(Cost.SANDBOX_STATE_SAVE, "sandbox_state")
+                sandbox.note_masked_entry()
+
+    def on_interrupt_return(self, task: Task, vector: int) -> None:
+        if not self._active:
+            return
+        sandbox = self._sandbox_of(task)
+        if sandbox is not None and sandbox.locked:
+            self.clock.charge(Cost.SANDBOX_STATE_RESTORE, "sandbox_state")
+            sandbox.note_masked_exit()
+
+    def on_context_switch(self, prev: Task | None, nxt: Task) -> None:
+        """Task switch: the monitor swaps the per-task kernel shadow stack
+        (IA32_PL0_SSP is monitor-owned; the kernel cannot write it)."""
+        self.monitor.sst_manager.switch(0, prev, nxt)
+
+    def on_ve(self, task: Task | None, reason: str = "") -> None:
+        if not self._active:
+            return
+        sandbox = self._sandbox_of(task)
+        self._charge_exit(sandboxed=sandbox is not None, sandbox=sandbox)
+        self.clock.count("ve_interposed")
+        if sandbox is None or not sandbox.locked:
+            return
+        self.clock.count("sandbox_ve_exit")
+        sandbox.stats["ve_exits"] += 1
+        if reason == "cpuid":
+            # emulated from the monitor's cache: no exit reaches the host
+            self.monitor.emulated_cpuid()
+            return
+        if reason in ("hypercall", "sandbox_hypercall"):
+            self.monitor.clock.count("sandbox_kill")
+            sandbox.kill(f"VM exit ({reason}) after client data load")
+            raise SandboxViolation(sandbox.sandbox_id,
+                                   f"hypercall while locked")

@@ -1,0 +1,101 @@
+"""Optional digital side/covert-channel mitigations (paper §12).
+
+The paper leaves micro-architectural channels out of scope but names the
+software heuristics Erebor can adopt; this module implements them as
+monitor features with measurable costs:
+
+* **cache/TLB eviction-enforced exiting** — flush shared micro-
+  architectural state on every sandbox exit (Varys-style), charging a
+  fixed eviction cost;
+* **sandbox exit rate limiting** — throttle a sandbox whose exit
+  frequency exceeds a budget (exit-frequency covert channels);
+* **quantized communication intervals** — release channel output only on
+  fixed time boundaries (Ryoan-style leakage-free intervals), hiding
+  data-dependent processing time;
+* **noise injection** — pad channel operations with deterministic dummy
+  work (Obfuscuro-style obfuscation, modelled at the cost level).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import TYPE_CHECKING
+
+from ..hw.cycles import CPU_FREQ_HZ, CycleClock
+
+if TYPE_CHECKING:
+    from .sandbox import Sandbox
+
+#: modelled cost of evicting caches+TLB on one exit (Varys-style)
+CACHE_FLUSH_CYCLES = 30_000
+#: throttle penalty applied when the exit budget is exhausted
+THROTTLE_STALL_CYCLES = 200_000
+
+
+@dataclass
+class MitigationConfig:
+    """Which §12 mitigations are armed."""
+
+    flush_on_exit: bool = False
+    exit_rate_limit_per_sec: int | None = None
+    quantize_output_cycles: int | None = None
+    noise_injection_max_cycles: int = 0
+    seed: int = 0x51DE
+
+
+class SideChannelMitigations:
+    """Monitor-attached mitigation engine."""
+
+    def __init__(self, clock: CycleClock, config: MitigationConfig):
+        self.clock = clock
+        self.config = config
+        self._rng = random.Random(config.seed)
+        self._window_start = clock.cycles
+        self._window_exits = 0
+        self.stats = {"flushes": 0, "throttles": 0, "quantized_waits": 0,
+                      "noise_ops": 0}
+
+    # ------------------------------------------------------------------ #
+    # exit-side hooks (called from MonitorExitPath)
+    # ------------------------------------------------------------------ #
+
+    def on_sandbox_exit(self, sandbox: "Sandbox") -> None:
+        if self.config.flush_on_exit:
+            self.clock.charge(CACHE_FLUSH_CYCLES, "mitigation_flush")
+            self.stats["flushes"] += 1
+            self.clock.count("mitigation_flush")
+        limit = self.config.exit_rate_limit_per_sec
+        if limit is not None:
+            if self.clock.cycles - self._window_start >= CPU_FREQ_HZ:
+                self._window_start = self.clock.cycles
+                self._window_exits = 0
+            self._window_exits += 1
+            if self._window_exits > limit:
+                self.clock.charge(THROTTLE_STALL_CYCLES, "mitigation_throttle")
+                self.stats["throttles"] += 1
+                self.clock.count("mitigation_throttle")
+
+    # ------------------------------------------------------------------ #
+    # channel-side hooks (called from SecureChannel)
+    # ------------------------------------------------------------------ #
+
+    def on_output_release(self) -> int:
+        """Gate an output release; returns the release cycle timestamp.
+
+        With quantization on, the release is delayed to the next interval
+        boundary, so the observable completion time carries log2(1) bits
+        of the data-dependent processing time.
+        """
+        interval = self.config.quantize_output_cycles
+        if self.config.noise_injection_max_cycles:
+            noise = self._rng.randrange(self.config.noise_injection_max_cycles)
+            self.clock.charge(noise, "mitigation_noise")
+            self.stats["noise_ops"] += 1
+        if interval:
+            remainder = self.clock.cycles % interval
+            if remainder:
+                self.clock.charge(interval - remainder, "mitigation_quantize")
+                self.stats["quantized_waits"] += 1
+                self.clock.count("mitigation_quantize")
+        return self.clock.cycles

@@ -1,0 +1,421 @@
+"""EREBOR-MONITOR: the privileged half of the virtualized kernel mode.
+
+The monitor owns everything Table 2 lists: the MMU configuration interface
+(through :class:`~repro.core.nested_mmu.NestedMmu`), control registers,
+MSRs, the IDT, and the GHCI. The deprivileged kernel reaches it only
+through EMCs; :class:`MonitorOps` is the kernel-facing implementation of
+:class:`~repro.kernel.ops.PrivilegedOps` where every call crosses the gate
+(charging the calibrated 1224-cycle round trip plus per-class validation)
+and passes the policy checks of :mod:`repro.core.policy`.
+
+The monitor also carries the sandbox-facing services (creation, memory
+declaration, locking, the secure channel) — those live in
+:mod:`repro.core.sandbox` and :mod:`repro.core.channel` and are reached
+via the monitor instance held here.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
+
+from ..hw import regs
+from ..hw.cycles import Cost
+from ..hw.isa import scan_for_sensitive
+from ..hw.memory import pages_for
+from ..kernel.image import SelfImage
+from ..kernel.kernel import GuestKernel, KernelConfig
+from ..kernel.ops import PrivilegedOps
+from ..tdx.module import VMCALL_CPUID
+from .nested_mmu import NestedMmu
+from .policy import (
+    PolicyViolation,
+    validate_cr_write,
+    validate_ghci,
+    validate_msr_write,
+)
+
+if TYPE_CHECKING:
+    from ..vm import CvmMachine
+    from .sandbox import Sandbox
+
+
+class BootVerificationError(Exception):
+    """Stage-2 kernel verification failed (sensitive bytes found)."""
+
+
+@dataclass
+class EreborFeatures:
+    """Ablation switches matching the paper's evaluation settings (§9).
+
+    ``mmu_isolation`` and ``exit_protection`` decompose Erebor-full into
+    the Erebor-LibOS-MMU and Erebor-LibOS-Exit configurations; the
+    microarchitectural disturbance model can be disabled for direct-cost
+    microbenchmarks.
+    """
+
+    mmu_isolation: bool = True
+    exit_protection: bool = True
+    uarch_model: bool = True
+
+
+@dataclass
+class MonitorStats:
+    emc_calls: int = 0
+    policy_denials: int = 0
+    sandboxes_created: int = 0
+    sandboxes_killed: int = 0
+    verified_code_blobs: int = 0
+
+
+@dataclass
+class AuditEvent:
+    """One security-relevant monitor decision, for operator forensics."""
+
+    cycle: int
+    kind: str            # deny | verify | attest | sandbox | kill | boot
+    detail: str
+
+    def __str__(self) -> str:
+        return f"[{self.cycle}] {self.kind}: {self.detail}"
+
+
+class EreborMonitor:
+    """One monitor instance governing one CVM."""
+
+    #: size of the CMA-style reserved pool backing confined memory
+    CMA_BYTES_DEFAULT = 512 * 1024 * 1024
+    #: size of the device-shared I/O window (the only shareable region)
+    SHARED_IO_BYTES = 16 * 1024 * 1024
+
+    def __init__(self, machine: "CvmMachine",
+                 features: EreborFeatures | None = None,
+                 *, cma_bytes: int | None = None):
+        self.machine = machine
+        self.clock = machine.clock
+        self.phys = machine.phys
+        self.cpu = machine.cpu
+        self.tdx = machine.tdx
+        self.features = features or EreborFeatures()
+        self.mitigations = None   # optional §12 engine (arm_mitigations)
+        from .shadow_stacks import ShadowStackManager
+        self.sst_manager = ShadowStackManager(self)
+        self.vmmu = NestedMmu(self.phys, self.clock)
+        self.ops = MonitorOps(self)
+        self.stats = MonitorStats()
+        #: append-only log of security-relevant decisions (an operator /
+        #: auditor aid; never consulted by enforcement itself)
+        self.audit_log: list[AuditEvent] = []
+        self.kernel: GuestKernel | None = None
+        self.kernel_syscall_entry: int | None = None
+        self.sandboxes: dict[int, "Sandbox"] = {}
+        self._next_sandbox_id = 1
+        self._cpuid_cache: tuple | None = None
+        self._cma_pool: list[int] = []
+        self._shared_io: list[int] = []
+        self._shared_io_set: set[int] = set()
+        cma = cma_bytes if cma_bytes is not None else self.CMA_BYTES_DEFAULT
+        self._cma_bytes = cma
+        self.installed = False
+
+    # ------------------------------------------------------------------ #
+    # installation (stage 1: only firmware + monitor are in the TD)
+    # ------------------------------------------------------------------ #
+
+    def install(self) -> None:
+        """Claim monitor memory, arm protections, reserve regions."""
+        # monitor's own frames (code/data/stacks model)
+        self.phys.alloc_frames(64, "monitor")
+        # CMA-style reserved pool for sandbox confined memory (pinned)
+        self._cma_pool = self.phys.alloc_frames(
+            pages_for(self._cma_bytes), "cma", contiguous=True)
+        # the only region ever convertible to shared (device I/O window)
+        self._shared_io = self.phys.alloc_frames(
+            pages_for(self.SHARED_IO_BYTES), "shm-io", contiguous=True)
+        self._shared_io_set = set(self._shared_io)
+        # privileged-mode CPU state: PKS/CET/SMEP/SMAP on, kernel PKRS
+        self.cpu.crs[4] |= (regs.CR4_SMEP | regs.CR4_SMAP | regs.CR4_PKS
+                            | regs.CR4_CET)
+        self.cpu.msrs[regs.IA32_S_CET] = (regs.S_CET_ENDBR_EN
+                                          | regs.S_CET_SH_STK_EN)
+        from .gates import PKRS_KERNEL
+        self.cpu.msrs[regs.IA32_PKRS] = PKRS_KERNEL
+        self.installed = True
+
+    # ------------------------------------------------------------------ #
+    # stage 2: kernel verification and load
+    # ------------------------------------------------------------------ #
+
+    def verify_code(self, blob: bytes, what: str = "code") -> None:
+        """Byte-scan executable bytes for sensitive sequences (§5.1)."""
+        self.clock.charge(12 * len(blob) // 64 + Cost.FENCE, "verify")
+        hits = scan_for_sensitive(blob)
+        self.stats.verified_code_blobs += 1
+        if hits:
+            offset, op = hits[0]
+            self.audit("verify", f"REJECTED {what}: {op} at {offset:#x}")
+            raise BootVerificationError(
+                f"{what}: sensitive instruction {op!r} at byte offset "
+                f"{offset:#x} (+{len(hits) - 1} more)")
+        self.audit("verify", f"accepted {what} ({len(blob)} bytes)")
+
+    def verify_and_load_kernel(self, image_blob: bytes,
+                               config: KernelConfig | None = None) -> GuestKernel:
+        """Stage-2 boot: scan the image, then boot a deprivileged kernel."""
+        if not self.installed:
+            raise RuntimeError("monitor not installed (stage 1 incomplete)")
+        image = SelfImage.deserialize(image_blob)
+        for section in image.executable_sections():
+            self.verify_code(section.data, what=f"kernel {section.name}")
+        # mark kernel text frames so W^X policy can identify them
+        text_frames = self.phys.alloc_frames(
+            max(pages_for(len(image.section(".text").data)), 1), "ktext")
+        self.phys.write(text_frames[0] << 12, image.section(".text").data[:4096])
+
+        from .exits import MonitorExitPath
+        kernel = GuestKernel(self.phys, self.clock, self.cpu, self.tdx,
+                             ops=self.ops, config=config)
+        kernel.exit_path = MonitorExitPath(self)
+        self.kernel = kernel
+        self.vmmu.register_aspace(kernel.kernel_aspace)
+        kernel.boot()
+        self.machine.vmm.interrupt_sink = lambda vector: kernel.pump()
+        self.machine.kernel = kernel
+        return kernel
+
+    # ------------------------------------------------------------------ #
+    # EMC accounting
+    # ------------------------------------------------------------------ #
+
+    def charge_emc(self, validation_cycles: int) -> None:
+        self.clock.charge(Cost.EMC_ROUND_TRIP, "emc")
+        self.clock.charge(validation_cycles, "emc_validate")
+        self.clock.count("emc")
+        self.stats.emc_calls += 1
+        if self.features.uarch_model:
+            self.clock.charge(Cost.UARCH_PER_EMC, "uarch")
+
+    def audit(self, kind: str, detail: str) -> None:
+        self.audit_log.append(AuditEvent(self.clock.cycles, kind, detail))
+
+    def _deny(self, exc: PolicyViolation) -> PolicyViolation:
+        self.stats.policy_denials += 1
+        self.clock.count("policy_denial")
+        self.audit("deny", str(exc))
+        return exc
+
+    # ------------------------------------------------------------------ #
+    # monitor-internal privileged services
+    # ------------------------------------------------------------------ #
+
+    def attest(self, report_data: bytes):
+        """Generate a quote (monitor-only; C5). Charges the EMC-gated
+        GHCI path of Table 4 (128081 cycles end to end).
+
+        Only available in a TD guest: the artifact's default normal-VM
+        setting (§A.3) runs all of Erebor's mechanisms but has no
+        hardware to attest with — its channel uses the DebugFS emulation
+        instead.
+        """
+        if self.tdx is None:
+            raise PolicyViolation(
+                "attestation requires a TD guest; the normal-VM setting "
+                "has no TDX module (use the DebugFS channel emulation)")
+        self.charge_emc(Cost.VALIDATE_GHCI)
+        self.audit("attest", f"quote over {len(report_data)}B report data")
+        return self.tdx.guest_tdreport(report_data)
+
+    def arm_mitigations(self, config) -> None:
+        """Enable the optional side-channel mitigation engine (§12)."""
+        from .mitigations import SideChannelMitigations
+        self.mitigations = SideChannelMitigations(self.clock, config)
+
+    def emulated_cpuid(self) -> tuple:
+        """Serve cpuid from the monitor's host-filled cache (§6.2)."""
+        if self._cpuid_cache is None:
+            self._cpuid_cache = self.tdx.guest_vmcall(VMCALL_CPUID)
+        self.clock.charge(Cost.CPUID_EMULATED, "cpuid")
+        return self._cpuid_cache
+
+    def take_cma_frames(self, count: int, owner: str) -> list[int]:
+        if count > len(self._cma_pool):
+            raise MemoryError(
+                f"confined pool exhausted (want {count}, "
+                f"have {len(self._cma_pool)})")
+        frames, self._cma_pool = self._cma_pool[:count], self._cma_pool[count:]
+        for fn in frames:
+            self.phys.frame(fn).owner = owner
+        return frames
+
+    def return_cma_frames(self, frames: list[int]) -> None:
+        for fn in frames:
+            self.phys.zero_frame(fn)
+            self.phys.frame(fn).owner = "cma"
+        self._cma_pool.extend(frames)
+
+    def shared_io_window(self) -> list[int]:
+        return list(self._shared_io)
+
+    # ------------------------------------------------------------------ #
+    # sandbox facade (implementation in sandbox.py / channel.py)
+    # ------------------------------------------------------------------ #
+
+    def create_sandbox(self, name: str, *, confined_budget: int,
+                       threads: int = 1) -> "Sandbox":
+        from .sandbox import Sandbox
+        if self.kernel is None:
+            raise RuntimeError("no kernel loaded")
+        sandbox_id = self._next_sandbox_id
+        self._next_sandbox_id += 1
+        sandbox = Sandbox(self, sandbox_id, name,
+                          confined_budget=confined_budget, threads=threads)
+        self.sandboxes[sandbox_id] = sandbox
+        self.stats.sandboxes_created += 1
+        self.audit("sandbox", f"created #{sandbox_id} {name!r} "
+                   f"(budget {confined_budget >> 20} MiB, {threads} threads)")
+        return sandbox
+
+
+class MonitorOps(PrivilegedOps):
+    """The kernel's view of privilege: every call is an EMC."""
+
+    def __init__(self, monitor: EreborMonitor):
+        self.monitor = monitor
+        self.clock = monitor.clock
+
+    # --- MMU -------------------------------------------------------------
+
+    def write_pte(self, aspace, va, pte):
+        vmmu = self.monitor.vmmu
+        if aspace.root_fn not in vmmu.registered_roots:
+            # fresh process page table: monitor validates and adopts it
+            vmmu.register_aspace(aspace)
+        if not self.monitor.features.mmu_isolation:
+            # ablation (Erebor-LibOS-Exit): MMU path behaves natively
+            self.clock.charge(Cost.PTE_WRITE_NATIVE, "mmu_op")
+            self.clock.count("pte_write")
+            if pte:
+                aspace.set_pte(va, pte)
+            else:
+                aspace.clear_pte(va)
+            return
+        self.monitor.charge_emc(Cost.VALIDATE_MMU)
+        try:
+            vmmu.write_pte(aspace, va, pte)
+        except PolicyViolation as exc:
+            raise self.monitor._deny(exc)
+
+    def clear_pte(self, aspace, va):
+        self.write_pte(aspace, va, 0)
+
+    def mmu_housekeeping(self, n):
+        if not self.monitor.features.mmu_isolation:
+            self.clock.charge(n * Cost.PTE_WRITE_NATIVE, "mmu_op")
+            self.clock.count("pte_write", n)
+            return
+        for _ in range(n):
+            self.monitor.charge_emc(Cost.VALIDATE_MMU)
+            self.clock.charge(Cost.PTE_WRITE_NATIVE, "mmu_op")
+            self.clock.count("pte_write")
+
+    # --- CR / MSR / IDT ----------------------------------------------------
+
+    def write_cr(self, crn, value):
+        self.monitor.charge_emc(Cost.VALIDATE_CR)
+        try:
+            validate_cr_write(crn, value)
+        except PolicyViolation as exc:
+            raise self.monitor._deny(exc)
+        self.clock.charge(Cost.CR_WRITE_NATIVE, "cr_op")
+        self.clock.count("cr_write")
+        self.monitor.cpu.crs[crn] = value
+
+    def write_msr(self, msr, value):
+        self.monitor.charge_emc(Cost.VALIDATE_MSR)
+        try:
+            validate_msr_write(msr, value)
+        except PolicyViolation as exc:
+            if msr == regs.IA32_LSTAR:
+                # the kernel registers its entry; the monitor interposes
+                self.monitor.kernel_syscall_entry = value
+                self.clock.charge(Cost.WRMSR_SLOW_NATIVE, "msr_op")
+                return
+            raise self.monitor._deny(exc)
+        self.clock.charge(Cost.WRMSR_SLOW_NATIVE, "msr_op")
+        self.clock.count("msr_write")
+        self.monitor.cpu.msrs[msr] = value
+
+    def load_idt(self, idt):
+        self.monitor.charge_emc(Cost.IDT_MONITOR_UPDATE)
+        self.clock.count("lidt")
+        self.monitor.cpu.idt = idt
+
+    def set_idt_vector(self, idt, vector, handler):
+        self.monitor.charge_emc(Cost.IDT_MONITOR_UPDATE)
+        idt.set_vector(vector, 0, py_handler=handler)
+
+    # --- GHCI ---------------------------------------------------------------
+
+    def map_gpa(self, fn_start, count, *, shared):
+        self.monitor.charge_emc(Cost.VALIDATE_GHCI)
+        try:
+            validate_ghci("map_gpa")
+            if shared:
+                window = self.monitor._shared_io_set
+                for fn in range(fn_start, fn_start + count):
+                    if fn not in window:
+                        raise PolicyViolation(
+                            f"frame {fn:#x} outside the shared-I/O window "
+                            "cannot be converted to shared")
+        except PolicyViolation as exc:
+            raise self.monitor._deny(exc)
+        if self.monitor.tdx is not None:
+            self.monitor.tdx.guest_map_gpa(fn_start, count, shared=shared)
+
+    def vmcall(self, subfn, payload=None):
+        self.monitor.charge_emc(Cost.VALIDATE_GHCI)
+        try:
+            validate_ghci("vmcall_io")
+        except PolicyViolation as exc:
+            raise self.monitor._deny(exc)
+        if self.monitor.tdx is None:
+            return None
+        return self.monitor.tdx.guest_vmcall(subfn, payload)
+
+    def tdreport(self, report_data):
+        raise self.monitor._deny(PolicyViolation(
+            "attestation reports are monitor-only (C5); the kernel cannot "
+            "request tdreport"))
+
+    # --- dynamic code (modules / eBPF / text_poke) ------------------------
+
+    def verify_dynamic_code(self, blob, what="module"):
+        """The VERIFY_CODE EMC: scan before anything becomes kernel text."""
+        self.monitor.charge_emc(Cost.VALIDATE_MMU)
+        self.clock.count("dynamic_code_load")
+        try:
+            self.monitor.verify_code(blob, what=what)
+        except BootVerificationError as exc:
+            raise self.monitor._deny(PolicyViolation(str(exc)))
+
+    # --- SMAP user copy -------------------------------------------------------
+
+    def user_copy(self, nbytes, *, to_user, task=None):
+        pages = max(pages_for(nbytes), 1)
+        if not self.monitor.features.mmu_isolation:
+            self.clock.charge(Cost.STAC_CLAC_NATIVE
+                              + pages * Cost.COPY_PER_PAGE_NATIVE, "user_copy")
+            self.clock.count("user_copy")
+            return
+        self.monitor.charge_emc(Cost.VALIDATE_SMAP)
+        kernel = self.monitor.kernel
+        if task is None:
+            task = kernel.current if kernel else None
+        if (task is not None and task.kind == "sandbox"
+                and task.sandbox is not None and task.sandbox.locked):
+            raise self.monitor._deny(PolicyViolation(
+                f"kernel user-copy into locked sandbox "
+                f"{task.sandbox.sandbox_id} refused (C6)"))
+        self.clock.charge(Cost.STAC_CLAC_NATIVE
+                          + pages * Cost.USER_COPY_PER_PAGE, "user_copy")
+        self.clock.count("user_copy")

@@ -1,0 +1,264 @@
+"""Nested-kernel MMU virtualization: the monitor as sole page-table writer.
+
+Following the Nested Kernel principles the paper adopts (§5.2), every PTE
+mutation in the system flows through :class:`NestedMmu.write_pte`, which
+enforces the mapping policies that make Erebor's claims hold:
+
+* **monitor self-protection** (C3) — monitor-owned frames and page-table
+  pages may never be mapped writable into any address space;
+* **W⊕X** (C2) — kernel-text frames never map writable, writable frames
+  never map executable in supervisor mode;
+* **single-mapping confined memory** (C6) — a frame declared confined to
+  a sandbox maps into exactly that sandbox's address space, at most once;
+  double-mapping attacks are refused;
+* **common-memory write revocation** (§6.1) — frames of a common region
+  map writable only while the region is still in its initialization
+  window; after lock the monitor flips every mapping read-only;
+* **shadow-stack discipline** — CET shadow-stack frames are never mapped
+  into kernel-writable space.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..hw.cycles import Cost, CycleClock
+from ..hw.memory import PAGE_SHIFT, PhysicalMemory
+from ..hw.paging import (
+    HUGE_PAGE_FRAMES,
+    PTE_NX,
+    PTE_P,
+    PTE_PS,
+    PTE_U,
+    PTE_W,
+    AddressSpace,
+    make_pte,
+    pte_frame,
+    pte_pkey,
+)
+from .policy import PolicyViolation
+
+
+@dataclass
+class CommonRegion:
+    """A named, shareable read-only memory region (model/database)."""
+
+    name: str
+    frames: list[int]
+    writable: bool = True                 # initialization window open?
+    initializer: int | None = None        # sandbox id that may populate it
+    #: (aspace, va) of every live mapping, for write-revocation at lock
+    mappings: list[tuple[AddressSpace, int]] = field(default_factory=list)
+
+    @property
+    def size(self) -> int:
+        return len(self.frames) << PAGE_SHIFT
+
+
+class NestedMmu:
+    """Monitor-owned MMU state and the validating PTE writer."""
+
+    def __init__(self, phys: PhysicalMemory, clock: CycleClock):
+        self.phys = phys
+        self.clock = clock
+        #: confined frame -> owning sandbox id
+        self.confined_owner: dict[int, int] = {}
+        #: confined frame -> (aspace identity, va) of its single mapping
+        self.confined_mapping: dict[int, tuple[int, int]] = {}
+        #: sandbox id -> its (only) registered address space
+        self.sandbox_aspace: dict[int, AddressSpace] = {}
+        self.common_regions: dict[str, CommonRegion] = {}
+        #: address spaces whose PTPs the monitor manages
+        self.registered_roots: set[int] = set()
+
+    # ------------------------------------------------------------------ #
+    # registration
+    # ------------------------------------------------------------------ #
+
+    def register_aspace(self, aspace: AddressSpace) -> None:
+        self.registered_roots.add(aspace.root_fn)
+
+    def register_sandbox(self, sandbox_id: int, aspace: AddressSpace) -> None:
+        self.sandbox_aspace[sandbox_id] = aspace
+        self.register_aspace(aspace)
+
+    def declare_confined(self, sandbox_id: int, frames: list[int]) -> None:
+        for fn in frames:
+            prior = self.confined_owner.get(fn)
+            if prior is not None and prior != sandbox_id:
+                raise PolicyViolation(
+                    f"frame {fn:#x} already confined to sandbox {prior}")
+            self.confined_owner[fn] = sandbox_id
+
+    def release_confined(self, sandbox_id: int) -> list[int]:
+        frames = [fn for fn, sid in self.confined_owner.items()
+                  if sid == sandbox_id]
+        for fn in frames:
+            del self.confined_owner[fn]
+            self.confined_mapping.pop(fn, None)
+        return frames
+
+    def create_common_region(self, name: str, frames: list[int],
+                             initializer: int | None) -> CommonRegion:
+        if name in self.common_regions:
+            raise PolicyViolation(f"common region {name!r} already exists")
+        region = CommonRegion(name, frames, initializer=initializer)
+        self.common_regions[name] = region
+        for fn in frames:
+            self.phys.frame(fn).owner = f"common:{name}"
+        return region
+
+    # ------------------------------------------------------------------ #
+    # the single validated PTE writer
+    # ------------------------------------------------------------------ #
+
+    def write_pte(self, aspace: AddressSpace, va: int, pte: int) -> None:
+        """Validate and install one PTE (the body of the WRITE_PTE EMC)."""
+        if aspace.root_fn not in self.registered_roots:
+            raise PolicyViolation(
+                f"address space root {aspace.root_fn:#x} not registered "
+                "with the monitor")
+        if pte & PTE_P:
+            self._validate_mapping(aspace, va, pte)
+        self.clock.charge(Cost.PTE_WRITE_NATIVE, "mmu_op")
+        self.clock.count("pte_write")
+        if pte:
+            slot = aspace.set_pte(va, pte)
+            frame = self.phys.frame(pte_frame(pte))
+            if frame.owner.startswith("confined") or pte_frame(pte) in self.confined_owner:
+                self.confined_mapping[pte_frame(pte)] = (aspace.root_fn, va)
+        else:
+            old = aspace.get_pte(va)
+            if old & PTE_P:
+                self.confined_mapping.pop(pte_frame(old), None)
+            aspace.clear_pte(va)
+
+    def _validate_mapping(self, aspace: AddressSpace, va: int, pte: int) -> None:
+        fn = pte_frame(pte)
+        frame = self.phys.frame(fn)
+        writable = bool(pte & PTE_W)
+        user = bool(pte & PTE_U)
+        executable = not pte & PTE_NX
+
+        if frame.owner == "monitor":
+            raise PolicyViolation(
+                f"mapping monitor frame {fn:#x} into {aspace.name} refused")
+        if frame.is_page_table and writable:
+            raise PolicyViolation(
+                f"writable mapping of page-table frame {fn:#x} refused")
+        if frame.is_shadow_stack and writable:
+            raise PolicyViolation(
+                f"writable mapping of shadow-stack frame {fn:#x} refused")
+        if frame.owner == "ktext":
+            if writable:
+                raise PolicyViolation(
+                    f"W^X: writable mapping of kernel text frame {fn:#x} refused")
+        elif executable and not user and writable:
+            raise PolicyViolation(
+                f"W^X: writable+executable supervisor mapping of {fn:#x} refused")
+
+        owner_sandbox = self.confined_owner.get(fn)
+        if owner_sandbox is not None:
+            expected = self.sandbox_aspace.get(owner_sandbox)
+            if expected is None or aspace.root_fn != expected.root_fn:
+                raise PolicyViolation(
+                    f"confined frame {fn:#x} (sandbox {owner_sandbox}) cannot "
+                    f"map into foreign address space {aspace.name}")
+            existing = self.confined_mapping.get(fn)
+            if existing is not None and existing != (aspace.root_fn, va):
+                raise PolicyViolation(
+                    f"double mapping of confined frame {fn:#x} refused "
+                    f"(already mapped at {existing[1]:#x})")
+
+        region = self._region_of(fn)
+        if region is not None and writable and not region.writable:
+            raise PolicyViolation(
+                f"common region {region.name!r} is sealed read-only; "
+                f"writable mapping of frame {fn:#x} refused")
+        if region is not None and pte & PTE_P:
+            region.mappings.append((aspace, va & ~0xFFF))
+
+    def _region_of(self, fn: int) -> CommonRegion | None:
+        owner = self.phys.frame(fn).owner
+        if owner.startswith("common:"):
+            return self.common_regions.get(owner.split(":", 1)[1])
+        return None
+
+    # ------------------------------------------------------------------ #
+    # huge pages and forced splitting (paper §7 future work)
+    # ------------------------------------------------------------------ #
+
+    def write_huge_pte(self, aspace: AddressSpace, va: int, fn_start: int,
+                       flags: int, pkey: int = 0) -> None:
+        """Install one validated 2 MiB mapping.
+
+        Every 4 KiB frame under the mapping passes the same policy as a
+        small mapping (monitor frames, PTPs, confined ownership); the
+        whole install is one EMC-visible operation with a single PTE
+        write, which is exactly why huge pages make prefaulting cheap.
+        """
+        if aspace.root_fn not in self.registered_roots:
+            raise PolicyViolation(
+                f"address space root {aspace.root_fn:#x} not registered")
+        for i in range(HUGE_PAGE_FRAMES):
+            self._validate_mapping(aspace, va + (i << 12),
+                                   make_pte(fn_start + i, flags | PTE_P, pkey))
+        self.clock.charge(Cost.PTE_WRITE_NATIVE, "mmu_op")
+        self.clock.count("pte_write")
+        self.clock.count("huge_map")
+        aspace.map_huge_page(va, fn_start, flags, pkey)
+
+    def force_split(self, aspace: AddressSpace, va: int) -> None:
+        """Shatter a huge mapping so 4 KiB-granular policy can apply.
+
+        PKS keys and read-only sealing operate per 4 KiB PTE; when policy
+        must change for a subrange of a 2 MiB mapping, the monitor splits
+        it first (one batched operation: 512 PTE writes)."""
+        if aspace.translate(va) is None:
+            raise PolicyViolation(f"force_split: {va:#x} not mapped")
+        slot = aspace.split_huge_page(va)
+        if slot is None:
+            return  # already 4 KiB-mapped
+        self.clock.charge(HUGE_PAGE_FRAMES * Cost.PTE_WRITE_NATIVE, "mmu_op")
+        self.clock.count("pte_write", HUGE_PAGE_FRAMES)
+        self.clock.count("huge_split")
+
+    def set_pkey_4k(self, aspace: AddressSpace, va: int, pkey: int) -> None:
+        """Assign a protection key to one 4 KiB page, splitting if needed."""
+        hit = aspace.translate(va)
+        if hit is None:
+            raise PolicyViolation(f"set_pkey: {va:#x} not mapped")
+        _, pte = hit
+        if pte & PTE_PS:
+            self.force_split(aspace, va)
+            _, pte = aspace.translate(va)
+        page_va = va & ~0xFFF
+        new = make_pte(pte_frame(pte), pte & ~(0xF << 59), pkey)
+        self.write_pte(aspace, page_va, new)
+
+    # ------------------------------------------------------------------ #
+    # common-memory write revocation (at sandbox lock)
+    # ------------------------------------------------------------------ #
+
+    def seal_common_region(self, name: str) -> int:
+        """Close the initialization window: flip all mappings read-only.
+
+        Returns the number of PTEs rewritten. Batched: one EMC covers the
+        sweep (the paper's batched-MMU-update optimization), with per-PTE
+        native write costs.
+        """
+        region = self.common_regions[name]
+        region.writable = False
+        rewritten = 0
+        seen = set()
+        for aspace, va in region.mappings:
+            key = (aspace.root_fn, va)
+            if key in seen:
+                continue
+            seen.add(key)
+            pte = aspace.get_pte(va)
+            if pte & PTE_P and pte & PTE_W:
+                aspace.set_pte(va, pte & ~PTE_W)
+                self.clock.charge(Cost.PTE_WRITE_NATIVE, "mmu_op")
+                rewritten += 1
+        return rewritten

@@ -1,0 +1,72 @@
+"""Sensitive-instruction policy: what the monitor lets the kernel request.
+
+Every EMC passes through these validators before the monitor executes the
+delegated instruction (paper §5.2-§5.3). Denials raise
+:class:`PolicyViolation` — the macro equivalent of the monitor refusing
+the request and returning an error to the kernel.
+"""
+
+from __future__ import annotations
+
+from ..hw import regs
+
+#: CR4 bits the monitor pins on (the kernel may never clear them).
+CR4_PINNED_ON = regs.CR4_SMEP | regs.CR4_SMAP | regs.CR4_PKS | regs.CR4_CET
+#: CR0 bits pinned on (WP off would let the kernel ignore read-only PTEs).
+CR0_PINNED_ON = regs.CR0_WP | regs.CR0_PE | regs.CR0_PG
+
+#: MSRs the kernel may ask the monitor to write, with per-MSR rules.
+MSR_KERNEL_DENYLIST = frozenset({
+    regs.IA32_PKRS,        # permission switching is the monitor's alone
+    regs.IA32_S_CET,       # CET config guards the gates
+    regs.IA32_PL0_SSP,     # shadow stack pointer
+    regs.IA32_LSTAR,       # syscall entry: monitor keeps its interposer
+    regs.IA32_UINTR_TT,    # user-interrupt gating is a sandbox control
+})
+
+#: GHCI leaves the kernel may request (everything else is monitor-only).
+GHCI_KERNEL_ALLOWED = frozenset({"vmcall_io", "vmcall_hlt", "map_gpa"})
+
+
+class PolicyViolation(Exception):
+    """The monitor refused a kernel request."""
+
+
+class SandboxViolation(Exception):
+    """A sandbox attempted a forbidden exit and was killed."""
+
+    def __init__(self, sandbox_id: int, why: str):
+        self.sandbox_id = sandbox_id
+        self.why = why
+        super().__init__(f"sandbox {sandbox_id} killed: {why}")
+
+
+def validate_cr_write(crn: int, value: int) -> None:
+    """Pinned-bit enforcement for control registers."""
+    if crn == 0:
+        if (value & CR0_PINNED_ON) != CR0_PINNED_ON:
+            raise PolicyViolation(
+                f"CR0 write {value:#x} clears pinned protection bits")
+    elif crn == 4:
+        if (value & CR4_PINNED_ON) != CR4_PINNED_ON:
+            raise PolicyViolation(
+                f"CR4 write {value:#x} clears pinned protection bits "
+                f"(SMEP/SMAP/PKS/CET must stay on)")
+    elif crn == 3:
+        pass  # CR3 loads are validated against registered roots by the MMU layer
+    else:
+        raise PolicyViolation(f"write to unsupported CR{crn}")
+
+
+def validate_msr_write(msr: int, value: int) -> None:
+    """Allow-list enforcement for kernel-requested MSR writes."""
+    if msr in MSR_KERNEL_DENYLIST:
+        raise PolicyViolation(
+            f"MSR {msr:#x} is monitor-owned and cannot be written by the kernel")
+
+
+def validate_ghci(operation: str) -> None:
+    if operation not in GHCI_KERNEL_ALLOWED:
+        raise PolicyViolation(
+            f"GHCI operation {operation!r} is monitor-only "
+            f"(kernel may use {sorted(GHCI_KERNEL_ALLOWED)})")

@@ -1,0 +1,27 @@
+"""Simulation-grade cryptography for the client↔monitor secure channel."""
+
+from .aead import (
+    AeadError,
+    SealedSession,
+    fixed_bucket_for,
+    open_,
+    pad_to_fixed,
+    seal,
+    unpad_fixed,
+)
+from .dh import (
+    DhKeyPair,
+    KeyExchangeError,
+    generate_keypair,
+    shared_secret,
+    transcript_hash,
+    validate_public,
+)
+from .kdf import derive_channel_keys, hkdf, hkdf_expand, hkdf_extract
+
+__all__ = [
+    "AeadError", "DhKeyPair", "KeyExchangeError", "SealedSession",
+    "derive_channel_keys", "fixed_bucket_for", "generate_keypair", "hkdf",
+    "hkdf_expand", "hkdf_extract", "open_", "pad_to_fixed", "seal",
+    "shared_secret", "transcript_hash", "unpad_fixed", "validate_public",
+]

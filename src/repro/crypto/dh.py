@@ -1,0 +1,68 @@
+"""Finite-field Diffie-Hellman over the RFC 3526 2048-bit MODP group.
+
+Used by the client↔monitor authenticated key exchange (paper §6.3). The
+exchange is authenticated by binding a hash of the DH transcript into the
+TDX quote's ``report_data`` — see :mod:`repro.core.channel`.
+
+Simulation-grade: parameters and structure are real, but private keys come
+from a caller-supplied deterministic RNG so runs are reproducible.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import random
+from dataclasses import dataclass
+
+# RFC 3526, group 14 (2048-bit MODP). Generator 2.
+MODP_2048_P = int(
+    "FFFFFFFFFFFFFFFFC90FDAA22168C234C4C6628B80DC1CD129024E088A67CC74"
+    "020BBEA63B139B22514A08798E3404DDEF9519B3CD3A431B302B0A6DF25F1437"
+    "4FE1356D6D51C245E485B576625E7EC6F44C42E9A637ED6B0BFF5CB6F406B7ED"
+    "EE386BFB5A899FA5AE9F24117C4B1FE649286651ECE45B3DC2007CB8A163BF05"
+    "98DA48361C55D39A69163FA8FD24CF5F83655D23DCA3AD961C62F356208552BB"
+    "9ED529077096966D670C354E4ABC9804F1746C08CA18217C32905E462E36CE3B"
+    "E39E772C180E86039B2783A2EC07A28FB5C55DF06F4C52C9DE2BCBF695581718"
+    "3995497CEA956AE515D2261898FA051015728E5A8AACAA68FFFFFFFFFFFFFFFF",
+    16,
+)
+GENERATOR = 2
+
+
+class KeyExchangeError(Exception):
+    """Peer public value failed validation."""
+
+
+@dataclass
+class DhKeyPair:
+    private: int
+    public: int
+
+
+def generate_keypair(rng: random.Random) -> DhKeyPair:
+    """Generate an ephemeral keypair from a deterministic RNG."""
+    private = rng.getrandbits(256) | (1 << 255)
+    public = pow(GENERATOR, private, MODP_2048_P)
+    return DhKeyPair(private, public)
+
+
+def validate_public(public: int) -> None:
+    """Reject degenerate peer values (1, p-1, out of range)."""
+    if not 2 <= public <= MODP_2048_P - 2:
+        raise KeyExchangeError("peer public value out of range")
+
+
+def shared_secret(own: DhKeyPair, peer_public: int) -> bytes:
+    """Compute the raw shared secret, hashed to a fixed 32 bytes."""
+    validate_public(peer_public)
+    secret = pow(peer_public, own.private, MODP_2048_P)
+    return hashlib.sha256(secret.to_bytes(256, "big")).digest()
+
+
+def transcript_hash(*parts: bytes) -> bytes:
+    """Hash a handshake transcript (length-prefixed, order-sensitive)."""
+    h = hashlib.sha256()
+    for part in parts:
+        h.update(len(part).to_bytes(4, "big"))
+        h.update(part)
+    return h.digest()

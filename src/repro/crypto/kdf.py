@@ -1,0 +1,38 @@
+"""HKDF-SHA256 (RFC 5869) for deriving channel keys from DH secrets."""
+
+from __future__ import annotations
+
+import hashlib
+import hmac
+
+HASH_LEN = 32
+
+
+def hkdf_extract(salt: bytes, ikm: bytes) -> bytes:
+    """Extract step: concentrate input keying material into a PRK."""
+    return hmac.new(salt or b"\x00" * HASH_LEN, ikm, hashlib.sha256).digest()
+
+
+def hkdf_expand(prk: bytes, info: bytes, length: int) -> bytes:
+    """Expand step: stretch a PRK into ``length`` bytes of output."""
+    if length > 255 * HASH_LEN:
+        raise ValueError("HKDF output too long")
+    out = b""
+    block = b""
+    counter = 1
+    while len(out) < length:
+        block = hmac.new(prk, block + info + bytes([counter]), hashlib.sha256).digest()
+        out += block
+        counter += 1
+    return out[:length]
+
+
+def hkdf(ikm: bytes, *, salt: bytes = b"", info: bytes = b"", length: int = 32) -> bytes:
+    return hkdf_expand(hkdf_extract(salt, ikm), info, length)
+
+
+def derive_channel_keys(shared: bytes, transcript: bytes) -> tuple[bytes, bytes]:
+    """Derive independent client→monitor and monitor→client AEAD keys."""
+    prk = hkdf_extract(transcript, shared)
+    return (hkdf_expand(prk, b"erebor c2m", 32),
+            hkdf_expand(prk, b"erebor m2c", 32))

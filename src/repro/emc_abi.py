@@ -1,0 +1,38 @@
+"""EMC — the Erebor-Monitor-Call ABI.
+
+An EMC is the only way the deprivileged kernel can request a sensitive
+instruction. Call numbers ride in ``rdi``, arguments in ``rsi``/``rdx``/
+``r8``; the kernel enters through the monitor's entry gate (the single
+``endbr``-bearing address in monitor code) and returns through the exit
+gate. This module holds only the ABI constants so both the kernel-side
+instrumentation pass and the monitor's dispatcher agree without importing
+each other.
+"""
+
+from __future__ import annotations
+
+from enum import IntEnum
+
+#: Fixed, published load address of the monitor (the instrumentation pass
+#: targets the entry gate at this address).
+MONITOR_BASE_VA = 0x70_0000_0000
+ENTRY_GATE_VA = MONITOR_BASE_VA
+#: per-CPU secure stack tops live in the monitor data area
+MONITOR_DATA_VA = 0x70_4000_0000
+MONITOR_STACK_TOP = 0x70_8000_0000
+
+
+class EmcCall(IntEnum):
+    """EMC service numbers."""
+
+    WRITE_PTE = 1       # rsi=aspace handle, rdx=va, r8=pte
+    WRITE_CR = 2        # rsi=crn, rdx=value
+    WRITE_MSR = 3       # rsi=msr, rdx=value
+    LOAD_IDT = 4        # rsi=idt descriptor va
+    SET_IDT_VECTOR = 5  # rsi=vector, rdx=handler
+    SMAP_USER_COPY = 6  # rsi=direction, rdx=nbytes
+    GHCI = 7            # rsi..=tdcall leaf arguments
+    VERIFY_CODE = 8     # rsi=blob va, rdx=len (modules/eBPF/text_poke)
+    DECLARE_SANDBOX_MEMORY = 9
+    SANDBOX_CHANNEL = 10
+    NOP = 0             # empty call (Table 3 microbenchmark)

@@ -1,0 +1,43 @@
+"""Simulated hardware platform: memory, paging, MMU, CPU, CET, TDX hooks.
+
+This package is the substitution for the physical Intel machine the paper
+runs on (see DESIGN.md §1): everything Erebor's mechanisms need — page
+tables in protectable frames, PKS, CET, SMEP/SMAP, IDT vectoring, DMA with
+the TDX shared-memory restriction — is implemented here as explicit,
+testable state machines with deterministic cycle accounting.
+"""
+
+from .cycles import CPU_FREQ_HZ, ClockSnapshot, Cost, CycleClock
+from .errors import (
+    ControlProtectionFault,
+    GeneralProtectionFault,
+    HardwareFault,
+    PageFault,
+    SimulatorError,
+    VirtualizationException,
+)
+from .memory import PAGE_SHIFT, PAGE_SIZE, Frame, PhysicalMemory, pages_for
+from .mmu import KERNEL_MODE, USER_MODE, AccessContext, Mmu
+from .paging import (
+    PTE_A,
+    PTE_D,
+    PTE_NX,
+    PTE_P,
+    PTE_U,
+    PTE_W,
+    AddressSpace,
+    make_pte,
+    pte_frame,
+    pte_pkey,
+)
+from .cpu import Cpu, CpuEnv, Idt, IdtEntry
+
+__all__ = [
+    "AccessContext", "AddressSpace", "ClockSnapshot", "ControlProtectionFault",
+    "Cost", "Cpu", "CpuEnv", "CPU_FREQ_HZ", "CycleClock", "Frame",
+    "GeneralProtectionFault", "HardwareFault", "Idt", "IdtEntry",
+    "KERNEL_MODE", "Mmu", "PAGE_SHIFT", "PAGE_SIZE", "PageFault",
+    "PhysicalMemory", "PTE_A", "PTE_D", "PTE_NX", "PTE_P", "PTE_U", "PTE_W",
+    "SimulatorError", "USER_MODE", "VirtualizationException",
+    "make_pte", "pages_for", "pte_frame", "pte_pkey",
+]

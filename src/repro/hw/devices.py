@@ -1,0 +1,90 @@
+"""Devices and DMA, with the TDX shared-memory restriction.
+
+In a TD guest, device MMIO and DMA can only touch *shared* guest-physical
+memory; the host IOMMU rejects DMA into private pages (paper §2.1). The
+:class:`DmaEngine` models a host-controlled device: it reads and writes
+guest-physical frames directly — no guest page tables, no PKS — subject
+only to the shared/private check supplied by the TDX module. Attacks in
+AV1 ("convert regions to shared and retrieve them using device DMA") are
+expressed against this engine.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Protocol
+
+from .errors import SimulatorError
+from .memory import PAGE_SHIFT, PhysicalMemory
+
+
+class DmaBlocked(Exception):
+    """The IOMMU rejected a DMA transaction (private target page)."""
+
+
+class SharedMemoryOracle(Protocol):
+    """Answers "is this guest-physical frame shared with the host?"."""
+
+    def is_shared(self, fn: int) -> bool: ...
+
+
+class DmaEngine:
+    """A host-side DMA-capable device (disk/NIC model)."""
+
+    def __init__(self, phys: PhysicalMemory, shared_oracle: SharedMemoryOracle,
+                 name: str = "virtio"):
+        self.phys = phys
+        self.oracle = shared_oracle
+        self.name = name
+        self.blocked_attempts: list[int] = []
+
+    def _check(self, pa: int, size: int) -> None:
+        for fn in range(pa >> PAGE_SHIFT, (pa + max(size, 1) - 1 >> PAGE_SHIFT) + 1):
+            if not self.oracle.is_shared(fn):
+                self.blocked_attempts.append(fn)
+                raise DmaBlocked(
+                    f"{self.name}: DMA to private frame {fn:#x} rejected by IOMMU")
+
+    def dma_read(self, pa: int, size: int) -> bytes:
+        """Device reads guest memory (e.g. transmit buffer)."""
+        self._check(pa, size)
+        return self.phys.read(pa, size)
+
+    def dma_write(self, pa: int, data: bytes) -> None:
+        """Device writes guest memory (e.g. receive buffer)."""
+        self._check(pa, len(data))
+        self.phys.write(pa, data)
+
+
+class VirtualNic:
+    """A shared-memory NIC: ring of packets moved by DMA.
+
+    The untrusted proxy process uses this to exchange ciphertext with the
+    outside world; everything crossing it is visible to the host (and to
+    the Fig. 10 throughput benchmarks).
+    """
+
+    def __init__(self, dma: DmaEngine):
+        self.dma = dma
+        self.tx_log: list[bytes] = []          # what the host observed leaving
+        self.rx_queue: list[bytes] = []        # packets waiting for the guest
+        self.on_transmit: Callable[[bytes], None] | None = None
+
+    def guest_transmit(self, pa: int, size: int) -> None:
+        """Guest hands a shared buffer to the device for transmission."""
+        packet = self.dma.dma_read(pa, size)
+        self.tx_log.append(packet)
+        if self.on_transmit is not None:
+            self.on_transmit(packet)
+
+    def host_inject(self, packet: bytes) -> None:
+        self.rx_queue.append(packet)
+
+    def guest_receive(self, pa: int, max_size: int) -> int:
+        """Deliver the next queued packet into a shared buffer via DMA."""
+        if not self.rx_queue:
+            return 0
+        packet = self.rx_queue.pop(0)
+        if len(packet) > max_size:
+            raise SimulatorError("receive buffer too small")
+        self.dma.dma_write(pa, packet)
+        return len(packet)

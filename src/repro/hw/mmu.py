@@ -1,0 +1,184 @@
+"""MMU: address translation plus the full x86 permission-check pipeline.
+
+Every memory access from the simulated CPU (and every *modelled* access
+from the macro-level kernel/monitor/sandbox code) funnels through
+:class:`Mmu.check`, which applies, in order:
+
+1. presence (``#PF`` not-present otherwise),
+2. user/supervisor split (``PTE.U``),
+3. SMEP — supervisor fetches from user pages fault,
+4. SMAP — supervisor data access to user pages faults unless ``EFLAGS.AC``
+   (set by ``stac``) is on,
+5. NX — fetches from no-execute pages fault,
+6. writability — ``PTE.W``, honoured in supervisor mode when ``CR0.WP``,
+   with the CET shadow-stack carve-out (shadow-stack pages are
+   written *only* by shadow-stack operations),
+7. PKS — supervisor pages carry a protection key; the accessing core's
+   ``IA32_PKRS`` may deny access (AD) or write (WD).
+
+This ordering is what makes Erebor's mechanisms meaningful: the monitor's
+pages are supervisor pages under a protection key the kernel's PKRS denies,
+page-table pages are write-denied the same way, and sandbox user pages are
+unreachable from the kernel because SMAP is always on and ``stac`` has been
+removed from kernel code.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from . import regs
+from .cycles import Cost, CycleClock
+from .errors import PageFault, SimulatorError
+from .memory import PAGE_SIZE, PhysicalMemory
+from .paging import (
+    HUGE_PAGE_SIZE,
+    PTE_A,
+    PTE_D,
+    PTE_NX,
+    PTE_P,
+    PTE_PS,
+    PTE_U,
+    PTE_W,
+    AddressSpace,
+    pte_frame,
+    pte_pkey,
+)
+
+USER_MODE = "user"
+KERNEL_MODE = "kernel"
+
+
+@dataclass
+class AccessContext:
+    """The CPU state relevant to a permission check."""
+
+    mode: str = KERNEL_MODE
+    cr0: int = regs.CR0_PE | regs.CR0_PG | regs.CR0_WP
+    cr4: int = 0
+    pkrs: int = 0
+    ac: bool = False          # EFLAGS.AC, set by stac
+    shadow_stack_op: bool = False  # access is a CET shadow-stack push/pop
+
+
+class Mmu:
+    """Translation + permission engine bound to one physical memory."""
+
+    def __init__(self, phys: PhysicalMemory, clock: CycleClock):
+        self.phys = phys
+        self.clock = clock
+
+    # ------------------------------------------------------------------ #
+    # the permission pipeline
+    # ------------------------------------------------------------------ #
+
+    def check(self, aspace: AddressSpace, va: int, access: str,
+              ctx: AccessContext) -> tuple[int, int]:
+        """Validate one access; return ``(pa, pte)`` or raise :class:`PageFault`."""
+        if access not in ("read", "write", "exec"):
+            raise SimulatorError(f"bad access type {access!r}")
+        user = ctx.mode == USER_MODE
+
+        slot = aspace.leaf_slot(va)
+        pte = 0 if slot is None else self.phys.read_u64(slot.pa)
+        if not pte & PTE_P:
+            raise PageFault(va, is_write=access == "write", is_exec=access == "exec",
+                            is_user=user, present=False)
+
+        def fault(pkey: bool = False, why: str = "") -> PageFault:
+            return PageFault(va, is_write=access == "write", is_exec=access == "exec",
+                             is_user=user, present=True, pkey_violation=pkey,
+                             description=why or None and "")
+
+        is_user_page = bool(pte & PTE_U)
+        if user and not is_user_page:
+            raise fault(why=f"user access to supervisor page {va:#x}")
+
+        if not user and is_user_page:
+            if access == "exec" and ctx.cr4 & regs.CR4_SMEP:
+                raise fault(why=f"SMEP: supervisor fetch from user page {va:#x}")
+            if access != "exec" and ctx.cr4 & regs.CR4_SMAP and not ctx.ac:
+                raise fault(why=f"SMAP: supervisor data access to user page {va:#x}")
+
+        if access == "exec" and pte & PTE_NX:
+            raise fault(why=f"NX: fetch from no-execute page {va:#x}")
+
+        # for huge mappings, flags are checked on the 4 KiB frame hit
+        if pte & PTE_PS:
+            hit_fn = pte_frame(pte) + ((va & (HUGE_PAGE_SIZE - 1)) >> 12)
+        else:
+            hit_fn = pte_frame(pte)
+        frame = self.phys.frame(hit_fn)
+        if access == "write":
+            if frame.is_shadow_stack != ctx.shadow_stack_op:
+                raise fault(why=f"shadow-stack write discipline violated at {va:#x}")
+            if not pte & PTE_W and not ctx.shadow_stack_op:
+                if user or ctx.cr0 & regs.CR0_WP:
+                    raise fault(why=f"write to read-only page {va:#x}")
+        elif ctx.shadow_stack_op and not frame.is_shadow_stack:
+            raise fault(why=f"shadow-stack read from normal page {va:#x}")
+
+        # PKS applies to supervisor pages accessed in supervisor mode (data
+        # accesses only; instruction fetch is not subject to keys).
+        if (not user and not is_user_page and access != "exec"
+                and ctx.cr4 & regs.CR4_PKS):
+            rights = regs.pkey_rights(ctx.pkrs, pte_pkey(pte))
+            if rights & regs.PKR_AD:
+                raise fault(pkey=True, why=f"PKS access-disable on {va:#x}")
+            if access == "write" and rights & regs.PKR_WD:
+                raise fault(pkey=True, why=f"PKS write-disable on {va:#x}")
+
+        # accessed/dirty maintenance
+        new = pte | PTE_A | (PTE_D if access == "write" else 0)
+        if new != pte:
+            self.phys.write_u64(slot.pa, new)
+        pa = (hit_fn << 12) | (va & (PAGE_SIZE - 1))
+        return pa, pte
+
+    # ------------------------------------------------------------------ #
+    # checked byte access (used by the micro CPU and data channels)
+    # ------------------------------------------------------------------ #
+
+    def read(self, aspace: AddressSpace, va: int, size: int, ctx: AccessContext) -> bytes:
+        out = bytearray()
+        while size > 0:
+            pa, _ = self.check(aspace, va, "read", ctx)
+            chunk = min(size, PAGE_SIZE - (va & (PAGE_SIZE - 1)))
+            out += self.phys.read(pa, chunk)
+            va += chunk
+            size -= chunk
+        self.clock.charge(Cost.MEM, "mem")
+        return bytes(out)
+
+    def write(self, aspace: AddressSpace, va: int, data: bytes, ctx: AccessContext) -> None:
+        off = 0
+        while off < len(data):
+            pa, _ = self.check(aspace, va, "write", ctx)
+            chunk = min(len(data) - off, PAGE_SIZE - (va & (PAGE_SIZE - 1)))
+            self.phys.write(pa, data[off:off + chunk])
+            va += chunk
+            off += chunk
+        self.clock.charge(Cost.MEM, "mem")
+
+    def fetch(self, aspace: AddressSpace, va: int, size: int, ctx: AccessContext) -> bytes:
+        pa, _ = self.check(aspace, va, "exec", ctx)
+        if (va & (PAGE_SIZE - 1)) + size > PAGE_SIZE:
+            # straddles a page: validate the second page too
+            self.check(aspace, (va + size - 1) & ~(PAGE_SIZE - 1), "exec", ctx)
+        return self.phys.read(pa, size)
+
+    def read_u64(self, aspace: AddressSpace, va: int, ctx: AccessContext) -> int:
+        return int.from_bytes(self.read(aspace, va, 8, ctx), "little")
+
+    def write_u64(self, aspace: AddressSpace, va: int, value: int, ctx: AccessContext) -> None:
+        self.write(aspace, va, (value & (2 ** 64 - 1)).to_bytes(8, "little"), ctx)
+
+    def touch(self, aspace: AddressSpace, va: int, access: str, ctx: AccessContext) -> int:
+        """Permission-check an access without moving bytes (macro model).
+
+        Returns the physical address. Used by the macro-level kernel and
+        workloads, whose data lives in Python objects but whose *page
+        accesses* must still obey (and exercise) the permission pipeline.
+        """
+        pa, _ = self.check(aspace, va, access, ctx)
+        return pa

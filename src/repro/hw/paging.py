@@ -1,0 +1,258 @@
+"""Three-level page tables stored in simulated physical frames.
+
+The virtual address space is 39 bits (512 GiB), split x86-style into three
+9-bit indices plus a 12-bit page offset:
+
+    L2 (bits 30-38, 1 GiB/entry) -> L1 (bits 21-29, 2 MiB) -> L0 (4 KiB)
+
+Every table level is a real 4 KiB frame holding 512 8-byte entries, written
+through :class:`~repro.hw.memory.PhysicalMemory`. This matters for fidelity:
+Erebor's nested-kernel MMU protection write-protects *page-table pages*
+with a protection key, so PTEs must live in protectable memory — attacks
+that try to scribble a PTE through the kernel direct map hit the same PKS
+check as any other store.
+
+PTE layout mirrors x86-64 where the paper depends on it:
+
+    bit 0   P (present)          bit 6  D (dirty)
+    bit 1   W (writable)         bits 12..50 frame number
+    bit 2   U (user)             bits 59..62 protection key (PKS/PKU)
+    bit 5   A (accessed)         bit 63 NX (no-execute)
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .errors import SimulatorError
+from .memory import PAGE_SHIFT, PAGE_SIZE, PhysicalMemory
+
+# PTE flag bits
+PTE_P = 1 << 0
+PTE_W = 1 << 1
+PTE_U = 1 << 2
+PTE_A = 1 << 5
+PTE_D = 1 << 6
+PTE_PS = 1 << 7          # page-size: a 2 MiB mapping at the L1 level
+PTE_NX = 1 << 63
+
+HUGE_PAGE_SIZE = 2 * 1024 * 1024
+HUGE_PAGE_FRAMES = HUGE_PAGE_SIZE // PAGE_SIZE
+PTE_PKEY_SHIFT = 59
+PTE_PKEY_MASK = 0xF << PTE_PKEY_SHIFT
+PTE_FRAME_MASK = ((1 << 51) - 1) & ~((1 << PAGE_SHIFT) - 1)
+
+ENTRIES_PER_TABLE = 512
+LEVELS = 3
+VA_BITS = 39
+VA_LIMIT = 1 << VA_BITS
+
+
+def make_pte(fn: int, flags: int, pkey: int = 0) -> int:
+    """Compose a PTE from a frame number, flag bits and a protection key."""
+    if not 0 <= pkey <= 15:
+        raise SimulatorError(f"protection key {pkey} out of range")
+    return (fn << PAGE_SHIFT) & PTE_FRAME_MASK | (flags & ~PTE_PKEY_MASK) | (pkey << PTE_PKEY_SHIFT)
+
+
+def pte_frame(pte: int) -> int:
+    return (pte & PTE_FRAME_MASK) >> PAGE_SHIFT
+
+
+def pte_pkey(pte: int) -> int:
+    return (pte & PTE_PKEY_MASK) >> PTE_PKEY_SHIFT
+
+
+def va_indices(va: int) -> tuple[int, int, int]:
+    """Split a canonical VA into (L2, L1, L0) table indices."""
+    if not 0 <= va < VA_LIMIT:
+        raise SimulatorError(f"virtual address {va:#x} outside {VA_BITS}-bit space")
+    return (va >> 30) & 0x1FF, (va >> 21) & 0x1FF, (va >> 12) & 0x1FF
+
+
+@dataclass
+class PteSlot:
+    """Physical location of one page-table entry (for reads and attacks)."""
+
+    table_fn: int
+    index: int
+
+    @property
+    def pa(self) -> int:
+        return (self.table_fn << PAGE_SHIFT) + self.index * 8
+
+
+class AddressSpace:
+    """One page-table hierarchy rooted at a physical frame (CR3 target).
+
+    All mutation goes through :meth:`set_pte` / :meth:`clear_pte`, so a
+    caller-supplied ``pte_writer`` hook can interpose every PTE write —
+    that hook is how Erebor's monitor becomes the *only* writer of page
+    tables once the system is locked down.
+    """
+
+    def __init__(self, phys: PhysicalMemory, name: str = "as", root_fn: int | None = None):
+        self.phys = phys
+        self.name = name
+        if root_fn is None:
+            root_fn = phys.alloc_frame("pt")
+            phys.frame(root_fn).is_page_table = True
+            phys.frame(root_fn).materialize()
+        self.root_fn = root_fn
+        #: every page-table frame in this hierarchy (root included)
+        self.table_frames: set[int] = {root_fn}
+
+    # ------------------------------------------------------------------ #
+    # construction / mutation
+    # ------------------------------------------------------------------ #
+
+    def _table_entry(self, table_fn: int, index: int) -> int:
+        return self.phys.read_u64((table_fn << PAGE_SHIFT) + index * 8)
+
+    def _ensure_table(self, table_fn: int, index: int) -> int:
+        """Return the next-level table frame at (table_fn, index), creating it."""
+        entry = self._table_entry(table_fn, index)
+        if entry & PTE_P:
+            return pte_frame(entry)
+        new_fn = self.phys.alloc_frame("pt")
+        frame = self.phys.frame(new_fn)
+        frame.is_page_table = True
+        frame.materialize()
+        self.table_frames.add(new_fn)
+        # Interior entries are maximally permissive; leaves carry the policy.
+        self.phys.write_u64(
+            (table_fn << PAGE_SHIFT) + index * 8, make_pte(new_fn, PTE_P | PTE_W | PTE_U)
+        )
+        return new_fn
+
+    def leaf_slot(self, va: int, *, create: bool = False) -> PteSlot | None:
+        """Locate the leaf slot for ``va``, optionally creating tables.
+
+        For huge mappings (PS bit at the L1 level) the *L1 slot is the
+        leaf*: callers see one PTE covering 2 MiB.
+        """
+        i2, i1, i0 = va_indices(va)
+        entry = self._table_entry(self.root_fn, i2)
+        if entry & PTE_P:
+            fn = pte_frame(entry)
+        elif create:
+            fn = self._ensure_table(self.root_fn, i2)
+        else:
+            return None
+        l1_entry = self._table_entry(fn, i1)
+        if l1_entry & PTE_P and l1_entry & PTE_PS:
+            return PteSlot(fn, i1)
+        if l1_entry & PTE_P:
+            fn = pte_frame(l1_entry)
+        elif create:
+            fn = self._ensure_table(fn, i1)
+        else:
+            return None
+        return PteSlot(fn, i0)
+
+    def set_pte(self, va: int, pte: int) -> PteSlot:
+        """Install a leaf PTE for ``va`` (raw write; no policy checks here)."""
+        slot = self.leaf_slot(va, create=True)
+        self.phys.write_u64(slot.pa, pte)
+        return slot
+
+    def map_page(self, va: int, fn: int, flags: int, pkey: int = 0) -> PteSlot:
+        return self.set_pte(va, make_pte(fn, flags | PTE_P, pkey))
+
+    def map_huge_page(self, va: int, fn_start: int, flags: int,
+                      pkey: int = 0) -> PteSlot:
+        """Install one 2 MiB mapping (PS entry at the L1 level).
+
+        ``va`` and ``fn_start`` must be 2 MiB-aligned; the mapping covers
+        512 consecutive physical frames with one entry.
+        """
+        if va % HUGE_PAGE_SIZE:
+            raise SimulatorError(f"huge mapping VA {va:#x} not 2MiB-aligned")
+        if fn_start % HUGE_PAGE_FRAMES:
+            raise SimulatorError(
+                f"huge mapping frame {fn_start:#x} not 2MiB-aligned")
+        i2, i1, _ = va_indices(va)
+        l1_fn = self._ensure_table(self.root_fn, i2)
+        slot = PteSlot(l1_fn, i1)
+        self.phys.write_u64(slot.pa,
+                            make_pte(fn_start, flags | PTE_P | PTE_PS, pkey))
+        return slot
+
+    def split_huge_page(self, va: int) -> PteSlot | None:
+        """Shatter a 2 MiB mapping into 512 4 KiB PTEs (same attributes).
+
+        Returns the old L1 slot, or None if ``va`` is not huge-mapped.
+        This is the mechanism behind the monitor's *forced page splitting*
+        (paper §7 future work): protection keys apply at 4 KiB
+        granularity, so changing permissions inside a huge page first
+        splits it.
+        """
+        slot = self.leaf_slot(va)
+        if slot is None:
+            return None
+        pte = self.phys.read_u64(slot.pa)
+        if not pte & PTE_P or not pte & PTE_PS:
+            return None
+        base_fn = pte_frame(pte)
+        attrs = pte & ~PTE_PS & ~PTE_FRAME_MASK
+        new_table = self.phys.alloc_frame("pt")
+        frame = self.phys.frame(new_table)
+        frame.is_page_table = True
+        frame.materialize()
+        self.table_frames.add(new_table)
+        for i in range(HUGE_PAGE_FRAMES):
+            self.phys.write_u64((new_table << PAGE_SHIFT) + i * 8,
+                                ((base_fn + i) << PAGE_SHIFT) | attrs)
+        self.phys.write_u64(slot.pa, make_pte(new_table, PTE_P | PTE_W | PTE_U))
+        return slot
+
+    def clear_pte(self, va: int) -> None:
+        slot = self.leaf_slot(va)
+        if slot is not None:
+            self.phys.write_u64(slot.pa, 0)
+
+    def get_pte(self, va: int) -> int:
+        slot = self.leaf_slot(va)
+        return 0 if slot is None else self.phys.read_u64(slot.pa)
+
+    # ------------------------------------------------------------------ #
+    # lookup
+    # ------------------------------------------------------------------ #
+
+    def translate(self, va: int) -> tuple[int, int] | None:
+        """Return ``(pa, leaf_pte)`` for ``va``, or None if unmapped."""
+        slot = self.leaf_slot(va)
+        if slot is None:
+            return None
+        pte = self.phys.read_u64(slot.pa)
+        if not pte & PTE_P:
+            return None
+        if pte & PTE_PS:
+            return (pte_frame(pte) << PAGE_SHIFT) | (va & (HUGE_PAGE_SIZE - 1)), pte
+        return (pte_frame(pte) << PAGE_SHIFT) | (va & (PAGE_SIZE - 1)), pte
+
+    def mapped_frame(self, va: int) -> int | None:
+        hit = self.translate(va)
+        return None if hit is None else hit[0] >> PAGE_SHIFT
+
+    def mapped_ranges(self) -> list[tuple[int, int]]:
+        """Enumerate ``(va, pte)`` for every present leaf (test/debug helper)."""
+        out = []
+        for i2 in range(ENTRIES_PER_TABLE):
+            e2 = self._table_entry(self.root_fn, i2)
+            if not e2 & PTE_P:
+                continue
+            fn1 = pte_frame(e2)
+            for i1 in range(ENTRIES_PER_TABLE):
+                e1 = self._table_entry(fn1, i1)
+                if not e1 & PTE_P:
+                    continue
+                fn0 = pte_frame(e1)
+                data = self.phys.frame(fn0).data
+                if data is None:
+                    continue
+                for i0 in range(ENTRIES_PER_TABLE):
+                    pte = int.from_bytes(data[i0 * 8:i0 * 8 + 8], "little")
+                    if pte & PTE_P:
+                        out.append(((i2 << 30) | (i1 << 21) | (i0 << 12), pte))
+        return out

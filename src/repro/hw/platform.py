@@ -1,0 +1,81 @@
+"""Cross-CVM platform profiles (paper Table 7).
+
+Erebor's drop-in monitor needs five guest-controlled capabilities; Table 7
+maps them across Intel TDX, AMD SEV-SNP and ARM CCA. This module encodes
+those profiles so the boot code (and the Table 7 benchmark) can select the
+concrete mechanism per platform — including SEV's one gap: no supervisor
+protection keys, for which the monitor falls back to Nested-Kernel-style
+*private page-table mappings* with write protection (at a modelled extra
+cost, quantified in the ablation bench).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class PlatformProfile:
+    """Hardware capabilities of one confidential-VM platform."""
+
+    name: str
+    register_interface: str           # CR/MSR vs EL1 system registers
+    context_switch_interface: str     # IDT vs VBAR
+    ghci_instruction: str             # tdcall / vmgexit / smc
+    kernel_user_separation: str       # SMEP+SMAP vs PXN+PAN
+    protection_keys: bool             # supervisor memory keys available?
+    protection_key_mechanism: str     # PKS / PIE / page-table fallback
+    hw_cfi_forward: str               # IBT / BTI
+    hw_cfi_backward: str              # SST / GCS
+    #: relative cycle multiplier for monitor memory-permission switches when
+    #: protection keys are unavailable and private mappings are used instead
+    permission_switch_multiplier: float = 1.0
+
+
+TDX = PlatformProfile(
+    name="tdx",
+    register_interface="CR/MSR",
+    context_switch_interface="IDT",
+    ghci_instruction="tdcall",
+    kernel_user_separation="SMEP/SMAP",
+    protection_keys=True,
+    protection_key_mechanism="PKS",
+    hw_cfi_forward="IBT",
+    hw_cfi_backward="SST",
+)
+
+SEV = PlatformProfile(
+    name="sev",
+    register_interface="CR/MSR",
+    context_switch_interface="IDT",
+    ghci_instruction="vmgexit",
+    kernel_user_separation="SMEP/SMAP",
+    protection_keys=False,                   # SEV lacks PKS (PKU only)
+    protection_key_mechanism="private page tables + CR0.WP",
+    hw_cfi_forward="IBT",
+    hw_cfi_backward="SST",
+    # Nested-Kernel-style fallback: permission flips are page-table walks +
+    # TLB shootdowns instead of one serializing wrmsr. Modelled at ~3x.
+    permission_switch_multiplier=3.0,
+)
+
+CCA = PlatformProfile(
+    name="cca",
+    register_interface="EL1 sysregs",
+    context_switch_interface="VBAR",
+    ghci_instruction="smc",
+    kernel_user_separation="PXN/PAN",
+    protection_keys=True,
+    protection_key_mechanism="PIE",
+    hw_cfi_forward="BTI",
+    hw_cfi_backward="GCS",
+)
+
+PROFILES = {p.name: p for p in (TDX, SEV, CCA)}
+
+
+def profile(name: str) -> PlatformProfile:
+    try:
+        return PROFILES[name]
+    except KeyError:
+        raise ValueError(f"unknown platform {name!r}; choose from {sorted(PROFILES)}")

@@ -1,0 +1,57 @@
+"""Architectural register constants: control-register bits and MSR numbers.
+
+Only the registers the Erebor design actually touches are modelled; numbers
+follow the Intel SDM where one exists.
+"""
+
+# --- CR0 bits -----------------------------------------------------------
+CR0_PE = 1 << 0
+CR0_WP = 1 << 16      # supervisor write-protect honours PTE.W
+CR0_PG = 1 << 31
+
+# --- CR4 bits -----------------------------------------------------------
+CR4_SMEP = 1 << 20    # supervisor-mode execution prevention
+CR4_SMAP = 1 << 21    # supervisor-mode access prevention
+CR4_CET = 1 << 23     # control-flow enforcement master enable
+CR4_PKS = 1 << 24     # protection keys for supervisor pages
+
+# --- MSRs ---------------------------------------------------------------
+IA32_EFER = 0xC0000080
+IA32_STAR = 0xC0000081
+IA32_LSTAR = 0xC0000082        # syscall entry point
+IA32_FMASK = 0xC0000084
+IA32_S_CET = 0x6A2             # supervisor CET configuration
+IA32_PL0_SSP = 0x6A4           # ring-0 shadow stack pointer
+IA32_PKRS = 0x6E1              # supervisor protection-key rights
+IA32_UINTR_TT = 0x985          # user-interrupt target table (valid bit 0)
+IA32_GS_BASE = 0xC0000101      # per-CPU area base (gs-relative addressing)
+IA32_APIC_TIMER = 0x838        # modelled APIC timer divide/initial-count
+
+# IA32_S_CET bits
+S_CET_SH_STK_EN = 1 << 0       # shadow stacks enabled
+S_CET_ENDBR_EN = 1 << 2        # indirect-branch tracking enabled
+
+# --- protection-key rights encodings (IA32_PKRS / PKRU layout) -----------
+PKR_AD = 0b01                  # access disable
+PKR_WD = 0b10                  # write disable
+
+
+def pkey_rights(pkrs: int, key: int) -> int:
+    """Extract the 2-bit rights field for ``key`` from a PKRS/PKRU value."""
+    return (pkrs >> (2 * key)) & 0b11
+
+
+def pkrs_with(pkrs: int, key: int, rights: int) -> int:
+    """Return ``pkrs`` with ``key``'s rights field replaced by ``rights``."""
+    shift = 2 * key
+    return (pkrs & ~(0b11 << shift)) | ((rights & 0b11) << shift)
+
+
+def pkrs_value(**key_rights: int) -> int:
+    """Build a PKRS value from ``k<N>=rights`` keyword arguments."""
+    val = 0
+    for name, rights in key_rights.items():
+        if not name.startswith("k"):
+            raise ValueError(f"bad pkey name {name!r}")
+        val = pkrs_with(val, int(name[1:]), rights)
+    return val

@@ -1,0 +1,33 @@
+"""User-interrupt (UINTR) fabric.
+
+The paper's AV3 includes a covert channel where a sandboxed program sends
+*user-mode interrupts* to attacker processes without ever trapping to the
+kernel. The hardware side is simple: ``senduipi`` consults the sender's
+``IA32_UINTR_TT`` target table (valid bit 0); if valid, the interrupt is
+posted to the receiver registered for that index. Erebor's monitor clears
+the valid bit before entering a sandbox, so ``senduipi`` raises #GP — that
+check lives in the CPU; this module is the delivery fabric behind it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+
+@dataclass
+class UintrFabric:
+    """Routes posted user interrupts to registered receivers."""
+
+    receivers: dict[int, Callable[[int, int], None]] = field(default_factory=dict)
+    posted: list[tuple[int, int]] = field(default_factory=list)  # (sender, index)
+
+    def register_receiver(self, index: int, callback: Callable[[int, int], None]) -> None:
+        self.receivers[index] = callback
+
+    def send(self, sender_cpu, index: int) -> None:
+        """Post a user interrupt from ``sender_cpu`` to target ``index``."""
+        self.posted.append((sender_cpu.cpu_id, index))
+        callback = self.receivers.get(index)
+        if callback is not None:
+            callback(sender_cpu.cpu_id, index)

@@ -1,0 +1,46 @@
+"""The untrusted guest OS: kernel, tasks, VFS, net, image + instrumentation."""
+
+from .image import (
+    SEC_EXEC,
+    SEC_WRITE,
+    Section,
+    SelfImage,
+    build_kernel_image,
+    kernel_entry_stubs,
+)
+from .instrument import InstrumentationReport, instrument_image, instrument_text
+from .kernel import (
+    DEFAULT_HZ,
+    ExitPath,
+    GuestKernel,
+    KernelConfig,
+    PF_VECTOR,
+    TIMER_VECTOR,
+    VE_VECTOR,
+)
+from .ops import NativeOps, PrivilegedOps
+from .process import (
+    AnonBacking,
+    Backing,
+    FileBacking,
+    PinnedBacking,
+    PROT_EXEC,
+    PROT_READ,
+    PROT_WRITE,
+    SegmentationFault,
+    SharedBacking,
+    Task,
+    Vma,
+)
+from .vfs import DebugFsNode, FsError, OpenFile, RegularFile, Vfs
+
+__all__ = [
+    "AnonBacking", "Backing", "DebugFsNode", "DEFAULT_HZ", "ExitPath",
+    "FileBacking", "FsError", "GuestKernel", "InstrumentationReport",
+    "KernelConfig", "NativeOps", "OpenFile", "PF_VECTOR", "PinnedBacking",
+    "PrivilegedOps", "PROT_EXEC", "PROT_READ", "PROT_WRITE", "RegularFile",
+    "SEC_EXEC", "SEC_WRITE", "Section", "SegmentationFault", "SelfImage",
+    "SharedBacking", "Task", "TIMER_VECTOR", "VE_VECTOR", "Vfs", "Vma",
+    "build_kernel_image", "instrument_image", "instrument_text",
+    "kernel_entry_stubs",
+]

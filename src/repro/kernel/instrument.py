@@ -1,0 +1,113 @@
+"""The kernel instrumentation pass: sensitive instructions → EMCs.
+
+Mirrors the paper's ~4.8k-line kernel patch in miniature: every sensitive
+instruction in the kernel's executable sections is replaced, one-for-one
+(the ISA is fixed-width, so substitution is in place), with a ``call`` to a
+generated *thunk*. The thunk marshals the EMC call number and the original
+operands, indirect-calls the monitor's entry gate, and returns. Thunks are
+appended to ``.text`` so the patched kernel stays a single self-contained
+image that the monitor's byte-scan verifier can approve.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..emc_abi import ENTRY_GATE_VA, EmcCall
+from ..hw.isa import INSTR_SIZE, I, Instr, assemble, disassemble
+from .image import SEC_EXEC, Section, SelfImage
+
+
+@dataclass
+class InstrumentationReport:
+    """What the pass rewrote (per sensitive instruction class)."""
+
+    replaced: dict[str, int] = field(default_factory=dict)
+    thunks: int = 0
+
+    def total(self) -> int:
+        return sum(self.replaced.values())
+
+
+def _thunk_for(instr: Instr, gate_va: int) -> list[Instr]:
+    """Generate the EMC thunk replacing one sensitive call site."""
+    if instr.op == "mov_cr":
+        body = [
+            I("movi", "rdi", imm=int(EmcCall.WRITE_CR)),
+            I("movi", "rsi", imm=instr.dst),          # CR number is static
+            I("mov", "rdx", instr.src),               # value register
+        ]
+    elif instr.op == "wrmsr":
+        body = [
+            I("movi", "rdi", imm=int(EmcCall.WRITE_MSR)),
+            I("mov", "rsi", "rcx"),                   # msr number
+            I("mov", "rdx", "rax"),                   # value
+        ]
+    elif instr.op == "stac":
+        body = [
+            I("movi", "rdi", imm=int(EmcCall.SMAP_USER_COPY)),
+            I("movi", "rsi", imm=0),
+        ]
+    elif instr.op == "lidt":
+        body = [
+            I("movi", "rdi", imm=int(EmcCall.LOAD_IDT)),
+            I("mov", "rsi", instr.src),
+        ]
+    elif instr.op == "tdcall":
+        body = [
+            I("movi", "rdi", imm=int(EmcCall.GHCI)),
+            I("mov", "rsi", "rax"),                   # tdcall leaf
+            I("mov", "rdx", "rbx"),
+            I("mov", "r8", "rcx"),
+        ]
+    else:
+        raise ValueError(f"no thunk template for {instr.op}")
+    return body + [
+        I("movi", "rax", imm=gate_va),
+        I("icall", "rax"),
+        I("ret"),
+    ]
+
+
+def instrument_text(text: bytes, text_va: int, *, gate_va: int = ENTRY_GATE_VA
+                    ) -> tuple[bytes, InstrumentationReport]:
+    """Rewrite one executable section; returns (new_text, report)."""
+    instrs = disassemble(text)
+    report = InstrumentationReport()
+    thunks: list[list[Instr]] = []
+    thunk_base = text_va + len(instrs) * INSTR_SIZE
+    out: list[Instr] = []
+    for instr in instrs:
+        if not instr.is_sensitive:
+            out.append(instr)
+            continue
+        thunk = _thunk_for(instr, gate_va)
+        thunk_va = thunk_base + sum(len(t) for t in thunks) * INSTR_SIZE
+        thunks.append(thunk)
+        out.append(I("call", imm=thunk_va))
+        report.replaced[instr.op] = report.replaced.get(instr.op, 0) + 1
+    for thunk in thunks:
+        out.extend(thunk)
+    report.thunks = len(thunks)
+    # forbid accidental sensitive byte sequences in the rewritten image;
+    # the verifier would reject them
+    return assemble(out, forbid_sensitive_bytes=True), report
+
+
+def instrument_image(image: SelfImage, *, gate_va: int = ENTRY_GATE_VA
+                     ) -> tuple[SelfImage, InstrumentationReport]:
+    """Instrument every executable section of a SELF image."""
+    total = InstrumentationReport()
+    sections: list[Section] = []
+    for section in image.sections:
+        if section.executable:
+            new_text, report = instrument_text(section.data, section.va,
+                                               gate_va=gate_va)
+            sections.append(Section(section.name, section.va, new_text,
+                                    section.flags))
+            for op, count in report.replaced.items():
+                total.replaced[op] = total.replaced.get(op, 0) + count
+            total.thunks += report.thunks
+        else:
+            sections.append(section)
+    return SelfImage(image.name, image.entry, sections), total

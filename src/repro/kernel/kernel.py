@@ -1,0 +1,410 @@
+"""The guest OS kernel (untrusted in Erebor's threat model).
+
+A deliberately small but complete multitasking kernel: demand-paged
+virtual memory, a round-robin scheduler driven by APIC timer ticks, a VFS,
+a socket stack, and a Linux-flavoured syscall surface. Architecturally it
+is written the way the paper's *instrumented* Linux is: every privileged
+operation goes through :class:`~repro.kernel.ops.PrivilegedOps`, so the
+identical kernel runs both natively (``NativeOps``) and deprivileged under
+Erebor (``MonitorOps``), and every user-visible exit (syscall, page fault,
+interrupt, #VE) reports through a pluggable :class:`ExitPath`, which is
+where Erebor's monitor interposes.
+
+Timing model: tasks "execute" by calling :meth:`advance` (compute cycles)
+and the API surfaces (syscalls, page touches); the kernel pumps APIC timer
+ticks out of the shared cycle clock, each tick costing the modelled
+delivery + handler + (host-emulated) APIC reprogram, and context-switching
+when other tasks are runnable.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..hw import regs
+from ..hw.cpu import Cpu, Idt
+from ..hw.cycles import CPU_FREQ_HZ, Cost, CycleClock
+from ..hw.errors import PageFault
+from ..hw.memory import PAGE_SHIFT, PAGE_SIZE, PhysicalMemory, pages_for
+from ..hw.mmu import USER_MODE, AccessContext
+from ..hw.paging import PTE_NX, PTE_P, PTE_U, PTE_W, AddressSpace, make_pte
+from ..tdx.module import TdxModule, VMCALL_IO
+from .net import NetStack
+from .ops import NativeOps, PrivilegedOps
+from .process import (
+    PROT_EXEC,
+    PROT_READ,
+    PROT_WRITE,
+    AnonBacking,
+    Backing,
+    SegmentationFault,
+    Task,
+    Vma,
+)
+from .vfs import Vfs
+
+TIMER_VECTOR = 32
+VE_VECTOR = 20
+PF_VECTOR = 14
+
+DEFAULT_HZ = 1000
+
+
+class ExitPath:
+    """Hook points on every kernel entry; Erebor's monitor overrides this."""
+
+    def on_syscall(self, task: Task, name: str) -> None:
+        """A task performed a syscall."""
+
+    def on_pagefault(self, task: Task, va: int, write: bool) -> None:
+        """A task faulted."""
+
+    def on_secure_pagefault(self, task: Task, va: int, write: bool) -> bool:
+        """Offer the fault to a secure pager first; True if fully handled."""
+        return False
+
+    def on_interrupt(self, task: Task, vector: int) -> None:
+        """An external interrupt preempted ``task``."""
+
+    def on_interrupt_return(self, task: Task, vector: int) -> None:
+        """The kernel finished handling an interrupt; ``task`` resumes."""
+
+    def on_ve(self, task: Task | None, reason: str = "") -> None:
+        """A virtualization exception fired."""
+
+    def on_context_switch(self, prev: Task | None, nxt: Task) -> None:
+        """The scheduler is switching tasks (shadow-stack switch point)."""
+
+
+@dataclass
+class KernelConfig:
+    hz: int = DEFAULT_HZ
+    timeslice_ticks: int = 4
+
+
+class GuestKernel:
+    """One booted guest kernel instance."""
+
+    def __init__(self, phys: PhysicalMemory, clock: CycleClock, cpu: Cpu,
+                 tdx: TdxModule | None, *, ops: PrivilegedOps | None = None,
+                 config: KernelConfig | None = None):
+        self.phys = phys
+        self.clock = clock
+        self.cpu = cpu
+        self.tdx = tdx
+        self.ops = ops or NativeOps(clock, cpu, tdx)
+        self.config = config or KernelConfig()
+        self.exit_path = ExitPath()
+
+        self.vfs = Vfs()
+        self.net = NetStack(self)
+        self.modules: dict[str, bytes] = {}
+        self.bpf_programs: dict[str, bytes] = {}
+        #: what the OS fault handler observed: (pid, va-or-None, write).
+        #: va is None when the monitor self-paged the fault (the OS learns
+        #: nothing — the controlled-channel defense, §6.1 future work)
+        self.fault_log: list[tuple[int, int | None, bool]] = []
+        self.tasks: dict[int, Task] = {}
+        self._next_pid = 1
+        self.current: Task | None = None
+        self._run_queue: list[int] = []
+
+        self.tick_period = CPU_FREQ_HZ // self.config.hz
+        self._next_tick = clock.cycles + self.tick_period
+        #: callables invoked on every timer tick (system-activity drivers)
+        self.tick_hooks: list = []
+        self._ticks_on_current = 0
+        self.kernel_aspace = AddressSpace(phys, "kernel")
+        cpu.env.aspace_by_root[self.kernel_aspace.root_fn] = self.kernel_aspace
+        self.idt: Idt | None = None
+        self.booted = False
+
+    # ------------------------------------------------------------------ #
+    # boot
+    # ------------------------------------------------------------------ #
+
+    def boot(self) -> None:
+        """Configure the CPU the way arch init code would."""
+        self.ops.write_cr(4, self.cpu.crs[4] | regs.CR4_SMEP | regs.CR4_SMAP
+                          | regs.CR4_PKS)
+        self.ops.write_msr(regs.IA32_LSTAR, 0x60_0000_1000)
+        idt = Idt(base_va=0x60_4000_0000, kernel_stack_top=0x60_8000_0000)
+        self.ops.set_idt_vector(idt, TIMER_VECTOR, self._timer_py_handler)
+        self.ops.set_idt_vector(idt, PF_VECTOR, self._pf_py_handler)
+        self.ops.set_idt_vector(idt, VE_VECTOR, self._ve_py_handler)
+        self.ops.load_idt(idt)
+        self.idt = idt
+        self.booted = True
+
+    # ------------------------------------------------------------------ #
+    # tasks and scheduling
+    # ------------------------------------------------------------------ #
+
+    def spawn(self, name: str, kind: str = "native") -> Task:
+        pid = self._next_pid
+        self._next_pid += 1
+        aspace = AddressSpace(self.phys, f"task{pid}")
+        self.cpu.env.aspace_by_root[aspace.root_fn] = aspace
+        task = Task(pid, name, aspace, kind=kind)
+        self.tasks[pid] = task
+        self._run_queue.append(pid)
+        if self.current is None:
+            self.current = task
+        return task
+
+    def exit_task(self, task: Task, code: int = 0, *, reap: bool = True) -> None:
+        task.state = "dead"
+        task.exit_code = code
+        if task.pid in self._run_queue:
+            self._run_queue.remove(task.pid)
+        if self.current is task:
+            self.current = None
+            self._pick_next()
+        if reap and task.kind != "sandbox":
+            # sandbox memory is scrubbed by the monitor, not the kernel
+            self.reap_task(task)
+
+    def reap_task(self, task: Task) -> None:
+        """Tear down a dead task's address space and free its memory.
+
+        Anonymous frames return to the allocator; file-backed and shared
+        frames stay (page cache / other mappings). Every PTE clear goes
+        through the privileged ops path — under Erebor the monitor
+        validates the teardown like any other MMU mutation.
+        """
+        from .process import AnonBacking
+        for vma in list(task.vmas):
+            for page in range(vma.length >> PAGE_SHIFT):
+                va = vma.start + (page << PAGE_SHIFT)
+                if task.aspace.get_pte(va) & PTE_P:
+                    self.ops.clear_pte(task.aspace, va)
+            if isinstance(vma.backing, AnonBacking):
+                self.phys.free_frames(list(vma.backing.frames.values()))
+                vma.backing.frames.clear()
+            task.remove_vma(vma)
+        self.clock.count("task_reaped")
+
+    def runnable_tasks(self) -> list[Task]:
+        return [self.tasks[pid] for pid in self._run_queue
+                if self.tasks[pid].state == "runnable"]
+
+    def _pick_next(self) -> None:
+        runnable = self.runnable_tasks()
+        if not runnable:
+            return
+        if self.current in runnable and len(runnable) == 1:
+            return
+        # rotate
+        if self.current is not None and self.current.pid in self._run_queue:
+            self._run_queue.remove(self.current.pid)
+            self._run_queue.append(self.current.pid)
+        nxt = self.runnable_tasks()[0]
+        if nxt is not self.current:
+            self.clock.charge(Cost.CONTEXT_SWITCH, "sched")
+            self.clock.count("context_switch")
+            self.exit_path.on_context_switch(self.current, nxt)
+            self.ops.write_cr(3, nxt.aspace.root_fn)
+            self.current = nxt
+        self._ticks_on_current = 0
+
+    # ------------------------------------------------------------------ #
+    # time: compute + timer pump
+    # ------------------------------------------------------------------ #
+
+    def advance(self, cycles: int, task: Task | None = None) -> None:
+        """Model ``cycles`` of user computation by ``task`` (or current)."""
+        task = task or self.current
+        if task is not None:
+            task.utime_cycles += cycles
+        self.clock.charge(cycles, "compute")
+        self.pump()
+
+    def pump(self) -> None:
+        """Fire any timer ticks the clock has run past."""
+        while self.clock.cycles >= self._next_tick:
+            self._next_tick += self.tick_period
+            self._timer_tick()
+
+    def _timer_tick(self) -> None:
+        task = self.current
+        self.clock.count("timer_interrupt")
+        self.clock.charge(Cost.EXC_DELIVERY, "irq")
+        if task is not None:
+            self.exit_path.on_interrupt(task, TIMER_VECTOR)
+        self.clock.charge(Cost.TIMER_HANDLER_BASE, "irq")
+        # reprogram the APIC timer: host-emulated MSR -> #VE + GHCI exit
+        self._host_emulated_msr_write(regs.IA32_APIC_TIMER, self._next_tick)
+        for hook in self.tick_hooks:
+            hook()
+        self._ticks_on_current += 1
+        if self._ticks_on_current >= self.config.timeslice_ticks:
+            self._pick_next()
+        self.clock.charge(Cost.IRET, "irq")
+        if task is not None:
+            self.exit_path.on_interrupt_return(task, TIMER_VECTOR)
+
+    def _host_emulated_msr_write(self, msr: int, value: int) -> None:
+        """A wrmsr the host must emulate: #VE, then a GHCI exit."""
+        self.clock.count("ve")
+        self.clock.charge(Cost.EXC_DELIVERY + Cost.IRET, "ve")
+        self.exit_path.on_ve(self.current, "wrmsr")
+        if self.tdx is not None:
+            self.ops.vmcall(VMCALL_IO, ("wrmsr", msr))
+
+    # macro py-handlers (installed in the IDT; used when micro code faults)
+    def _timer_py_handler(self, cpu, vector, fault) -> None:
+        self._timer_tick()
+
+    def _pf_py_handler(self, cpu, vector, fault) -> None:
+        if isinstance(fault, PageFault) and self.current is not None:
+            self.handle_page_fault(self.current, fault.address, fault.is_write)
+
+    def _ve_py_handler(self, cpu, vector, fault) -> None:
+        self.clock.count("ve")
+        self.exit_path.on_ve(self.current, getattr(fault, "exit_reason", ""))
+
+    def raise_ve_interposition(self) -> None:
+        """Net stack hook: a #VE occurred on the I/O path."""
+        self.exit_path.on_ve(self.current, "io")
+
+    def simulate_device_ve(self) -> None:
+        """One host-device notification (virtio doorbell) #VE + GHCI exit."""
+        self.clock.count("ve")
+        self.clock.charge(Cost.EXC_DELIVERY + Cost.IRET, "ve")
+        self.exit_path.on_ve(self.current, "io")
+        if self.tdx is not None:
+            self.ops.vmcall(VMCALL_IO, ("doorbell",))
+
+    # ------------------------------------------------------------------ #
+    # virtual memory
+    # ------------------------------------------------------------------ #
+
+    def mmap(self, task: Task, length: int, prot: int, *,
+             backing: Backing | None = None, kind: str = "anon",
+             fixed_va: int | None = None, pkey: int = 0) -> Vma:
+        length = (length + PAGE_SIZE - 1) & ~(PAGE_SIZE - 1)
+        start = fixed_va if fixed_va is not None else task.mmap_range(length)
+        vma = Vma(start, length, prot, backing or AnonBacking(), kind=kind,
+                  pkey=pkey)
+        task.add_vma(vma)
+        self.clock.count("mmap")
+        return vma
+
+    def munmap(self, task: Task, vma: Vma) -> None:
+        for page in range(vma.length >> PAGE_SHIFT):
+            va = vma.start + (page << PAGE_SHIFT)
+            if task.aspace.get_pte(va) & PTE_P:
+                self.ops.clear_pte(task.aspace, va)
+        task.remove_vma(vma)
+
+    def brk(self, task: Task, new_brk: int) -> int:
+        if new_brk > task.brk:
+            length = new_brk - task.brk
+            self.mmap(task, length, PROT_READ | PROT_WRITE,
+                      fixed_va=task.brk, kind="heap")
+        task.brk = max(task.brk, new_brk)
+        return task.brk
+
+    def handle_page_fault(self, task: Task, va: int, write: bool) -> None:
+        """The demand-paging slow path."""
+        self.clock.count("page_fault")
+        self.clock.charge(Cost.EXC_DELIVERY, "pagefault")
+        handled = self.exit_path.on_secure_pagefault(task, va, write)
+        if handled:
+            # the monitor resolved the fault internally (self-paging): the
+            # kernel only learns that *a* fault occurred, not where
+            self.fault_log.append((task.pid, None, write))
+            self.clock.charge(Cost.IRET, "pagefault")
+            return
+        # the ordinary path: the OS fault handler sees the address
+        self.fault_log.append((task.pid, va, write))
+        self.clock.charge(Cost.PF_HANDLER_BASE, "pagefault")
+        self.exit_path.on_pagefault(task, va, write)
+        vma = task.find_vma(va)
+        if vma is None:
+            self.clock.charge(Cost.IRET, "pagefault")
+            raise SegmentationFault(f"{task.name}: no VMA for {va:#x}")
+        if write and not vma.prot & PROT_WRITE:
+            self.clock.charge(Cost.IRET, "pagefault")
+            raise SegmentationFault(f"{task.name}: write to read-only {va:#x}")
+        page = vma.page_index(va)
+        fn = vma.backing.frame_for(page, self.phys, task.owner_tag)
+        flags = PTE_P | PTE_U
+        if vma.prot & PROT_WRITE:
+            flags |= PTE_W
+        if not vma.prot & PROT_EXEC:
+            flags |= PTE_NX
+        page_va = va & ~(PAGE_SIZE - 1)
+        self.ops.write_pte(task.aspace, page_va,
+                           make_pte(fn, flags, vma.pkey))
+        # ancillary MMU updates on the fault path (A/D bits, upper levels)
+        self.ops.mmu_housekeeping(2)
+        self.clock.charge(Cost.IRET, "pagefault")
+
+    def touch_pages(self, task: Task, va: int, length: int, *,
+                    write: bool = False, stride: int = PAGE_SIZE) -> int:
+        """Model a task touching memory; returns the number of faults taken.
+
+        Each page access goes through the real MMU permission pipeline in
+        user context; not-present pages take the demand-paging path.
+        """
+        ctx = AccessContext(mode=USER_MODE, cr0=self.cpu.crs[0],
+                            cr4=self.cpu.crs[4], pkrs=0)
+        faults = 0
+        access = "write" if write else "read"
+        end = va + length
+        page_va = va & ~(PAGE_SIZE - 1)
+        mmu = self.cpu.mmu
+        while page_va < end:
+            try:
+                mmu.touch(task.aspace, page_va, access, ctx)
+            except PageFault:
+                self.handle_page_fault(task, page_va, write)
+                mmu.touch(task.aspace, page_va, access, ctx)
+                faults += 1
+            self.clock.charge(Cost.MEM, "mem")
+            page_va += stride
+        self.pump()
+        return faults
+
+    # ------------------------------------------------------------------ #
+    # dynamic kernel code: modules, eBPF, text_poke (§5.2/§7)
+    # ------------------------------------------------------------------ #
+
+    def load_module(self, name: str, blob: bytes) -> None:
+        """Load a kernel module; code must pass the privileged verifier."""
+        self.ops.verify_dynamic_code(blob, what=f"module {name!r}")
+        self.clock.charge(4000 + len(blob) // 16, "module_load")
+        self.modules[name] = blob
+
+    def attach_bpf(self, name: str, bytecode: bytes) -> None:
+        """Attach an eBPF program (JIT output is kernel text: verified)."""
+        self.ops.verify_dynamic_code(bytecode, what=f"eBPF {name!r}")
+        self.clock.charge(2500 + len(bytecode) // 8, "module_load")
+        self.bpf_programs[name] = bytecode
+
+    def text_poke(self, patch: bytes) -> None:
+        """Self-modify kernel text (alternatives/static keys).
+
+        W^X makes kernel text unwritable; the instrumented poke helpers
+        hand the patch to the monitor, which validates and applies it."""
+        self.ops.verify_dynamic_code(patch, what="text_poke")
+        self.clock.charge(1200, "module_load")
+        self.clock.count("text_poke")
+
+    # ------------------------------------------------------------------ #
+    # syscall entry
+    # ------------------------------------------------------------------ #
+
+    def syscall(self, task: Task, name: str, *args, **kwargs):
+        """Dispatch one syscall from ``task`` (macro-level entry)."""
+        from . import syscalls
+        self.clock.charge(Cost.SYSCALL_ROUND_TRIP, "syscall")
+        self.clock.count("syscall")
+        self.exit_path.on_syscall(task, name)
+        handler = syscalls.TABLE.get(name)
+        if handler is None:
+            raise ValueError(f"unknown syscall {name!r}")
+        result = handler(self, task, *args, **kwargs)
+        self.pump()
+        return result

@@ -1,0 +1,172 @@
+"""Tasks, virtual memory areas, and memory backings.
+
+A :class:`Task` is one schedulable entity with its own address space and
+VMA list. Demand paging is driven by *backings*: a VMA delegates
+"which physical frame holds page N" to its backing object, which is how
+the four memory kinds of the paper coexist behind one fault handler:
+
+* anonymous memory — frames allocated on first touch,
+* file mappings — frames of the page cache,
+* **confined** sandbox memory — pre-reserved, pinned, monitor-declared
+  frames that may be mapped into exactly one address space,
+* **common** sandbox memory — read-only frames shared across sandboxes
+  (the ML model / database sharing of §6.1).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
+
+from ..hw.memory import PAGE_SHIFT, PAGE_SIZE, PhysicalMemory
+from ..hw.paging import AddressSpace
+
+if TYPE_CHECKING:
+    from .vfs import RegularFile
+
+PROT_READ = 1 << 0
+PROT_WRITE = 1 << 1
+PROT_EXEC = 1 << 2
+
+USER_CODE_BASE = 0x0040_0000
+USER_HEAP_BASE = 0x1000_0000
+USER_MMAP_BASE = 0x10_0000_0000
+USER_STACK_TOP = 0x3F_F000_0000
+
+
+class SegmentationFault(Exception):
+    """User access outside any VMA (or violating its protection)."""
+
+
+class Backing:
+    """Supplies physical frames for a VMA's pages."""
+
+    pinned = False
+
+    def frame_for(self, page_index: int, phys: PhysicalMemory, owner: str) -> int:
+        raise NotImplementedError
+
+
+class AnonBacking(Backing):
+    """Demand-zero anonymous memory: allocate on first touch."""
+
+    def __init__(self):
+        self.frames: dict[int, int] = {}
+
+    def frame_for(self, page_index, phys, owner):
+        fn = self.frames.get(page_index)
+        if fn is None:
+            fn = phys.alloc_frame(owner)
+            self.frames[page_index] = fn
+        return fn
+
+
+class FileBacking(Backing):
+    """Page-cache frames of a file mapping."""
+
+    def __init__(self, file: "RegularFile", offset: int = 0):
+        self.file = file
+        self.offset = offset
+
+    def frame_for(self, page_index, phys, owner):
+        return self.file.page_cache_frame(
+            (self.offset >> PAGE_SHIFT) + page_index, phys)
+
+
+class PinnedBacking(Backing):
+    """A fixed, pre-allocated frame range (sandbox confined memory)."""
+
+    pinned = True
+
+    def __init__(self, frames: list[int]):
+        self.frames = frames
+
+    def frame_for(self, page_index, phys, owner):
+        return self.frames[page_index]
+
+
+class SharedBacking(Backing):
+    """Frames shared read-only across address spaces (common memory)."""
+
+    def __init__(self, frames: list[int]):
+        self.frames = frames
+
+    def frame_for(self, page_index, phys, owner):
+        return self.frames[page_index]
+
+
+@dataclass
+class Vma:
+    """One contiguous virtual memory area."""
+
+    start: int
+    length: int
+    prot: int
+    backing: Backing
+    kind: str = "anon"          # anon | file | confined | common | stack
+    pkey: int = 0
+
+    @property
+    def end(self) -> int:
+        return self.start + self.length
+
+    def contains(self, va: int) -> bool:
+        return self.start <= va < self.end
+
+    def page_index(self, va: int) -> int:
+        return (va - self.start) >> PAGE_SHIFT
+
+
+@dataclass
+class Task:
+    """One schedulable task (process or LibOS-managed thread group)."""
+
+    pid: int
+    name: str
+    aspace: AddressSpace
+    kind: str = "native"                     # native | sandbox | proxy
+    vmas: list[Vma] = field(default_factory=list)
+    fds: dict[int, object] = field(default_factory=dict)
+    next_fd: int = 3
+    brk: int = USER_HEAP_BASE
+    mmap_cursor: int = USER_MMAP_BASE
+    state: str = "runnable"                  # runnable | blocked | dead
+    sandbox: object | None = None            # set for sandboxed tasks
+    exit_code: int | None = None
+    utime_cycles: int = 0
+
+    def find_vma(self, va: int) -> Vma | None:
+        for vma in self.vmas:
+            if vma.contains(va):
+                return vma
+        return None
+
+    def add_vma(self, vma: Vma) -> Vma:
+        for existing in self.vmas:
+            if vma.start < existing.end and existing.start < vma.end:
+                raise ValueError(
+                    f"VMA overlap: [{vma.start:#x},{vma.end:#x}) vs "
+                    f"[{existing.start:#x},{existing.end:#x})")
+        self.vmas.append(vma)
+        return vma
+
+    def remove_vma(self, vma: Vma) -> None:
+        self.vmas.remove(vma)
+
+    def alloc_fd(self, obj: object) -> int:
+        fd = self.next_fd
+        self.next_fd += 1
+        self.fds[fd] = obj
+        return fd
+
+    def mmap_range(self, length: int) -> int:
+        start = self.mmap_cursor
+        self.mmap_cursor += (length + PAGE_SIZE - 1) & ~(PAGE_SIZE - 1)
+        self.mmap_cursor += PAGE_SIZE  # guard gap
+        return start
+
+    @property
+    def owner_tag(self) -> str:
+        if self.kind == "sandbox" and self.sandbox is not None:
+            return f"sandbox:{self.sandbox.sandbox_id}"
+        return f"task:{self.pid}"

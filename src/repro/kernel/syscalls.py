@@ -1,0 +1,293 @@
+"""Syscall handlers (Linux-flavoured, macro level).
+
+Each handler charges in-kernel work and uses the kernel's subsystems; the
+syscall transition cost itself (Table 3's 684 cycles) plus any Erebor
+interposition is charged by :meth:`GuestKernel.syscall` before dispatch.
+Handlers deliberately mirror the subset Gramine forwards or emulates:
+file I/O, memory, tasking, synchronization, sockets, and ioctl.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Callable
+
+from ..hw.cycles import Cost
+from .process import PROT_READ, PROT_WRITE, Task
+from .vfs import FsError, OpenFile
+
+if TYPE_CHECKING:
+    from .kernel import GuestKernel
+
+# modelled in-kernel handler work (beyond the transition), cycles
+HANDLER_WORK = {
+    "open": 1200, "close": 300, "read": 900, "write": 950, "stat": 700,
+    "mmap": 1400, "munmap": 1100, "brk": 600, "clone": 9000, "futex": 850,
+    "ioctl": 500, "getpid": 60, "sched_yield": 400, "nanosleep": 700,
+    "socket": 900, "bind": 500, "listen": 450, "connect": 1300,
+    "accept": 1100, "send": 1000, "recv": 950, "exit": 2000, "unlink": 800,
+    "sendfile": 1100, "pread": 900, "waitpid": 1200, "lseek": 350,
+    "dup": 400,
+}
+
+TABLE: dict[str, Callable] = {}
+
+
+def syscall(fn: Callable) -> Callable:
+    name = fn.__name__.removeprefix("sys_")
+    TABLE[name] = fn
+    return fn
+
+
+def _work(kernel: "GuestKernel", name: str) -> None:
+    kernel.clock.charge(HANDLER_WORK.get(name, 500), "syscall_work")
+
+
+# --------------------------------------------------------------------------- #
+# files
+# --------------------------------------------------------------------------- #
+
+@syscall
+def sys_open(kernel, task: Task, path: str, *, create: bool = False,
+             write: bool = False, truncate: bool = False) -> int:
+    _work(kernel, "open")
+    handle = kernel.vfs.open(path, create=create, write=write, truncate=truncate)
+    return task.alloc_fd(handle)
+
+
+@syscall
+def sys_close(kernel, task: Task, fd: int) -> int:
+    _work(kernel, "close")
+    task.fds.pop(fd, None)
+    return 0
+
+
+def _file(task: Task, fd: int) -> OpenFile:
+    handle = task.fds.get(fd)
+    if not isinstance(handle, OpenFile):
+        raise FsError(f"bad file descriptor {fd}")
+    return handle
+
+
+@syscall
+def sys_read(kernel, task: Task, fd: int, size: int) -> bytes:
+    _work(kernel, "read")
+    handle = _file(task, fd)
+    data = handle.inode.read_at(handle.offset, size)
+    handle.offset += len(data)
+    kernel.ops.user_copy(len(data), to_user=True)
+    return data
+
+
+@syscall
+def sys_write(kernel, task: Task, fd: int, data: bytes) -> int:
+    _work(kernel, "write")
+    handle = _file(task, fd)
+    kernel.ops.user_copy(len(data), to_user=False)
+    written = handle.inode.write_at(handle.offset, data)
+    handle.offset += written
+    return written
+
+
+@syscall
+def sys_stat(kernel, task: Task, path: str) -> dict:
+    _work(kernel, "stat")
+    inode = kernel.vfs.lookup(path)
+    return {"size": inode.size}
+
+
+@syscall
+def sys_unlink(kernel, task: Task, path: str) -> int:
+    _work(kernel, "unlink")
+    kernel.vfs.unlink(path)
+    return 0
+
+
+# --------------------------------------------------------------------------- #
+# memory
+# --------------------------------------------------------------------------- #
+
+@syscall
+def sys_mmap(kernel, task: Task, length: int, prot: int = PROT_READ | PROT_WRITE,
+             **kw):
+    _work(kernel, "mmap")
+    return kernel.mmap(task, length, prot, **kw)
+
+
+@syscall
+def sys_munmap(kernel, task: Task, vma) -> int:
+    _work(kernel, "munmap")
+    kernel.munmap(task, vma)
+    return 0
+
+
+@syscall
+def sys_brk(kernel, task: Task, new_brk: int) -> int:
+    _work(kernel, "brk")
+    return kernel.brk(task, new_brk)
+
+
+# --------------------------------------------------------------------------- #
+# tasking / sync
+# --------------------------------------------------------------------------- #
+
+@syscall
+def sys_clone(kernel, task: Task, name: str | None = None) -> Task:
+    """Spawn a sibling task sharing the VFS (thread-like)."""
+    _work(kernel, "clone")
+    child = kernel.spawn(name or f"{task.name}-child", kind=task.kind)
+    child.sandbox = task.sandbox
+    return child
+
+
+@syscall
+def sys_futex(kernel, task: Task, op: str = "wait") -> int:
+    _work(kernel, "futex")
+    kernel.clock.count("futex")
+    return 0
+
+
+@syscall
+def sys_getpid(kernel, task: Task) -> int:
+    _work(kernel, "getpid")
+    return task.pid
+
+
+@syscall
+def sys_sched_yield(kernel, task: Task) -> int:
+    _work(kernel, "sched_yield")
+    kernel._pick_next()
+    return 0
+
+
+@syscall
+def sys_nanosleep(kernel, task: Task, cycles: int) -> int:
+    _work(kernel, "nanosleep")
+    kernel.advance(cycles, task)
+    return 0
+
+
+@syscall
+def sys_exit(kernel, task: Task, code: int = 0) -> int:
+    _work(kernel, "exit")
+    kernel.exit_task(task, code)
+    return 0
+
+
+@syscall
+def sys_waitpid(kernel, task: Task, pid: int, *, max_ticks: int = 1000) -> int:
+    """Wait for a child to exit; the caller burns timeslices until then."""
+    _work(kernel, "waitpid")
+    child = kernel.tasks.get(pid)
+    if child is None:
+        raise ValueError(f"waitpid: no such task {pid}")
+    ticks = 0
+    while child.state != "dead" and ticks < max_ticks:
+        kernel.advance(kernel.tick_period, task)
+        ticks += 1
+    if child.state != "dead":
+        raise TimeoutError(f"waitpid: task {pid} still running "
+                           f"after {max_ticks} ticks")
+    return child.exit_code or 0
+
+
+@syscall
+def sys_lseek(kernel, task: Task, fd: int, offset: int) -> int:
+    _work(kernel, "lseek")
+    handle = _file(task, fd)
+    handle.offset = offset
+    return offset
+
+
+@syscall
+def sys_dup(kernel, task: Task, fd: int) -> int:
+    _work(kernel, "dup")
+    handle = task.fds.get(fd)
+    if handle is None:
+        raise FsError(f"dup: bad fd {fd}")
+    return task.alloc_fd(handle)
+
+
+# --------------------------------------------------------------------------- #
+# sockets
+# --------------------------------------------------------------------------- #
+
+@syscall
+def sys_socket(kernel, task: Task) -> int:
+    _work(kernel, "socket")
+    return task.alloc_fd(None)  # bound on listen/connect
+
+
+@syscall
+def sys_listen(kernel, task: Task, fd: int, port: int) -> int:
+    _work(kernel, "listen")
+    task.fds[fd] = kernel.net.listen(port)
+    return 0
+
+
+@syscall
+def sys_connect(kernel, task: Task, fd: int, port: int) -> int:
+    _work(kernel, "connect")
+    task.fds[fd] = kernel.net.connect(port)
+    return 0
+
+
+@syscall
+def sys_accept(kernel, task: Task, fd: int) -> int:
+    _work(kernel, "accept")
+    conn = kernel.net.accept(task.fds[fd])
+    return task.alloc_fd(conn)
+
+
+@syscall
+def sys_send(kernel, task: Task, fd: int, data: bytes = b"", *,
+             nbytes: int | None = None) -> int:
+    _work(kernel, "send")
+    return kernel.net.send(task.fds[fd], data, nbytes=nbytes)
+
+
+@syscall
+def sys_pread(kernel, task: Task, fd: int, size: int, offset: int) -> bytes:
+    """Positional read: same copy path as read, explicit offset."""
+    _work(kernel, "pread")
+    handle = _file(task, fd)
+    data = handle.inode.read_at(offset, size)
+    kernel.ops.user_copy(len(data), to_user=True)
+    return data
+
+
+@syscall
+def sys_sendfile(kernel, task: Task, sock_fd: int, file_fd: int,
+                 nbytes: int) -> int:
+    """Zero-user-copy transmit from the page cache to a socket.
+
+    The kernel moves pages internally, so no stac/user-copy is involved —
+    which is why nginx-style servers keep most of their throughput under
+    Erebor (Fig. 10): the monitor only sees the syscall entry itself.
+    """
+    _work(kernel, "sendfile")
+    return kernel.net.send(task.fds[sock_fd], nbytes=nbytes,
+                           kernel_internal=True)
+
+
+@syscall
+def sys_recv(kernel, task: Task, fd: int) -> bytes:
+    _work(kernel, "recv")
+    data = kernel.net.recv(task.fds[fd])
+    kernel.ops.user_copy(len(data), to_user=True)
+    return data
+
+
+# --------------------------------------------------------------------------- #
+# ioctl (the Erebor channel rides on this)
+# --------------------------------------------------------------------------- #
+
+@syscall
+def sys_ioctl(kernel, task: Task, fd: int, request: str, payload=None):
+    _work(kernel, "ioctl")
+    handle = task.fds.get(fd)
+    target = handle
+    if isinstance(handle, OpenFile):
+        target = handle.inode
+    if target is None or not hasattr(target, "ioctl"):
+        raise FsError(f"fd {fd} does not support ioctl")
+    return target.ioctl(kernel, task, request, payload)

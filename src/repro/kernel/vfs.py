@@ -1,0 +1,160 @@
+"""In-kernel virtual filesystem.
+
+A path-keyed tree of regular files with a page cache backed by simulated
+physical frames. Two storage modes per file:
+
+* *concrete* — contents held as bytes (configs, logs, channel blobs);
+* *synthetic* — only a size is tracked (multi-MB benchmark payloads);
+  reads return deterministic filler without allocating host memory.
+
+The VFS also hosts DebugFS-style nodes: the paper's prototype emulates the
+client↔monitor network relay through ``/sys/kernel/debug/...`` files, and
+the artifact's experiments read the sandbox output channel the same way.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+from ..hw.memory import PAGE_SHIFT, PAGE_SIZE, PhysicalMemory
+
+
+class FsError(Exception):
+    """Path or flag errors (maps to -ENOENT and friends)."""
+
+
+class RegularFile:
+    """One file: concrete bytes or a synthetic sized payload."""
+
+    def __init__(self, name: str, data: bytes = b"", *, synthetic_size: int | None = None):
+        self.name = name
+        self._data = bytearray(data)
+        self._synthetic_size = synthetic_size
+        self._page_frames: dict[int, int] = {}   # page cache
+
+    @property
+    def size(self) -> int:
+        if self._synthetic_size is not None:
+            return self._synthetic_size
+        return len(self._data)
+
+    @property
+    def synthetic(self) -> bool:
+        return self._synthetic_size is not None
+
+    def read_at(self, offset: int, size: int) -> bytes:
+        if self.synthetic:
+            end = min(offset + size, self._synthetic_size)
+            if end <= offset:
+                return b""
+            # deterministic filler: repeat of the file name hash
+            pattern = (self.name.encode() + b"#") * 8
+            need = end - offset
+            return (pattern * (need // len(pattern) + 1))[:need]
+        return bytes(self._data[offset:offset + size])
+
+    def write_at(self, offset: int, data: bytes) -> int:
+        if self.synthetic:
+            raise FsError(f"{self.name}: synthetic files are read-only")
+        if offset > len(self._data):
+            self._data.extend(b"\x00" * (offset - len(self._data)))
+        self._data[offset:offset + len(data)] = data
+        return len(data)
+
+    def truncate(self) -> None:
+        if self.synthetic:
+            raise FsError(f"{self.name}: synthetic files are read-only")
+        self._data.clear()
+        self._page_frames.clear()
+
+    def page_cache_frame(self, page_index: int, phys: PhysicalMemory) -> int:
+        """Frame holding page N of this file (allocated on demand)."""
+        fn = self._page_frames.get(page_index)
+        if fn is None:
+            fn = phys.alloc_frame(f"pagecache:{self.name}")
+            if not self.synthetic:
+                chunk = self.read_at(page_index << PAGE_SHIFT, PAGE_SIZE)
+                if chunk:
+                    phys.write(fn << PAGE_SHIFT, chunk)
+            self._page_frames[page_index] = fn
+        return fn
+
+
+@dataclass
+class DebugFsNode:
+    """A hook-backed pseudo-file (read/write call into the owner)."""
+
+    name: str
+    on_read: Callable[[], bytes] | None = None
+    on_write: Callable[[bytes], None] | None = None
+
+    def read_at(self, offset: int, size: int) -> bytes:
+        if self.on_read is None:
+            raise FsError(f"{self.name}: not readable")
+        return self.on_read()[offset:offset + size]
+
+    def write_at(self, offset: int, data: bytes) -> int:
+        if self.on_write is None:
+            raise FsError(f"{self.name}: not writable")
+        self.on_write(data)
+        return len(data)
+
+    @property
+    def size(self) -> int:
+        return len(self.on_read()) if self.on_read else 0
+
+
+@dataclass
+class OpenFile:
+    """A file description (position + flags) behind an fd."""
+
+    inode: object
+    offset: int = 0
+    readable: bool = True
+    writable: bool = False
+
+
+class Vfs:
+    """Flat path-keyed filesystem (directories are implicit)."""
+
+    def __init__(self):
+        self.files: dict[str, object] = {}
+
+    def create(self, path: str, data: bytes = b"", *,
+               synthetic_size: int | None = None) -> RegularFile:
+        f = RegularFile(path, data, synthetic_size=synthetic_size)
+        self.files[path] = f
+        return f
+
+    def register(self, path: str, node: object) -> None:
+        self.files[path] = node
+
+    def lookup(self, path: str) -> object:
+        node = self.files.get(path)
+        if node is None:
+            raise FsError(f"no such file: {path}")
+        return node
+
+    def exists(self, path: str) -> bool:
+        return path in self.files
+
+    def unlink(self, path: str) -> None:
+        if path not in self.files:
+            raise FsError(f"no such file: {path}")
+        del self.files[path]
+
+    def open(self, path: str, *, create: bool = False, write: bool = False,
+             truncate: bool = False) -> OpenFile:
+        if not self.exists(path):
+            if not create:
+                raise FsError(f"no such file: {path}")
+            self.create(path)
+        inode = self.lookup(path)
+        if truncate and isinstance(inode, RegularFile):
+            inode.truncate()
+        return OpenFile(inode, writable=write)
+
+    def listdir(self, prefix: str) -> list[str]:
+        prefix = prefix.rstrip("/") + "/"
+        return sorted(p for p in self.files if p.startswith(prefix))

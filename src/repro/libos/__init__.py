@@ -1,0 +1,26 @@
+"""Gramine-like Library OS for Erebor sandboxes (and the LibOS-only baseline)."""
+
+from .libos import (
+    CommonSpec,
+    DEBUGFS_IN,
+    DEBUGFS_OUT,
+    LibOs,
+    Manifest,
+    PreloadFile,
+)
+from .loader import (
+    LoadedProgram,
+    LoaderError,
+    build_user_program,
+    load_program,
+    run_program,
+)
+from .memfs import MemFile, MemFs, MemFsError
+from .threads import SPIN_SYNC_CYCLES, SyncStats, ThreadPool
+
+__all__ = [
+    "CommonSpec", "DEBUGFS_IN", "DEBUGFS_OUT", "LibOs", "LoadedProgram",
+    "LoaderError", "Manifest", "MemFile", "MemFs", "MemFsError",
+    "PreloadFile", "SPIN_SYNC_CYCLES", "SyncStats", "ThreadPool",
+    "build_user_program", "load_program", "run_program",
+]

@@ -1,0 +1,75 @@
+"""LibOS multitasking: pre-created threads and userspace synchronization.
+
+§6.2 service 3: all threads are created up front (``clone`` before lock;
+creating one later would be a syscall and kill the sandbox), and — because
+``futex`` is unavailable once locked — synchronization uses the LibOS's
+own spinlocks. Spinning trades cycles for covert-channel silence: each
+sync point burns more CPU than a futex sleep would, which is exactly the
+extra LibOS overhead the paper measures on sync-heavy workloads (llama).
+
+The pool models data-parallel work the way the evaluation's programs use
+it: N logical threads splitting a batch of items with a barrier every
+``sync_every`` items.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+#: cycles each *waiting* thread burns busy-waiting per barrier
+SPIN_SYNC_CYCLES = 1200
+
+
+@dataclass
+class SyncStats:
+    sync_points: int = 0
+    spin_cycles: int = 0
+    futex_calls: int = 0
+
+
+class ThreadPool:
+    """Fixed pool of LibOS threads over one sandbox/task group."""
+
+    def __init__(self, libos, size: int):
+        if size < 1:
+            raise ValueError("thread pool needs at least one thread")
+        self.libos = libos
+        self.size = size
+        self.stats = SyncStats()
+
+    def sync(self, waiters: int | None = None) -> None:
+        """One barrier/lock handoff among ``waiters`` threads.
+
+        The LibOS *always* uses its internal spinlock (§6.2): futex would
+        be a covert channel once locked, so Gramine-style emulation spins
+        in both the sandboxed and the plain (LibOS-only) configurations —
+        every waiter burns cycles instead of sleeping.
+        """
+        waiters = waiters if waiters is not None else self.size
+        self.stats.sync_points += 1
+        cycles = SPIN_SYNC_CYCLES * max(waiters - 1, 1)
+        self.stats.spin_cycles += cycles
+        self.libos.kernel.clock.charge(cycles, "libos_spin")
+        self.libos.kernel.clock.count("libos_spin_sync")
+
+    def parallel_for(self, items: int, cycles_per_item: int, *,
+                     sync_every: int = 1) -> None:
+        """Run ``items`` units of work across the pool with barriers.
+
+        Wall-clock compute is ``items * cycles_per_item / size`` (perfect
+        split model); each barrier is one :meth:`sync`.
+        """
+        if items <= 0:
+            return
+        total = items * cycles_per_item
+        wall = total // self.size
+        syncs = max(items // max(sync_every, 1), 1)
+        kernel = self.libos.kernel
+        # interleave compute and syncs so timer ticks land realistically
+        chunk = max(wall // syncs, 1)
+        for _ in range(syncs):
+            kernel.advance(chunk, self.libos.task)
+            self.sync()
+        remainder = wall - chunk * syncs
+        if remainder > 0:
+            kernel.advance(remainder, self.libos.task)

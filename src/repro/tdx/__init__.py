@@ -1,0 +1,31 @@
+"""TDX substrate: trusted module, host VMM, attestation authority."""
+
+from .attestation import (
+    AttestationAuthority,
+    Quote,
+    QuoteVerificationError,
+    TdReport,
+    expected_measurement,
+)
+from .module import (
+    LEAF_ACCEPT_PAGE,
+    LEAF_TDREPORT,
+    LEAF_VMCALL,
+    PRIVATE,
+    SHARED,
+    VMCALL_CPUID,
+    VMCALL_GETQUOTE,
+    VMCALL_HLT,
+    VMCALL_IO,
+    VMCALL_MAPGPA,
+    TdxModule,
+)
+from .vmm import HostVmm, PrivateMemoryError
+
+__all__ = [
+    "AttestationAuthority", "HostVmm", "LEAF_ACCEPT_PAGE", "LEAF_TDREPORT",
+    "LEAF_VMCALL", "PRIVATE", "PrivateMemoryError", "Quote",
+    "QuoteVerificationError", "SHARED", "TdReport", "TdxModule",
+    "VMCALL_CPUID", "VMCALL_GETQUOTE", "VMCALL_HLT", "VMCALL_IO",
+    "VMCALL_MAPGPA", "expected_measurement",
+]

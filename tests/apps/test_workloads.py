@@ -1,0 +1,135 @@
+"""Workload correctness tests: each app computes real, deterministic results."""
+
+import pytest
+
+from repro.apps import LibOsRuntime, NativeRuntime, REGISTRY, workload
+from repro.apps.unicorn import synth_log
+from repro.core import erebor_boot
+from repro.libos import LibOs
+from repro.vm import CvmMachine, MachineConfig, MIB
+
+SCALE = 0.1
+
+
+@pytest.fixture
+def native_rt():
+    machine = CvmMachine(MachineConfig(memory_bytes=512 * MIB))
+    kernel = machine.boot_native_kernel()
+
+    def make(work):
+        m = work.manifest()
+        return NativeRuntime(kernel, work.name, threads=m.threads,
+                             common=m.common)
+    return make
+
+
+def test_registry_contains_table5_programs():
+    assert set(REGISTRY) >= {"llama.cpp", "yolo", "drugbank", "graphchi",
+                             "unicorn", "helloworld"}
+
+
+def test_unknown_workload_rejected():
+    with pytest.raises(ValueError):
+        workload("doom")
+
+
+@pytest.mark.parametrize("name", sorted(REGISTRY))
+def test_every_workload_has_description_and_manifest(name):
+    work = workload(name, scale=SCALE)
+    assert work.description or name == "helloworld"
+    manifest = work.manifest()
+    assert manifest.heap_bytes > 0
+    assert manifest.threads >= 1
+
+
+def test_llama_deterministic_generation(native_rt):
+    w1, w2 = workload("llama.cpp", scale=SCALE), workload("llama.cpp", scale=SCALE)
+    out1 = w1.serve(native_rt(w1), w1.default_request())
+    out2 = w2.serve(native_rt(w2), w2.default_request())
+    assert out1 == out2
+    assert len(out1) == max(int(48 * SCALE), 4)
+
+
+def test_llama_output_depends_on_prompt(native_rt):
+    work = workload("llama.cpp", scale=SCALE)
+    a = work.serve(native_rt(work), b"prompt A")
+    work2 = workload("llama.cpp", scale=SCALE)
+    b = work2.serve(native_rt(work2), b"a very different prompt B")
+    assert a != b
+
+
+def test_yolo_classifies_each_image(native_rt):
+    work = workload("yolo", scale=SCALE)
+    request = work.default_request()
+    out = work.serve(native_rt(work), request)
+    results = out.decode().split(";")
+    n_images = len(request) // (32 * 32)
+    assert len(results) == n_images
+    for i, r in enumerate(results):
+        idx, cls, score = r.split(":")
+        assert int(idx) == i
+        assert 0 <= int(cls) < 8
+
+
+def test_yolo_rejects_empty_request(native_rt):
+    work = workload("yolo", scale=SCALE)
+    with pytest.raises(ValueError):
+        work.serve(native_rt(work), b"")
+
+
+def test_drugbank_finds_known_records(native_rt):
+    work = workload("drugbank", scale=SCALE)
+    out = work.serve(native_rt(work), b"drug-00001,drug-00002,no-such-drug")
+    assert out.startswith(b"hits=2/3")
+    assert b"drug-00001|target=" in out
+
+
+def test_graphchi_pagerank_sums_to_one(native_rt):
+    import numpy as np
+    work = workload("graphchi", scale=SCALE)
+    out = work.serve(native_rt(work), b"pagerank:iterations=5")
+    top = [float(part.split(":")[1]) for part in out.decode().split(";")]
+    assert top == sorted(top, reverse=True)
+    assert all(0 < r < 1 for r in top)
+
+
+def test_unicorn_detects_attack_not_clean(native_rt):
+    work = workload("unicorn", scale=SCALE)
+    clean = work.serve(native_rt(work), synth_log(5, 2500, attack=False))
+    work2 = workload("unicorn", scale=SCALE)
+    attacked = work2.serve(native_rt(work2), synth_log(5, 2500, attack=True))
+    assert clean.startswith(b"clean")
+    assert attacked.startswith(b"ALERT")
+
+
+def test_helloworld_emits_paper_output(native_rt):
+    work = workload("helloworld")
+    assert work.serve(native_rt(work), b"") == b"A" * 10
+
+
+@pytest.mark.parametrize("name", ["llama.cpp", "drugbank", "unicorn"])
+def test_same_output_native_vs_sandboxed(native_rt, name):
+    """Protection changes cost, never results."""
+    work = workload(name, scale=SCALE)
+    native_out = work.serve(native_rt(work), work.default_request())
+
+    machine = CvmMachine(MachineConfig(memory_bytes=512 * MIB))
+    system = erebor_boot(machine, cma_bytes=64 * MIB)
+    work2 = workload(name, scale=SCALE)
+    libos = LibOs.boot_sandboxed(system, work2.manifest(),
+                                 confined_budget=work2.profile.heap_bytes
+                                 + 2 * MIB)
+    libos.sandbox.install_input(work2.default_request())
+    sandbox_out = work2.serve(LibOsRuntime(libos), work2.default_request())
+    assert native_out == sandbox_out
+
+
+def test_workload_outputs_land_in_output_queue(native_rt):
+    machine = CvmMachine(MachineConfig(memory_bytes=512 * MIB))
+    system = erebor_boot(machine, cma_bytes=32 * MIB)
+    work = workload("helloworld")
+    libos = LibOs.boot_sandboxed(system, work.manifest(),
+                                 confined_budget=2 * MIB)
+    libos.sandbox.install_input(b"")
+    out = work.serve(LibOsRuntime(libos), b"")
+    assert libos.sandbox.take_output() == out

@@ -1,0 +1,60 @@
+"""Tests for the overhead-decomposition analysis."""
+
+import pytest
+
+from repro.bench import OverheadBreakdown, WorkloadRunner, decompose
+from repro.bench.runner import RunResult
+
+
+@pytest.fixture(scope="module")
+def pair():
+    runner = WorkloadRunner(scale=0.25)
+    return (runner.run("unicorn", "native"), runner.run("unicorn", "erebor"))
+
+
+def test_decompose_requires_same_workload():
+    a = RunResult("x", "native", 0.1, 1.0, b"")
+    b = RunResult("y", "erebor", 0.1, 1.1, b"")
+    with pytest.raises(ValueError):
+        decompose(a, b)
+
+
+def test_total_overhead_matches_runtimes(pair):
+    native, erebor = pair
+    breakdown = decompose(native, erebor)
+    expected = erebor.run_seconds / native.run_seconds - 1.0
+    assert abs(breakdown.total_overhead - expected) < 1e-6
+
+
+def test_mechanism_shares_sum_close_to_total(pair):
+    native, erebor = pair
+    breakdown = decompose(native, erebor)
+    # most of the overhead is attributable to named mechanisms
+    assert breakdown.attributed > 0
+    assert abs(breakdown.unattributed) < 0.6 * abs(breakdown.total_overhead) + 0.01
+
+
+def test_emc_and_state_masking_dominate_full_erebor(pair):
+    native, erebor = pair
+    by = decompose(native, erebor).by_mechanism
+    top = sorted(by, key=by.get, reverse=True)[:3]
+    assert {"EMC gates", "sandbox state masking"} & set(top)
+
+
+def test_table_renders(pair):
+    native, erebor = pair
+    table = decompose(native, erebor).table()
+    assert "Overhead decomposition" in table
+    assert "total" in table
+
+
+def test_synthetic_breakdown_arithmetic():
+    native = RunResult("w", "native", 0.1, 1.0, b"",
+                       by_tag={"emc": 0})
+    protected = RunResult("w", "erebor", 0.1, 1.2, b"",
+                          by_tag={"emc": 210_000_000,
+                                  "libos_spin": 105_000_000})
+    b = decompose(native, protected)
+    assert abs(b.by_mechanism["EMC gates"] - 0.1) < 1e-6
+    assert abs(b.by_mechanism["LibOS spin sync"] - 0.05) < 1e-6
+    assert abs(b.total_overhead - 0.2) < 1e-3

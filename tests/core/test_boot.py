@@ -1,0 +1,93 @@
+"""Two-stage verified boot tests (C1)."""
+
+import pytest
+
+from repro.core import BootVerificationError, erebor_boot, published_measurement
+from repro.core.monitor import EreborMonitor
+from repro.hw.isa import I, assemble
+from repro.kernel.image import SEC_EXEC, Section, SelfImage, build_kernel_image
+from repro.kernel.instrument import instrument_image
+from repro.vm import CvmMachine, MachineConfig, MIB
+
+
+def machine():
+    return CvmMachine(MachineConfig(memory_bytes=512 * MIB))
+
+
+def test_raw_kernel_image_rejected_at_stage2():
+    with pytest.raises(BootVerificationError) as exc:
+        erebor_boot(machine(), skip_instrumentation=True, cma_bytes=16 * MIB)
+    assert "sensitive" in str(exc.value)
+
+
+def test_instrumented_kernel_boots():
+    system = erebor_boot(machine(), cma_bytes=16 * MIB)
+    assert system.kernel.booted
+    assert system.monitor.installed
+    assert system.kernel.ops is system.monitor.ops
+
+
+def test_hand_crafted_malicious_section_rejected():
+    evil = SelfImage("evil", 0x1000, [
+        Section(".text", 0x1000, assemble([I("nop"), I("tdcall"), I("ret")]),
+                SEC_EXEC),
+    ])
+    with pytest.raises(BootVerificationError):
+        erebor_boot(machine(), kernel_image=evil, skip_instrumentation=True,
+                    cma_bytes=16 * MIB)
+
+
+def test_sensitive_bytes_hidden_in_data_section_are_fine():
+    # non-executable sections are not scanned (they cannot execute: NX)
+    from repro.hw.isa import SENSITIVE_PREFIX, SENSITIVE_OPS
+    img = build_kernel_image(extra_sections=[
+        Section(".blob", 0x9000_0000,
+                bytes([SENSITIVE_PREFIX, SENSITIVE_OPS["tdcall"]]) * 4, 0),
+    ])
+    system = erebor_boot(machine(), kernel_image=img, cma_bytes=16 * MIB)
+    assert system.kernel.booted
+
+
+def test_measurement_covers_firmware_and_monitor():
+    m = machine()
+    erebor_boot(m, cma_bytes=16 * MIB)
+    assert m.tdx.measurement.mrtd == published_measurement()
+
+
+def test_tampered_monitor_changes_measurement():
+    m = machine()
+    m.tdx.build_load("firmware", b"OVMF-sim-1.0:" + b"\x90" * 256)
+    m.tdx.build_load("erebor-monitor", b"evil monitor")
+    m.tdx.finalize()
+    assert m.tdx.measurement.mrtd != published_measurement()
+
+
+def test_stage2_requires_stage1():
+    m = machine()
+    monitor = EreborMonitor(m)
+    with pytest.raises(RuntimeError):
+        monitor.verify_and_load_kernel(b"SELF\x01")
+
+
+def test_boot_reserves_confined_pool_and_io_window():
+    m = machine()
+    system = erebor_boot(m, cma_bytes=16 * MIB)
+    usage = m.phys.usage_by_owner()
+    assert usage.get("cma", 0) == 16 * MIB
+    assert usage.get("shm-io", 0) == EreborMonitor.SHARED_IO_BYTES
+    assert usage.get("monitor", 0) > 0
+
+
+def test_kernel_text_tagged_for_wx_policy():
+    m = machine()
+    erebor_boot(m, cma_bytes=16 * MIB)
+    assert m.phys.owned_by("ktext")
+
+
+def test_instrumentation_round_trip_through_serialize():
+    image, report = instrument_image(build_kernel_image())
+    assert report.total() == 5
+    blob = image.serialize()
+    system = erebor_boot(machine(), kernel_image=SelfImage.deserialize(blob),
+                         skip_instrumentation=True, cma_bytes=16 * MIB)
+    assert system.kernel.booted

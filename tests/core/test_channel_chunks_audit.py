@@ -1,0 +1,118 @@
+"""Chunked channel transfers, monitor audit log, and determinism tests."""
+
+import pytest
+
+from repro.client import RemoteClient
+from repro.core import PolicyViolation, SandboxViolation, erebor_boot, published_measurement
+from repro.core.channel import SecureChannel, UntrustedProxy
+from repro.crypto import AeadError
+from repro.vm import CvmMachine, MachineConfig, MIB
+
+
+@pytest.fixture
+def rig():
+    machine = CvmMachine(MachineConfig(memory_bytes=512 * MIB))
+    system = erebor_boot(machine, cma_bytes=64 * MIB)
+    sandbox = system.monitor.create_sandbox("svc", confined_budget=8 * MIB)
+    sandbox.declare_confined(2 * MIB)
+    channel = SecureChannel(system.monitor, sandbox)
+    proxy = UntrustedProxy(system.monitor)
+    client = RemoteClient(machine.authority, published_measurement())
+    client.connect(proxy, channel)
+    return machine, system, sandbox, channel, proxy, client
+
+
+# --- chunked transfers -------------------------------------------------------
+
+def test_chunked_request_reassembles(rig):
+    machine, system, sandbox, channel, proxy, client = rig
+    payload = bytes(range(256)) * 1500          # 384 kB
+    n = client.request_chunked(proxy, channel, payload, chunk_size=64 * 1024)
+    assert n == 6
+    assert sandbox.locked
+    assert sandbox.take_input() == payload
+
+
+def test_chunked_request_single_chunk(rig):
+    machine, system, sandbox, channel, proxy, client = rig
+    client.request_chunked(proxy, channel, b"small", chunk_size=1024)
+    assert sandbox.take_input() == b"small"
+
+
+def test_chunk_reorder_rejected(rig):
+    machine, system, sandbox, channel, proxy, client = rig
+    from repro.core.channel import SecureChannel as SC
+    r1 = client.tx.seal(bytes([SC.CHUNK_MORE]) + b"a", aad=b"chunk")
+    r2 = client.tx.seal(bytes([SC.CHUNK_FINAL]) + b"b", aad=b"chunk")
+    with pytest.raises(AeadError):
+        channel.deliver_chunk(r2)     # out of order: seq mismatch
+
+
+def test_chunk_plaintext_never_visible(rig):
+    machine, system, sandbox, channel, proxy, client = rig
+    secret = b"CHUNKED-SECRET-PAYLOAD" * 100
+    client.request_chunked(proxy, channel, secret, chunk_size=512)
+    assert b"CHUNKED-SECRET" not in machine.vmm.observed_blob()
+    assert not proxy.log.saw(b"CHUNKED-SECRET")
+
+
+def test_bad_chunk_flag_rejected(rig):
+    machine, system, sandbox, channel, proxy, client = rig
+    record = client.tx.seal(bytes([0x7F]) + b"x", aad=b"chunk")
+    with pytest.raises(PolicyViolation):
+        channel.deliver_chunk(record)
+
+
+# --- audit log -----------------------------------------------------------------
+
+def test_audit_records_lifecycle_and_denials(rig):
+    machine, system, sandbox, channel, proxy, client = rig
+    client.request(proxy, channel, b"data")
+    with pytest.raises(PolicyViolation):
+        system.monitor.ops.write_cr(4, 0)
+    with pytest.raises(SandboxViolation):
+        system.kernel.syscall(sandbox.task, "getpid")
+    kinds = [e.kind for e in system.monitor.audit_log]
+    assert "verify" in kinds       # stage-2 kernel scan
+    assert "sandbox" in kinds      # creation + lock
+    assert "attest" in kinds       # handshake quote
+    assert "deny" in kinds         # the CR write
+    assert "kill" in kinds         # the syscall violation
+    lock_events = [e for e in system.monitor.audit_log
+                   if e.kind == "sandbox" and "locked" in e.detail]
+    assert len(lock_events) == 1
+
+
+def test_audit_events_are_ordered_by_cycle(rig):
+    machine, system, *_ = rig
+    cycles = [e.cycle for e in system.monitor.audit_log]
+    assert cycles == sorted(cycles)
+
+
+def test_audit_event_renders(rig):
+    machine, system, *_ = rig
+    line = str(system.monitor.audit_log[0])
+    assert "verify" in line or "sandbox" in line
+
+
+# --- determinism -----------------------------------------------------------------
+
+def test_identical_seeds_identical_simulations():
+    """The whole stack is deterministic: same seed, same everything."""
+    from repro.bench.runner import WorkloadRunner
+
+    def run():
+        return WorkloadRunner(scale=0.25, seed=777).run("drugbank", "erebor")
+
+    a, b = run(), run()
+    assert a.run_seconds == b.run_seconds
+    assert a.init_seconds == b.init_seconds
+    assert a.events == b.events
+    assert a.output == b.output
+
+
+def test_different_seeds_differ():
+    from repro.bench.runner import WorkloadRunner
+    a = WorkloadRunner(scale=0.25, seed=1).run("drugbank", "erebor")
+    b = WorkloadRunner(scale=0.25, seed=2).run("drugbank", "erebor")
+    assert a.output != b.output   # different query streams

@@ -1,0 +1,48 @@
+"""CLI entry-point tests + example smoke runs (importable mains)."""
+
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro.bench.__main__ import EXPERIMENTS, main
+
+EXAMPLES_DIR = Path(__file__).resolve().parents[2] / "examples"
+sys.path.insert(0, str(EXAMPLES_DIR))
+
+
+def test_cli_list(capsys):
+    assert main(["--list"]) == 0
+    out = capsys.readouterr().out
+    for name in EXPERIMENTS:
+        assert name in out
+
+
+def test_cli_unknown_experiment():
+    with pytest.raises(SystemExit):
+        main(["tablex"])
+
+
+def test_cli_table3_table4(capsys):
+    assert main(["table3", "table4"]) == 0
+    out = capsys.readouterr().out
+    assert "1224" in out and "128081" in out
+
+
+def test_cli_fig8_quick(capsys):
+    assert main(["fig8", "--iterations", "20"]) == 0
+    out = capsys.readouterr().out
+    assert "pagefault" in out
+
+
+@pytest.mark.parametrize("module_name", [
+    "quickstart", "attack_demos", "warm_start_pool", "paravisor_deployment",
+])
+def test_example_mains_run(module_name):
+    module = __import__(module_name)
+    module.main()   # each example asserts its own invariants
+
+
+def test_example_private_retrieval_runs():
+    module = __import__("private_retrieval")
+    module.main()

@@ -1,0 +1,100 @@
+"""Gate mechanics and Table 3 calibration on the micro CPU."""
+
+import pytest
+
+from repro.core.emc import ENTRY_GATE_VA, EmcCall
+from repro.core.gates import PKRS_KERNEL, PKRS_MONITOR, build_monitor_code
+from repro.core.microrig import GateRig
+from repro.hw import regs
+from repro.hw.cycles import Cost
+from repro.hw.isa import I, assemble, scan_for_sensitive
+
+
+def test_empty_emc_costs_exactly_table3_value():
+    rig = GateRig()
+    assert rig.run_emc(int(EmcCall.NOP)) == Cost.EMC_ROUND_TRIP == 1224
+
+
+def test_emc_cheaper_than_tdcall_more_than_syscall():
+    # Table 3's ordering: syscall < EMC < vmcall < tdcall
+    assert Cost.SYSCALL_ROUND_TRIP < Cost.EMC_ROUND_TRIP
+    assert Cost.EMC_ROUND_TRIP < Cost.VMCALL_ROUND_TRIP
+    assert Cost.VMCALL_ROUND_TRIP < Cost.TDCALL_ROUND_TRIP
+    assert round(Cost.TDCALL_ROUND_TRIP / Cost.EMC_ROUND_TRIP, 2) == 4.31
+    assert round(Cost.SYSCALL_ROUND_TRIP / Cost.EMC_ROUND_TRIP, 2) == 0.56
+
+
+def test_pkrs_restored_to_kernel_profile_after_emc():
+    rig = GateRig()
+    rig.run_emc(int(EmcCall.NOP))
+    assert rig.cpu.msrs[regs.IA32_PKRS] == PKRS_KERNEL
+
+
+def test_pkrs_opened_inside_monitor():
+    # the WRITE_MSR handler runs between the gates; writing any MSR proves
+    # execution reached the handler while PKRS was open (a closed PKRS
+    # would have faulted on the secure-stack push in the entry gate).
+    rig = GateRig()
+    rig.run_emc(int(EmcCall.WRITE_MSR), rsi=0x123, rdx=0x777)
+    assert rig.cpu.msrs[0x123] == 0x777
+    assert rig.cpu.msrs[regs.IA32_PKRS] == PKRS_KERNEL
+
+
+def test_write_cr_emc_updates_cr4():
+    rig = GateRig()
+    want = rig.cpu.crs[4]  # keep protections; write the same value back
+    rig.run_emc(int(EmcCall.WRITE_CR), rsi=4, rdx=want)
+    assert rig.cpu.crs[4] == want
+
+
+def test_unknown_call_number_is_denied_no_work():
+    rig = GateRig()
+    cycles = rig.run_emc(987)
+    # falls through the chain to the exit gate: costs more comparisons but
+    # never reaches a handler
+    assert cycles > 0
+    assert 987 not in rig.cpu.msrs
+
+
+def test_kernel_stack_pointer_preserved_across_emc():
+    rig = GateRig()
+    rsp_before = None
+
+    # run the stub manually to capture rsp right before the icall
+    stub = rig.caller_stub(int(EmcCall.NOP))
+    rig.machine.load_code(0x60_0000_0000, stub)
+    rig.cpu.mode = "kernel"
+    rig.cpu.rip = 0x60_0000_0000
+    for _ in range(5):
+        rig.cpu.step()
+    rsp_before = rig.cpu.regs["rsp"]
+    rig.cpu.run(max_steps=10_000)
+    assert rig.cpu.regs["rsp"] == rsp_before
+
+
+def test_monitor_code_has_exactly_one_endbr():
+    layout = build_monitor_code()
+    endbrs = [i for i in layout.code if i.op == "endbr"]
+    assert len(endbrs) == 1
+    assert layout.code[0].op == "endbr"
+
+
+def test_monitor_entry_is_at_published_address():
+    layout = build_monitor_code()
+    assert layout.entry_gate_va == ENTRY_GATE_VA
+
+
+def test_monitor_handlers_may_contain_sensitive_instructions():
+    # unlike the kernel, the monitor legitimately carries wrmsr etc.
+    layout = build_monitor_code()
+    blob = assemble(layout.code)
+    assert scan_for_sensitive(blob)
+
+
+def test_gate_cost_composition_matches_table4():
+    assert Cost.EREBOR_MMU == 1345
+    assert Cost.EREBOR_CR == 1593
+    assert Cost.EREBOR_SMAP == 1291
+    assert Cost.EREBOR_IDT == 1369
+    assert Cost.EREBOR_MSR == 1613
+    assert Cost.EREBOR_GHCI == 128081

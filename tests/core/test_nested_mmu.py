@@ -1,0 +1,148 @@
+"""Nested MMU mapping-policy tests (C2/C3/C6/C7 memory side)."""
+
+import pytest
+
+from repro.core.nested_mmu import NestedMmu
+from repro.core.policy import PolicyViolation
+from repro.hw.cycles import CycleClock
+from repro.hw.memory import PhysicalMemory
+from repro.hw.paging import PTE_NX, PTE_P, PTE_U, PTE_W, AddressSpace, make_pte
+
+MIB = 1024 * 1024
+
+
+@pytest.fixture
+def rig():
+    phys = PhysicalMemory(128 * MIB)
+    vmmu = NestedMmu(phys, CycleClock())
+    kernel_as = AddressSpace(phys, "kernel")
+    sandbox_as = AddressSpace(phys, "sandbox1")
+    other_as = AddressSpace(phys, "other")
+    vmmu.register_aspace(kernel_as)
+    vmmu.register_sandbox(1, sandbox_as)
+    vmmu.register_aspace(other_as)
+    return phys, vmmu, kernel_as, sandbox_as, other_as
+
+
+def test_unregistered_aspace_rejected(rig):
+    phys, vmmu, *_ = rig
+    rogue = AddressSpace(phys, "rogue")
+    with pytest.raises(PolicyViolation):
+        vmmu.write_pte(rogue, 0x1000, make_pte(5, PTE_P))
+
+
+def test_monitor_frames_unmappable(rig):
+    phys, vmmu, kernel_as, *_ = rig
+    fn = phys.alloc_frame("monitor")
+    for flags in (PTE_P, PTE_P | PTE_W, PTE_P | PTE_U):
+        with pytest.raises(PolicyViolation):
+            vmmu.write_pte(kernel_as, 0x7000_0000, make_pte(fn, flags))
+
+
+def test_page_table_frames_never_writable(rig):
+    phys, vmmu, kernel_as, *_ = rig
+    ptp = next(iter(kernel_as.table_frames))
+    with pytest.raises(PolicyViolation):
+        vmmu.write_pte(kernel_as, 0x8000_0000, make_pte(ptp, PTE_P | PTE_W))
+    # read-only aliasing of a PTP is tolerated (kernel may read its tables)
+    vmmu.write_pte(kernel_as, 0x8000_0000, make_pte(ptp, PTE_P | PTE_NX))
+
+
+def test_shadow_stack_frames_never_writable(rig):
+    phys, vmmu, kernel_as, *_ = rig
+    fn = phys.alloc_frame("monitor-ss")
+    phys.frame(fn).is_shadow_stack = True
+    with pytest.raises(PolicyViolation):
+        vmmu.write_pte(kernel_as, 0x8100_0000, make_pte(fn, PTE_P | PTE_W))
+
+
+def test_kernel_text_wx(rig):
+    phys, vmmu, kernel_as, *_ = rig
+    fn = phys.alloc_frame("ktext")
+    with pytest.raises(PolicyViolation):
+        vmmu.write_pte(kernel_as, 0x8200_0000, make_pte(fn, PTE_P | PTE_W))
+    vmmu.write_pte(kernel_as, 0x8200_0000, make_pte(fn, PTE_P))  # X-only ok
+
+
+def test_supervisor_wx_generally(rig):
+    phys, vmmu, kernel_as, *_ = rig
+    fn = phys.alloc_frame("kdata")
+    with pytest.raises(PolicyViolation):
+        # writable + executable supervisor page
+        vmmu.write_pte(kernel_as, 0x8300_0000, make_pte(fn, PTE_P | PTE_W))
+    vmmu.write_pte(kernel_as, 0x8300_0000, make_pte(fn, PTE_P | PTE_W | PTE_NX))
+
+
+def test_confined_single_mapping(rig):
+    phys, vmmu, kernel_as, sandbox_as, other_as = rig
+    fn = phys.alloc_frame("sandbox:1")
+    vmmu.declare_confined(1, [fn])
+    pte = make_pte(fn, PTE_P | PTE_W | PTE_U | PTE_NX)
+    vmmu.write_pte(sandbox_as, 0x40_0000, pte)
+    # second mapping at a different VA: refused
+    with pytest.raises(PolicyViolation):
+        vmmu.write_pte(sandbox_as, 0x50_0000, pte)
+    # remap at the same VA (PTE update): allowed
+    vmmu.write_pte(sandbox_as, 0x40_0000, pte)
+
+
+def test_confined_frame_foreign_aspace_refused(rig):
+    phys, vmmu, kernel_as, sandbox_as, other_as = rig
+    fn = phys.alloc_frame("sandbox:1")
+    vmmu.declare_confined(1, [fn])
+    pte = make_pte(fn, PTE_P | PTE_U | PTE_NX)
+    for aspace in (kernel_as, other_as):
+        with pytest.raises(PolicyViolation):
+            vmmu.write_pte(aspace, 0x40_0000, pte)
+
+
+def test_confined_double_declare_refused(rig):
+    phys, vmmu, *_ = rig
+    fn = phys.alloc_frame("sandbox:1")
+    vmmu.declare_confined(1, [fn])
+    with pytest.raises(PolicyViolation):
+        vmmu.declare_confined(2, [fn])
+
+
+def test_release_confined_allows_redeclare(rig):
+    phys, vmmu, *_ = rig
+    fn = phys.alloc_frame("sandbox:1")
+    vmmu.declare_confined(1, [fn])
+    assert vmmu.release_confined(1) == [fn]
+    vmmu.declare_confined(2, [fn])  # now legal
+
+
+def test_unmap_clears_single_mapping_tracking(rig):
+    phys, vmmu, _, sandbox_as, _ = rig
+    fn = phys.alloc_frame("sandbox:1")
+    vmmu.declare_confined(1, [fn])
+    pte = make_pte(fn, PTE_P | PTE_U | PTE_NX)
+    vmmu.write_pte(sandbox_as, 0x40_0000, pte)
+    vmmu.write_pte(sandbox_as, 0x40_0000, 0)   # unmap
+    vmmu.write_pte(sandbox_as, 0x50_0000, pte)  # can map elsewhere now
+
+
+def test_common_region_lifecycle(rig):
+    phys, vmmu, _, sandbox_as, other_as = rig
+    frames = phys.alloc_frames(4, "tmp")
+    vmmu.create_common_region("model", frames, initializer=1)
+    w_pte = make_pte(frames[0], PTE_P | PTE_W | PTE_U | PTE_NX)
+    r_pte = make_pte(frames[0], PTE_P | PTE_U | PTE_NX)
+    vmmu.write_pte(sandbox_as, 0x40_0000, w_pte)   # init window: writable ok
+    rewritten = vmmu.seal_common_region("model")
+    assert rewritten == 1
+    # after sealing: no new writable mappings anywhere
+    with pytest.raises(PolicyViolation):
+        vmmu.write_pte(other_as, 0x40_0000, w_pte)
+    vmmu.write_pte(other_as, 0x40_0000, r_pte)
+    # the pre-existing mapping lost its W bit
+    _, pte = sandbox_as.translate(0x40_0000)
+    assert not pte & PTE_W
+
+
+def test_duplicate_common_region_refused(rig):
+    phys, vmmu, *_ = rig
+    frames = phys.alloc_frames(1, "tmp")
+    vmmu.create_common_region("db", frames, None)
+    with pytest.raises(PolicyViolation):
+        vmmu.create_common_region("db", frames, None)

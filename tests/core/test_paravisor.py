@@ -1,0 +1,81 @@
+"""Paravisor-enhanced deployment tests (paper §10)."""
+
+import pytest
+
+from repro.client import AttestationFailure, RemoteClient
+from repro.core import erebor_boot, published_measurement
+from repro.core.boot import (
+    PARAVISOR_RTMR_INDEX,
+    published_paravisor_measurement,
+)
+from repro.core.channel import SecureChannel, UntrustedProxy
+from repro.vm import CvmMachine, MachineConfig, MIB
+
+
+def boot_paravisor():
+    machine = CvmMachine(MachineConfig(memory_bytes=512 * MIB))
+    system = erebor_boot(machine, cma_bytes=32 * MIB, paravisor=True)
+    return machine, system
+
+
+def test_paravisor_boot_works():
+    machine, system = boot_paravisor()
+    assert system.kernel.booted
+    mrtd, rtmr = published_paravisor_measurement()
+    assert machine.tdx.measurement.mrtd == mrtd
+    assert machine.tdx.measurement.rtmrs[PARAVISOR_RTMR_INDEX] == rtmr
+
+
+def test_paravisor_mrtd_differs_from_native_deployment():
+    mrtd, _ = published_paravisor_measurement()
+    assert mrtd != published_measurement()
+
+
+def test_client_attests_paravisor_deployment_via_rtmr():
+    machine, system = boot_paravisor()
+    sandbox = system.monitor.create_sandbox("svc", confined_budget=4 * MIB)
+    sandbox.declare_confined(256 * 1024)
+    channel = SecureChannel(system.monitor, sandbox)
+    proxy = UntrustedProxy(system.monitor)
+    mrtd, rtmr = published_paravisor_measurement()
+    client = RemoteClient(machine.authority, mrtd,
+                          expected_rtmrs={PARAVISOR_RTMR_INDEX: rtmr})
+    client.connect(proxy, channel)
+    assert client.established
+    client.request(proxy, channel, b"pv-data")
+    assert sandbox.take_input() == b"pv-data"
+
+
+def test_client_rejects_wrong_monitor_in_rtmr():
+    """A paravisor that loaded a tampered monitor fails attestation."""
+    machine = CvmMachine(MachineConfig(memory_bytes=512 * MIB))
+    from repro.core.boot import FIRMWARE_BLOB, PARAVISOR_BLOB
+    machine.tdx.build_load("firmware", FIRMWARE_BLOB)
+    machine.tdx.build_load("paravisor", PARAVISOR_BLOB)
+    machine.tdx.finalize()
+    machine.tdx.measurement.extend_rtmr(PARAVISOR_RTMR_INDEX, b"evil monitor")
+    quote = machine.tdx.guest_tdreport(b"x" * 32)
+
+    mrtd, rtmr = published_paravisor_measurement()
+    client = RemoteClient(machine.authority, mrtd,
+                          expected_rtmrs={PARAVISOR_RTMR_INDEX: rtmr})
+    client.keypair = __import__("repro.crypto", fromlist=["generate_keypair"]) \
+        .generate_keypair(client.rng)
+    client.nonce = b"n" * 16
+    from repro.core.channel import ServerHello
+    with pytest.raises(AttestationFailure) as exc:
+        client.finish(ServerHello(public=client.keypair.public + 2,
+                                  quote=quote))
+    assert "RTMR" in str(exc.value)
+
+
+def test_native_client_rejects_paravisor_deployment_without_rtmr_knowledge():
+    """A client expecting the drop-in MRTD refuses a paravisor CVM."""
+    machine, system = boot_paravisor()
+    sandbox = system.monitor.create_sandbox("svc", confined_budget=4 * MIB)
+    sandbox.declare_confined(256 * 1024)
+    channel = SecureChannel(system.monitor, sandbox)
+    proxy = UntrustedProxy(system.monitor)
+    client = RemoteClient(machine.authority, published_measurement())
+    with pytest.raises(AttestationFailure):
+        client.connect(proxy, channel)

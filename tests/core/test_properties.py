@@ -1,0 +1,146 @@
+"""Property-based tests (hypothesis) on core security invariants."""
+
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.gates import PKRS_KERNEL
+from repro.core.nested_mmu import NestedMmu
+from repro.core.policy import (
+    PolicyViolation,
+    validate_cr_write,
+    validate_msr_write,
+)
+from repro.crypto import (
+    SealedSession,
+    derive_channel_keys,
+    generate_keypair,
+    shared_secret,
+    transcript_hash,
+)
+from repro.hw import regs
+from repro.hw.cycles import CycleClock
+from repro.hw.memory import PhysicalMemory
+from repro.hw.paging import PTE_NX, PTE_P, PTE_U, PTE_W, AddressSpace, make_pte
+
+MIB = 1024 * 1024
+
+
+# --------------------------------------------------------------------------- #
+# policy invariants
+# --------------------------------------------------------------------------- #
+
+@given(st.integers(0, 2**64 - 1))
+def test_property_cr4_writes_never_clear_pins(value):
+    """Whatever CR4 value survives validation keeps all pinned bits."""
+    try:
+        validate_cr_write(4, value)
+    except PolicyViolation:
+        return
+    for bit in (regs.CR4_SMEP, regs.CR4_SMAP, regs.CR4_PKS, regs.CR4_CET):
+        assert value & bit
+
+
+@given(st.integers(0, 2**64 - 1))
+def test_property_cr0_writes_never_clear_wp(value):
+    try:
+        validate_cr_write(0, value)
+    except PolicyViolation:
+        return
+    assert value & regs.CR0_WP
+
+
+@given(st.sampled_from(sorted([regs.IA32_PKRS, regs.IA32_S_CET,
+                               regs.IA32_PL0_SSP, regs.IA32_LSTAR,
+                               regs.IA32_UINTR_TT])),
+       st.integers(0, 2**64 - 1))
+def test_property_monitor_msrs_always_denied(msr, value):
+    with pytest.raises(PolicyViolation):
+        validate_msr_write(msr, value)
+
+
+def test_kernel_pkrs_denies_monitor_key_always():
+    """The kernel rights profile can never read or write monitor pages."""
+    from repro.core.gates import PKEY_MONITOR, PKEY_PT
+    assert regs.pkey_rights(PKRS_KERNEL, PKEY_MONITOR) & regs.PKR_AD
+    assert regs.pkey_rights(PKRS_KERNEL, PKEY_PT) & regs.PKR_WD
+
+
+# --------------------------------------------------------------------------- #
+# nested-MMU single-mapping invariant under random operation sequences
+# --------------------------------------------------------------------------- #
+
+@settings(max_examples=30, deadline=None)
+@given(st.integers(0, 2**31 - 1))
+def test_property_confined_single_mapping_invariant(seed):
+    """No random map/unmap sequence can give a confined frame 2 mappings."""
+    rng = random.Random(seed)
+    phys = PhysicalMemory(32 * MIB)
+    vmmu = NestedMmu(phys, CycleClock())
+    spaces = [AddressSpace(phys, f"as{i}") for i in range(3)]
+    vmmu.register_sandbox(1, spaces[0])
+    for sp in spaces[1:]:
+        vmmu.register_aspace(sp)
+    frames = phys.alloc_frames(4, "sandbox:1")
+    vmmu.declare_confined(1, frames)
+    vas = [0x40_0000 + i * 0x1000 for i in range(6)]
+
+    for _ in range(60):
+        space = rng.choice(spaces)
+        va = rng.choice(vas)
+        fn = rng.choice(frames)
+        if rng.random() < 0.7:
+            pte = make_pte(fn, PTE_P | PTE_U | PTE_NX
+                           | (PTE_W if rng.random() < 0.5 else 0))
+            try:
+                vmmu.write_pte(space, va, pte)
+            except PolicyViolation:
+                pass
+        else:
+            try:
+                vmmu.write_pte(space, va, 0)
+            except PolicyViolation:
+                pass
+
+        # invariant: each confined frame mapped at most once, only in as0
+        for frame in frames:
+            hits = []
+            for sp in spaces:
+                for check_va in vas:
+                    got = sp.translate(check_va)
+                    if got is not None and got[0] >> 12 == frame:
+                        hits.append((sp.name, check_va))
+            assert len(hits) <= 1, hits
+            assert all(name == "as0" for name, _ in hits)
+
+
+# --------------------------------------------------------------------------- #
+# channel invariants
+# --------------------------------------------------------------------------- #
+
+@settings(max_examples=20, deadline=None)
+@given(st.lists(st.binary(min_size=1, max_size=200), min_size=1, max_size=6),
+       st.integers(0, 2**31 - 1))
+def test_property_session_roundtrip_any_message_sequence(messages, seed):
+    rng = random.Random(seed)
+    a, b = generate_keypair(rng), generate_keypair(rng)
+    shared = shared_secret(a, b.public)
+    transcript = transcript_hash(b"n", b"x", b"y")
+    k1, k2 = derive_channel_keys(shared, transcript)
+    tx, rx = SealedSession(k1), SealedSession(k1)
+    for msg in messages:
+        assert rx.open(tx.seal(msg)) == msg
+
+
+@settings(max_examples=20, deadline=None)
+@given(st.integers(0, 2**31 - 1))
+def test_property_handshake_keys_unique_per_session(seed):
+    rng = random.Random(seed)
+    keys = set()
+    for _ in range(4):
+        a, b = generate_keypair(rng), generate_keypair(rng)
+        shared = shared_secret(a, b.public)
+        transcript = transcript_hash(rng.getrandbits(64).to_bytes(8, "big"))
+        keys.add(derive_channel_keys(shared, transcript))
+    assert len(keys) == 4

@@ -1,0 +1,178 @@
+"""Unit + property tests for the crypto substrate."""
+
+import random
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.crypto import (
+    AeadError,
+    KeyExchangeError,
+    SealedSession,
+    derive_channel_keys,
+    fixed_bucket_for,
+    generate_keypair,
+    hkdf,
+    open_,
+    pad_to_fixed,
+    seal,
+    shared_secret,
+    transcript_hash,
+    unpad_fixed,
+    validate_public,
+)
+
+KEY = b"k" * 32
+NONCE = b"n" * 12
+
+
+# --- DH -------------------------------------------------------------------
+
+def test_dh_agreement():
+    rng = random.Random(1)
+    a, b = generate_keypair(rng), generate_keypair(rng)
+    assert shared_secret(a, b.public) == shared_secret(b, a.public)
+
+
+def test_dh_distinct_keys_distinct_secrets():
+    rng = random.Random(2)
+    a, b, c = (generate_keypair(rng) for _ in range(3))
+    assert shared_secret(a, b.public) != shared_secret(a, c.public)
+
+
+def test_dh_rejects_degenerate_publics():
+    rng = random.Random(3)
+    kp = generate_keypair(rng)
+    for bad in (0, 1, -5):
+        with pytest.raises(KeyExchangeError):
+            shared_secret(kp, bad)
+    with pytest.raises(KeyExchangeError):
+        validate_public(1)
+
+
+def test_transcript_hash_order_and_boundary_sensitive():
+    assert transcript_hash(b"ab", b"c") != transcript_hash(b"a", b"bc")
+    assert transcript_hash(b"a", b"b") != transcript_hash(b"b", b"a")
+
+
+# --- HKDF ------------------------------------------------------------------
+
+def test_hkdf_deterministic_and_info_separated():
+    k1 = hkdf(b"ikm", salt=b"s", info=b"one", length=32)
+    k2 = hkdf(b"ikm", salt=b"s", info=b"one", length=32)
+    k3 = hkdf(b"ikm", salt=b"s", info=b"two", length=32)
+    assert k1 == k2 and k1 != k3
+
+
+def test_hkdf_rfc5869_case1():
+    # RFC 5869 test case 1
+    ikm = bytes.fromhex("0b" * 22)
+    salt = bytes.fromhex("000102030405060708090a0b0c")
+    info = bytes.fromhex("f0f1f2f3f4f5f6f7f8f9")
+    okm = hkdf(ikm, salt=salt, info=info, length=42)
+    assert okm == bytes.fromhex(
+        "3cb25f25faacd57a90434f64d0362f2a2d2d0a90cf1a5a4c5db02d56ecc4c5bf"
+        "34007208d5b887185865")
+
+
+def test_channel_keys_directional():
+    c2m, m2c = derive_channel_keys(b"s" * 32, b"t" * 32)
+    assert c2m != m2c and len(c2m) == len(m2c) == 32
+
+
+# --- AEAD ------------------------------------------------------------------
+
+def test_seal_open_roundtrip():
+    assert open_(KEY, NONCE, seal(KEY, NONCE, b"hello", b"aad"), b"aad") == b"hello"
+
+
+def test_tamper_detected():
+    sealed = bytearray(seal(KEY, NONCE, b"hello"))
+    sealed[0] ^= 1
+    with pytest.raises(AeadError):
+        open_(KEY, NONCE, bytes(sealed))
+
+
+def test_wrong_aad_detected():
+    sealed = seal(KEY, NONCE, b"hello", b"aad1")
+    with pytest.raises(AeadError):
+        open_(KEY, NONCE, sealed, b"aad2")
+
+
+def test_wrong_key_detected():
+    sealed = seal(KEY, NONCE, b"hello")
+    with pytest.raises(AeadError):
+        open_(b"x" * 32, NONCE, sealed)
+
+
+def test_bad_nonce_length():
+    with pytest.raises(AeadError):
+        seal(KEY, b"short", b"hello")
+
+
+def test_session_sequence_numbers_prevent_replay():
+    tx, rx = SealedSession(KEY), SealedSession(KEY)
+    r1, r2 = tx.seal(b"one"), tx.seal(b"two")
+    assert rx.open(r1) == b"one"
+    with pytest.raises(AeadError):
+        SealedSession(KEY, seq=1).open(r1)  # replay at wrong seq
+    assert rx.open(r2) == b"two"
+
+
+def test_session_reorder_detected():
+    tx, rx = SealedSession(KEY), SealedSession(KEY)
+    r1, r2 = tx.seal(b"one"), tx.seal(b"two")
+    with pytest.raises(AeadError):
+        rx.open(r2)
+
+
+# --- padding ----------------------------------------------------------------
+
+def test_pad_unpad_roundtrip():
+    assert unpad_fixed(pad_to_fixed(b"data", 64)) == b"data"
+
+
+def test_pad_hides_length():
+    assert len(pad_to_fixed(b"a", 1024)) == len(pad_to_fixed(b"a" * 500, 1024)) == 1024
+
+
+def test_pad_bucket_too_small():
+    with pytest.raises(ValueError):
+        pad_to_fixed(b"x" * 100, 64)
+
+
+def test_fixed_bucket_selection():
+    assert fixed_bucket_for(10) == 1024
+    assert fixed_bucket_for(1020) == 1024
+    assert fixed_bucket_for(1021) == 16384
+    with pytest.raises(ValueError):
+        fixed_bucket_for(10 ** 9)
+
+
+def test_unpad_rejects_corrupt_header():
+    with pytest.raises(ValueError):
+        unpad_fixed(b"\xff\xff\xff\xff" + b"x" * 10)
+    with pytest.raises(ValueError):
+        unpad_fixed(b"\x00")
+
+
+# --- properties --------------------------------------------------------------
+
+@given(st.binary(max_size=4096), st.binary(max_size=64))
+def test_property_aead_roundtrip(plaintext, aad):
+    assert open_(KEY, NONCE, seal(KEY, NONCE, plaintext, aad), aad) == plaintext
+
+
+@given(st.binary(max_size=512), st.integers(0, 3))
+def test_property_padding_roundtrip(data, bucket_idx):
+    buckets = (1024, 16384, 262144, 4194304)
+    bucket = buckets[bucket_idx]
+    assert unpad_fixed(pad_to_fixed(data, bucket)) == data
+
+
+@given(st.binary(min_size=1, max_size=256))
+def test_property_ciphertext_never_contains_long_plaintext_runs(plaintext):
+    # With an all-distinct keystream the ciphertext should differ from the
+    # plaintext somewhere for any non-degenerate message.
+    sealed = seal(KEY, NONCE, plaintext)
+    assert sealed[:len(plaintext)] != plaintext or len(plaintext) < 4

@@ -1,0 +1,72 @@
+"""Session key-ratchet and channel-robustness fuzz tests."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.crypto import AeadError, SealedSession
+
+KEY = b"k" * 32
+
+
+def test_ratchet_advances_on_schedule():
+    tx = SealedSession(KEY, rekey_every=4)
+    rx = SealedSession(KEY, rekey_every=4)
+    for i in range(10):
+        assert rx.open(tx.seal(f"m{i}".encode())) == f"m{i}".encode()
+    assert tx.generations == 2          # after records 4 and 8
+    assert tx.key == rx.key != KEY
+
+
+def test_old_key_cannot_open_post_ratchet_records():
+    """Forward secrecy: generation-0 key is useless after the ratchet."""
+    tx = SealedSession(KEY, rekey_every=2)
+    tx.seal(b"a")
+    tx.seal(b"b")
+    record = tx.seal(b"c")              # generation 1
+    stale = SealedSession(KEY, seq=2, rekey_every=0)   # attacker with gen-0 key
+    with pytest.raises(AeadError):
+        stale.open(record)
+
+
+def test_mismatched_rekey_schedules_fail():
+    tx = SealedSession(KEY, rekey_every=2)
+    rx = SealedSession(KEY, rekey_every=0)
+    assert rx.open(tx.seal(b"one")) == b"one"
+    assert rx.open(tx.seal(b"two")) == b"two"
+    with pytest.raises(AeadError):
+        rx.open(tx.seal(b"three"))      # tx ratcheted, rx did not
+
+
+def test_rekey_zero_disables_ratchet():
+    tx = SealedSession(KEY, rekey_every=0)
+    rx = SealedSession(KEY, rekey_every=0)
+    for i in range(600):
+        rx.open(tx.seal(b"x"))
+    assert tx.generations == 0
+
+
+@settings(max_examples=50, deadline=None)
+@given(st.binary(min_size=1, max_size=600))
+def test_property_garbage_records_always_rejected_never_crash(blob):
+    """Whatever the proxy/host mangles, open() fails closed."""
+    rx = SealedSession(KEY)
+    with pytest.raises(AeadError):
+        rx.open(blob)
+    # a rejected record does not consume the sequence slot: the genuine
+    # next record still opens
+    assert rx.seq == 0
+    tx = SealedSession(KEY)
+    assert rx.open(tx.seal(b"real")) == b"real"
+
+
+@settings(max_examples=30, deadline=None)
+@given(st.integers(0, 200), st.integers(0, 31), st.integers(1, 255))
+def test_property_single_bitflip_anywhere_rejected(n_msgs, byte_idx, flip):
+    tx = SealedSession(KEY, rekey_every=16)
+    rx = SealedSession(KEY, rekey_every=16)
+    for i in range(n_msgs % 20):
+        rx.open(tx.seal(b"sync"))
+    record = bytearray(tx.seal(b"target-message"))
+    record[byte_idx % len(record)] ^= flip
+    with pytest.raises(AeadError):
+        rx.open(bytes(record))

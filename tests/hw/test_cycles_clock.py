@@ -1,0 +1,64 @@
+"""Cycle-clock ledger tests: snapshots, rates, tag attribution."""
+
+import pytest
+
+from repro.hw.cycles import CPU_FREQ_HZ, Cost, CycleClock
+
+
+def test_charge_and_tags():
+    clock = CycleClock()
+    clock.charge(100, "a")
+    clock.charge(50, "b")
+    clock.charge(25)
+    assert clock.cycles == 175
+    assert clock.by_tag["a"] == 100 and clock.by_tag["b"] == 50
+
+
+def test_negative_charge_rejected():
+    with pytest.raises(ValueError):
+        CycleClock().charge(-1)
+
+
+def test_seconds_conversion():
+    clock = CycleClock()
+    clock.charge(CPU_FREQ_HZ)
+    assert clock.seconds == 1.0
+
+
+def test_event_rates():
+    clock = CycleClock()
+    clock.charge(CPU_FREQ_HZ // 2)
+    clock.count("emc", 500)
+    assert clock.rate_per_second("emc") == 1000.0
+    assert CycleClock().rate_per_second("emc") == 0.0
+
+
+def test_snapshot_deltas():
+    clock = CycleClock()
+    clock.charge(100, "x")
+    clock.count("e", 3)
+    snap = clock.snapshot()
+    clock.charge(40, "x")
+    clock.charge(10, "y")
+    clock.count("e", 2)
+    delta = clock.since(snap)
+    assert delta.cycles == 50
+    assert delta.by_tag == {"x": 40, "y": 10}
+    assert delta.events == {"e": 2}
+    assert delta.rate_per_second("e") == 2 / (50 / CPU_FREQ_HZ)
+
+
+def test_table3_constants_composition():
+    assert (Cost.TDX_WORLD_SWITCH + Cost.TDX_WORLD_RESUME
+            + Cost.TDCALL_DISPATCH) == Cost.TDCALL_ROUND_TRIP
+    assert (Cost.VM_WORLD_SWITCH + Cost.VM_WORLD_RESUME
+            + Cost.VMCALL_DISPATCH) == Cost.VMCALL_ROUND_TRIP
+    assert (Cost.SYSCALL_ENTRY + Cost.SYSRET + Cost.KERNEL_FRAME_SAVE
+            + Cost.KERNEL_FRAME_RESTORE) == Cost.SYSCALL_ROUND_TRIP
+
+
+def test_table4_composites_derive_from_parts():
+    assert Cost.EREBOR_MMU == (Cost.EMC_ROUND_TRIP + Cost.VALIDATE_MMU
+                               + Cost.PTE_WRITE_NATIVE)
+    assert Cost.EREBOR_GHCI == (Cost.EMC_ROUND_TRIP + Cost.VALIDATE_GHCI
+                                + Cost.TDREPORT_NATIVE)

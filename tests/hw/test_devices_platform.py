@@ -1,0 +1,135 @@
+"""Tests for DMA devices, the NIC, platform profiles, and UINTR fabric."""
+
+import pytest
+
+from repro.hw.devices import DmaBlocked, DmaEngine, VirtualNic
+from repro.hw.memory import PAGE_SIZE, PhysicalMemory
+from repro.hw.platform import CCA, PROFILES, SEV, TDX, profile
+from repro.hw.uintr import UintrFabric
+
+MIB = 1024 * 1024
+
+
+class FakeSept:
+    def __init__(self, shared=()):
+        self.shared = set(shared)
+
+    def is_shared(self, fn):
+        return fn in self.shared
+
+
+@pytest.fixture
+def phys():
+    return PhysicalMemory(16 * MIB)
+
+
+# --- DMA ---------------------------------------------------------------------
+
+def test_dma_reads_shared_frames(phys):
+    dma = DmaEngine(phys, FakeSept({3}))
+    phys.write(3 * PAGE_SIZE, b"shared-data")
+    assert dma.dma_read(3 * PAGE_SIZE, 11) == b"shared-data"
+
+
+def test_dma_blocked_on_private_frames(phys):
+    dma = DmaEngine(phys, FakeSept({3}))
+    with pytest.raises(DmaBlocked):
+        dma.dma_read(4 * PAGE_SIZE, 8)
+    assert dma.blocked_attempts == [4]
+
+
+def test_dma_write_checks_every_spanned_frame(phys):
+    dma = DmaEngine(phys, FakeSept({5}))  # frame 6 is private
+    with pytest.raises(DmaBlocked):
+        dma.dma_write(5 * PAGE_SIZE + PAGE_SIZE - 4, b"x" * 16)
+
+
+def test_dma_write_lands_in_memory(phys):
+    dma = DmaEngine(phys, FakeSept({7}))
+    dma.dma_write(7 * PAGE_SIZE, b"incoming")
+    assert phys.read(7 * PAGE_SIZE, 8) == b"incoming"
+
+
+# --- NIC ------------------------------------------------------------------------
+
+def test_nic_transmit_is_host_visible(phys):
+    nic = VirtualNic(DmaEngine(phys, FakeSept({2})))
+    phys.write(2 * PAGE_SIZE, b"packet-bytes")
+    nic.guest_transmit(2 * PAGE_SIZE, 12)
+    assert nic.tx_log == [b"packet-bytes"]
+
+
+def test_nic_transmit_callback(phys):
+    got = []
+    nic = VirtualNic(DmaEngine(phys, FakeSept({2})))
+    nic.on_transmit = got.append
+    phys.write(2 * PAGE_SIZE, b"ping")
+    nic.guest_transmit(2 * PAGE_SIZE, 4)
+    assert got == [b"ping"]
+
+
+def test_nic_receive_via_dma(phys):
+    nic = VirtualNic(DmaEngine(phys, FakeSept({2})))
+    nic.host_inject(b"from-outside")
+    n = nic.guest_receive(2 * PAGE_SIZE, 64)
+    assert n == 12
+    assert phys.read(2 * PAGE_SIZE, 12) == b"from-outside"
+
+
+def test_nic_receive_empty_queue(phys):
+    nic = VirtualNic(DmaEngine(phys, FakeSept({2})))
+    assert nic.guest_receive(2 * PAGE_SIZE, 64) == 0
+
+
+def test_nic_receive_into_private_frame_blocked(phys):
+    nic = VirtualNic(DmaEngine(phys, FakeSept()))
+    nic.host_inject(b"x")
+    with pytest.raises(DmaBlocked):
+        nic.guest_receive(2 * PAGE_SIZE, 64)
+
+
+# --- platform profiles ------------------------------------------------------------
+
+def test_three_profiles_registered():
+    assert set(PROFILES) == {"tdx", "sev", "cca"}
+    assert profile("tdx") is TDX
+
+
+def test_unknown_profile_rejected():
+    with pytest.raises(ValueError):
+        profile("sgx")
+
+
+def test_sev_lacks_pks_with_fallback():
+    assert not SEV.protection_keys
+    assert SEV.permission_switch_multiplier > 1
+    assert "page table" in SEV.protection_key_mechanism
+
+
+def test_tdx_cca_have_native_keys():
+    for prof in (TDX, CCA):
+        assert prof.protection_keys
+        assert prof.permission_switch_multiplier == 1.0
+
+
+def test_table7_column_values():
+    assert TDX.ghci_instruction == "tdcall"
+    assert SEV.ghci_instruction == "vmgexit"
+    assert CCA.ghci_instruction == "smc"
+    assert CCA.hw_cfi_forward == "BTI" and CCA.hw_cfi_backward == "GCS"
+
+
+# --- UINTR fabric ---------------------------------------------------------------
+
+def test_uintr_posts_and_delivers():
+    fabric = UintrFabric()
+    got = []
+    fabric.register_receiver(4, lambda sender, idx: got.append((sender, idx)))
+
+    class FakeCpu:
+        cpu_id = 2
+
+    fabric.send(FakeCpu(), 4)
+    fabric.send(FakeCpu(), 9)   # no receiver: posted but not delivered
+    assert got == [(2, 4)]
+    assert fabric.posted == [(2, 4), (2, 9)]

@@ -1,0 +1,169 @@
+"""Huge-page (2 MiB) mapping and forced-splitting tests (paper §7)."""
+
+import pytest
+
+from repro.core.nested_mmu import NestedMmu
+from repro.core.policy import PolicyViolation
+from repro.hw import regs
+from repro.hw.cycles import CycleClock
+from repro.hw.errors import PageFault, SimulatorError
+from repro.hw.memory import PAGE_SIZE, PhysicalMemory
+from repro.hw.mmu import AccessContext, KERNEL_MODE, Mmu
+from repro.hw.paging import (
+    HUGE_PAGE_FRAMES,
+    HUGE_PAGE_SIZE,
+    PTE_NX,
+    PTE_P,
+    PTE_PS,
+    PTE_U,
+    PTE_W,
+    AddressSpace,
+    pte_pkey,
+)
+
+MIB = 1024 * 1024
+HUGE_VA = 0x4000_0000   # 1 GiB, definitely 2 MiB-aligned
+
+
+@pytest.fixture
+def rig():
+    phys = PhysicalMemory(128 * MIB)
+    aspace = AddressSpace(phys)
+    mmu = Mmu(phys, CycleClock())
+    # a 2 MiB-aligned physically contiguous block
+    frames = phys.alloc_frames(HUGE_PAGE_FRAMES * 2, "data", contiguous=True)
+    base = next(f for f in frames if f % HUGE_PAGE_FRAMES == 0)
+    return phys, aspace, mmu, base
+
+
+def kctx(**kw):
+    defaults = dict(mode=KERNEL_MODE,
+                    cr0=regs.CR0_PE | regs.CR0_PG | regs.CR0_WP,
+                    cr4=regs.CR4_PKS)
+    defaults.update(kw)
+    return AccessContext(**defaults)
+
+
+def test_huge_map_translates_whole_range(rig):
+    phys, aspace, mmu, base = rig
+    aspace.map_huge_page(HUGE_VA, base, PTE_P | PTE_W)
+    for offset in (0, PAGE_SIZE, 1 * MIB, HUGE_PAGE_SIZE - 1):
+        hit = aspace.translate(HUGE_VA + offset)
+        assert hit is not None
+        pa, pte = hit
+        assert pa == (base << 12) + offset
+        assert pte & PTE_PS
+    assert aspace.translate(HUGE_VA + HUGE_PAGE_SIZE) is None
+
+
+def test_huge_map_alignment_enforced(rig):
+    phys, aspace, mmu, base = rig
+    with pytest.raises(SimulatorError):
+        aspace.map_huge_page(HUGE_VA + PAGE_SIZE, base, PTE_P)
+    with pytest.raises(SimulatorError):
+        aspace.map_huge_page(HUGE_VA, base + 1, PTE_P)
+
+
+def test_huge_map_uses_one_entry(rig):
+    phys, aspace, mmu, base = rig
+    tables_before = len(aspace.table_frames)
+    aspace.map_huge_page(HUGE_VA, base, PTE_P | PTE_W)
+    # only the L1 table was created; no 512-entry leaf table
+    assert len(aspace.table_frames) == tables_before + 1
+
+
+def test_mmu_checks_apply_to_huge_mappings(rig):
+    phys, aspace, mmu, base = rig
+    aspace.map_huge_page(HUGE_VA, base, PTE_P)  # read-only
+    mmu.check(aspace, HUGE_VA + 12345, "read", kctx())
+    with pytest.raises(PageFault):
+        mmu.check(aspace, HUGE_VA + 12345, "write", kctx())
+
+
+def test_pks_applies_to_huge_mappings(rig):
+    phys, aspace, mmu, base = rig
+    aspace.map_huge_page(HUGE_VA, base, PTE_P | PTE_W, pkey=1)
+    pkrs = regs.pkrs_value(k1=regs.PKR_AD)
+    with pytest.raises(PageFault) as exc:
+        mmu.check(aspace, HUGE_VA + 5 * PAGE_SIZE, "read", kctx(pkrs=pkrs))
+    assert exc.value.pkey_violation
+
+
+def test_split_preserves_translation_and_attributes(rig):
+    phys, aspace, mmu, base = rig
+    aspace.map_huge_page(HUGE_VA, base, PTE_P | PTE_W | PTE_NX, pkey=3)
+    phys.write((base << 12) + 7 * PAGE_SIZE, b"marker")
+    aspace.split_huge_page(HUGE_VA)
+    for offset in (0, 7 * PAGE_SIZE, HUGE_PAGE_SIZE - PAGE_SIZE):
+        pa, pte = aspace.translate(HUGE_VA + offset)
+        assert pa == (base << 12) + offset
+        assert not pte & PTE_PS
+        assert pte & PTE_NX and pte_pkey(pte) == 3
+    assert phys.read((base << 12) + 7 * PAGE_SIZE, 6) == b"marker"
+
+
+def test_split_non_huge_is_noop(rig):
+    phys, aspace, mmu, base = rig
+    aspace.map_page(HUGE_VA, base, PTE_P)
+    assert aspace.split_huge_page(HUGE_VA) is None
+
+
+# --------------------------------------------------------------------------- #
+# monitor-side: validated huge installs + forced splitting
+# --------------------------------------------------------------------------- #
+
+@pytest.fixture
+def vrig():
+    phys = PhysicalMemory(128 * MIB)
+    vmmu = NestedMmu(phys, CycleClock())
+    aspace = AddressSpace(phys, "s1")
+    vmmu.register_sandbox(1, aspace)
+    frames = phys.alloc_frames(HUGE_PAGE_FRAMES * 2, "data", contiguous=True)
+    base = next(f for f in frames if f % HUGE_PAGE_FRAMES == 0)
+    return phys, vmmu, aspace, base
+
+
+def test_monitor_validates_every_subframe_of_huge_map(vrig):
+    phys, vmmu, aspace, base = vrig
+    # poison one frame in the middle: owned by the monitor
+    phys.frame(base + 100).owner = "monitor"
+    with pytest.raises(PolicyViolation):
+        vmmu.write_huge_pte(aspace, HUGE_VA, base, PTE_U | PTE_NX)
+    phys.frame(base + 100).owner = "data"
+    vmmu.write_huge_pte(aspace, HUGE_VA, base, PTE_U | PTE_NX)
+    assert aspace.translate(HUGE_VA + 100 * PAGE_SIZE) is not None
+
+
+def test_forced_split_then_4k_pkey(vrig):
+    """The §7 flow: set a protection key inside a huge page."""
+    phys, vmmu, aspace, base = vrig
+    vmmu.write_huge_pte(aspace, HUGE_VA, base, PTE_U | PTE_NX)
+    target = HUGE_VA + 33 * PAGE_SIZE
+    vmmu.set_pkey_4k(aspace, target, pkey=5)
+    _, pte = aspace.translate(target)
+    assert pte_pkey(pte) == 5 and not pte & PTE_PS
+    # neighbours kept their (split) mapping and old key
+    _, neighbour = aspace.translate(target + PAGE_SIZE)
+    assert pte_pkey(neighbour) == 0
+    assert vmmu.clock.events["huge_split"] == 1
+
+
+def test_forced_split_counts_batched_pte_writes(vrig):
+    phys, vmmu, aspace, base = vrig
+    vmmu.write_huge_pte(aspace, HUGE_VA, base, PTE_U | PTE_NX)
+    before = vmmu.clock.events["pte_write"]
+    vmmu.force_split(aspace, HUGE_VA)
+    assert vmmu.clock.events["pte_write"] - before == HUGE_PAGE_FRAMES
+
+
+def test_force_split_unmapped_rejected(vrig):
+    phys, vmmu, aspace, base = vrig
+    with pytest.raises(PolicyViolation):
+        vmmu.force_split(aspace, 0x7000_0000)
+
+
+def test_huge_map_install_is_one_pte_write(vrig):
+    phys, vmmu, aspace, base = vrig
+    before = vmmu.clock.events["pte_write"]
+    vmmu.write_huge_pte(aspace, HUGE_VA, base, PTE_U | PTE_NX)
+    assert vmmu.clock.events["pte_write"] - before == 1

@@ -1,0 +1,132 @@
+"""Unit and property tests for the ISA encoding and the sensitive-byte scanner."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.hw.errors import InvalidOpcode, SimulatorError
+from repro.hw.isa import (
+    INSTR_SIZE,
+    OPCODES,
+    SENSITIVE_OPS,
+    SENSITIVE_PREFIX,
+    I,
+    Instr,
+    assemble,
+    decode,
+    disassemble,
+    scan_for_sensitive,
+)
+
+
+def test_fixed_width_encoding():
+    for op in ("nop", "hlt", "ret", "syscall"):
+        assert len(I(op).encode()) == INSTR_SIZE
+
+
+def test_roundtrip_simple():
+    for instr in [
+        I("mov", "rax", "rbx"),
+        I("movi", "rcx", imm=0x1234_5678_9ABC),
+        I("load", "rdx", "rsp", imm=16),
+        I("store", "rbp", "rax", imm=-8 & (2**64 - 1)),
+        I("jmp", imm=0x40_0000),
+        I("call", imm=0x7000_0000),
+        I("endbr"),
+    ]:
+        assert decode(instr.encode()) == instr
+
+
+def test_roundtrip_sensitive():
+    for instr in [
+        I("mov_cr", 4, "rax"),
+        I("wrmsr"),
+        I("stac"),
+        I("lidt", src="rdi"),
+        I("tdcall"),
+    ]:
+        decoded = decode(instr.encode())
+        assert decoded.op == instr.op
+        assert decoded.is_sensitive
+
+
+def test_sensitive_encodes_with_prefix():
+    blob = I("tdcall").encode()
+    assert blob[0] == SENSITIVE_PREFIX
+    assert blob[1] == SENSITIVE_OPS["tdcall"]
+
+
+def test_unknown_mnemonic_rejected():
+    with pytest.raises(SimulatorError):
+        I("frobnicate").encode()
+
+
+def test_decode_bad_opcode():
+    with pytest.raises(InvalidOpcode):
+        decode(bytes([0xEE] + [0] * 11))
+
+
+def test_decode_bad_sensitive_subop():
+    with pytest.raises(InvalidOpcode):
+        decode(bytes([SENSITIVE_PREFIX, 0x7F] + [0] * 10))
+
+
+def test_decode_truncated():
+    with pytest.raises(InvalidOpcode):
+        decode(b"\x01\x00\x00")
+
+
+def test_scanner_finds_aligned_sensitive():
+    blob = assemble([I("nop"), I("stac"), I("nop")])
+    hits = scan_for_sensitive(blob)
+    assert (INSTR_SIZE, "stac") in hits
+
+
+def test_scanner_finds_misaligned_sequences():
+    # hide a tdcall encoding inside an immediate: movi rax, <0xF0 0x05 ...>
+    hidden = int.from_bytes(bytes([SENSITIVE_PREFIX, SENSITIVE_OPS["tdcall"]])
+                            + b"\x00" * 6, "little")
+    blob = assemble([I("movi", "rax", imm=hidden)])
+    hits = scan_for_sensitive(blob)
+    assert hits and hits[0][1] == "tdcall"
+    assert hits[0][0] % INSTR_SIZE != 0
+
+
+def test_assembler_rejects_accidental_sensitive_bytes():
+    hidden = int.from_bytes(bytes([SENSITIVE_PREFIX, SENSITIVE_OPS["wrmsr"]])
+                            + b"\x00" * 6, "little")
+    with pytest.raises(SimulatorError):
+        assemble([I("movi", "rax", imm=hidden)], forbid_sensitive_bytes=True)
+
+
+def test_assembler_allows_benign_f0_bytes():
+    # 0xF0 followed by a non-sensitive byte is not a hit
+    benign = int.from_bytes(bytes([SENSITIVE_PREFIX, 0x99]) + b"\x00" * 6, "little")
+    blob = assemble([I("movi", "rax", imm=benign)], forbid_sensitive_bytes=True)
+    assert scan_for_sensitive(blob, skip_aligned=True) == []
+
+
+def test_disassemble_whole_program():
+    prog = [I("movi", "rax", imm=1), I("addi", "rax", imm=2), I("hlt")]
+    assert [i.op for i in disassemble(assemble(prog))] == ["movi", "addi", "hlt"]
+
+
+def test_disassemble_unaligned_rejected():
+    with pytest.raises(InvalidOpcode):
+        disassemble(b"\x01" * 13)
+
+
+# rdcr is excluded: its CR number rides in an operand byte, not the imm field
+@given(st.sampled_from(sorted(set(OPCODES) - {"rdcr"})), st.integers(0, 2**64 - 1))
+def test_property_encode_decode_preserves_imm(op, imm):
+    instr = Instr(op, dst="rax", src="rbx", imm=imm)
+    decoded = decode(instr.encode())
+    assert decoded.imm == imm
+    assert decoded.op == op
+
+
+@given(st.binary(min_size=0, max_size=400))
+def test_property_scanner_never_misses_prefix_pairs(blob):
+    hits = {off for off, _ in scan_for_sensitive(blob)}
+    for off in range(len(blob) - 1):
+        expected = blob[off] == SENSITIVE_PREFIX and blob[off + 1] in SENSITIVE_OPS.values()
+        assert (off in hits) == expected

@@ -1,0 +1,78 @@
+"""Dynamic kernel code verification: modules, eBPF, text_poke (C2)."""
+
+import pytest
+
+from repro.core import PolicyViolation, erebor_boot
+from repro.hw.isa import I, assemble
+from repro.vm import CvmMachine, MachineConfig, MIB
+
+BENIGN_MODULE = assemble([
+    I("movi", "rax", imm=1),
+    I("addi", "rax", imm=2),
+    I("ret"),
+])
+EVIL_MODULE = assemble([
+    I("movi", "rax", imm=0),
+    I("tdcall"),          # sensitive: a module smuggling in GHCI access
+    I("ret"),
+])
+
+
+@pytest.fixture
+def erebor_kernel():
+    machine = CvmMachine(MachineConfig(memory_bytes=256 * MIB))
+    return erebor_boot(machine, cma_bytes=16 * MIB).kernel
+
+
+@pytest.fixture
+def native_kernel():
+    machine = CvmMachine(MachineConfig(memory_bytes=256 * MIB))
+    return machine.boot_native_kernel()
+
+
+def test_benign_module_loads_under_erebor(erebor_kernel):
+    erebor_kernel.load_module("virtio_net", BENIGN_MODULE)
+    assert "virtio_net" in erebor_kernel.modules
+
+
+def test_evil_module_rejected_under_erebor(erebor_kernel):
+    with pytest.raises(PolicyViolation) as exc:
+        erebor_kernel.load_module("rootkit", EVIL_MODULE)
+    assert "tdcall" in str(exc.value)
+    assert "rootkit" not in erebor_kernel.modules
+
+
+def test_native_kernel_loads_anything(native_kernel):
+    """The control: without Erebor, the evil module loads fine."""
+    native_kernel.load_module("rootkit", EVIL_MODULE)
+    assert "rootkit" in native_kernel.modules
+
+
+def test_ebpf_verified_like_modules(erebor_kernel):
+    erebor_kernel.attach_bpf("tracepoint", BENIGN_MODULE)
+    assert "tracepoint" in erebor_kernel.bpf_programs
+    with pytest.raises(PolicyViolation):
+        erebor_kernel.attach_bpf("exploit", EVIL_MODULE)
+
+
+def test_text_poke_verified(erebor_kernel):
+    erebor_kernel.text_poke(assemble([I("nop")]))
+    assert erebor_kernel.clock.events["text_poke"] == 1
+    with pytest.raises(PolicyViolation):
+        erebor_kernel.text_poke(assemble([I("stac")]))
+
+
+def test_misaligned_sensitive_bytes_in_module_caught(erebor_kernel):
+    """Sensitive sequence hidden in an immediate is still found."""
+    from repro.hw.isa import SENSITIVE_OPS, SENSITIVE_PREFIX
+    hidden = int.from_bytes(bytes([SENSITIVE_PREFIX, SENSITIVE_OPS["wrmsr"]])
+                            + b"\x00" * 6, "little")
+    sneaky = assemble([I("movi", "rax", imm=hidden), I("ret")])
+    with pytest.raises(PolicyViolation):
+        erebor_kernel.load_module("sneaky", sneaky)
+
+
+def test_module_verification_charges_emc(erebor_kernel):
+    before = erebor_kernel.clock.events["emc"]
+    erebor_kernel.load_module("m", BENIGN_MODULE)
+    assert erebor_kernel.clock.events["emc"] == before + 1

@@ -1,0 +1,92 @@
+"""Tests for the SELF image format and the instrumentation pass."""
+
+import pytest
+
+from repro.core.emc import ENTRY_GATE_VA
+from repro.hw.isa import I, assemble, disassemble, scan_for_sensitive
+from repro.kernel.image import (
+    SEC_EXEC,
+    SEC_WRITE,
+    Section,
+    SelfImage,
+    build_kernel_image,
+    kernel_entry_stubs,
+)
+from repro.kernel.instrument import instrument_image, instrument_text
+
+
+def test_image_serialize_roundtrip():
+    img = build_kernel_image()
+    blob = img.serialize()
+    back = SelfImage.deserialize(blob)
+    assert back.name == img.name
+    assert back.entry == img.entry
+    assert [s.name for s in back.sections] == [s.name for s in img.sections]
+    assert back.section(".text").data == img.section(".text").data
+    assert back.section(".text").executable
+    assert back.section(".data").writable
+
+
+def test_deserialize_rejects_garbage():
+    with pytest.raises(ValueError):
+        SelfImage.deserialize(b"ELF\x7f not ours")
+    with pytest.raises(ValueError):
+        SelfImage.deserialize(build_kernel_image().serialize()[:20])
+
+
+def test_distribution_kernel_contains_all_sensitive_classes():
+    ops = {i.op for i in kernel_entry_stubs() if i.is_sensitive}
+    assert ops == {"mov_cr", "wrmsr", "stac", "lidt", "tdcall"}
+
+
+def test_raw_kernel_fails_byte_scan():
+    img = build_kernel_image()
+    hits = scan_for_sensitive(img.section(".text").data)
+    assert len(hits) >= 5
+
+
+def test_instrumented_kernel_passes_byte_scan():
+    img, report = instrument_image(build_kernel_image())
+    assert scan_for_sensitive(img.section(".text").data) == []
+    assert report.total() == 5
+    assert report.replaced == {"mov_cr": 1, "wrmsr": 1, "stac": 1,
+                               "lidt": 1, "tdcall": 1}
+
+
+def test_instrumentation_is_one_for_one_in_original_body():
+    original = assemble(kernel_entry_stubs())
+    instrumented, report = instrument_text(original, 0x60_0000_0000)
+    n_original = len(disassemble(original))
+    body = disassemble(instrumented)[:n_original]
+    # every non-sensitive instruction survives in place
+    for before, after in zip(disassemble(original), body):
+        if before.is_sensitive:
+            assert after.op == "call"
+        else:
+            assert after == before
+
+
+def test_thunks_target_the_entry_gate():
+    original = assemble([I("stac"), I("ret")])
+    instrumented, _ = instrument_text(original, 0x60_0000_0000)
+    instrs = disassemble(instrumented)
+    icalls = [i for i in instrs if i.op == "icall"]
+    movis = [i for i in instrs if i.op == "movi" and i.dst == "rax"]
+    assert icalls, "thunk must indirect-call the gate"
+    assert any(i.imm == ENTRY_GATE_VA for i in movis)
+
+
+def test_non_exec_sections_untouched():
+    data = Section(".rodata", 0x1000, bytes([0xF0, 0x05]) * 8, 0)
+    img = SelfImage("x", 0, [Section(".text", 0x2000, assemble([I("ret")]), SEC_EXEC),
+                             data])
+    out, report = instrument_image(img)
+    assert out.section(".rodata").data == data.data
+    assert report.total() == 0
+
+
+def test_instrumenting_clean_text_is_identity():
+    text = assemble([I("nop"), I("mov", "rax", "rbx"), I("ret")])
+    out, report = instrument_text(text, 0x60_0000_0000)
+    assert out == text
+    assert report.total() == 0

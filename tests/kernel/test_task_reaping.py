@@ -1,0 +1,93 @@
+"""Task teardown: memory returns to the system when tasks die."""
+
+import pytest
+
+from repro.core import erebor_boot
+from repro.hw.memory import PAGE_SIZE
+from repro.kernel.process import PROT_READ, PROT_WRITE
+from repro.vm import CvmMachine, MachineConfig, MIB
+
+
+@pytest.fixture
+def native_kernel():
+    return CvmMachine(MachineConfig(memory_bytes=256 * MIB)).boot_native_kernel()
+
+
+def anon_bytes(phys):
+    return sum(v for k, v in phys.usage_by_owner().items()
+               if k.startswith("task:"))
+
+
+def test_exit_frees_anonymous_memory(native_kernel):
+    kernel = native_kernel
+    phys = kernel.phys
+    task = kernel.spawn("worker")
+    vma = kernel.mmap(task, 64 * PAGE_SIZE, PROT_READ | PROT_WRITE)
+    kernel.touch_pages(task, vma.start, 64 * PAGE_SIZE, write=True)
+    assert anon_bytes(phys) >= 64 * PAGE_SIZE
+    kernel.syscall(task, "exit", 0)
+    assert anon_bytes(phys) == 0
+    assert kernel.clock.events["task_reaped"] == 1
+
+
+def test_reap_clears_mappings(native_kernel):
+    kernel = native_kernel
+    task = kernel.spawn("worker")
+    vma = kernel.mmap(task, 4 * PAGE_SIZE, PROT_READ | PROT_WRITE)
+    kernel.touch_pages(task, vma.start, 4 * PAGE_SIZE, write=True)
+    start = vma.start
+    kernel.exit_task(task)
+    assert task.aspace.translate(start) is None
+    assert task.vmas == []
+
+
+def test_page_cache_survives_task_exit(native_kernel):
+    kernel = native_kernel
+    kernel.vfs.create("/data/file", b"x" * PAGE_SIZE * 2)
+    from repro.kernel.process import FileBacking
+    task = kernel.spawn("reader")
+    backing = FileBacking(kernel.vfs.lookup("/data/file"))
+    vma = kernel.mmap(task, 2 * PAGE_SIZE, PROT_READ, backing=backing)
+    kernel.touch_pages(task, vma.start, 2 * PAGE_SIZE)
+    kernel.exit_task(task)
+    usage = kernel.phys.usage_by_owner()
+    assert usage.get("pagecache:/data/file", 0) == 2 * PAGE_SIZE
+
+
+def test_reaping_under_erebor_goes_through_monitor():
+    machine = CvmMachine(MachineConfig(memory_bytes=512 * MIB))
+    system = erebor_boot(machine, cma_bytes=16 * MIB)
+    kernel = system.kernel
+    task = kernel.spawn("worker")
+    vma = kernel.mmap(task, 8 * PAGE_SIZE, PROT_READ | PROT_WRITE)
+    kernel.touch_pages(task, vma.start, 8 * PAGE_SIZE, write=True)
+    before = machine.clock.events["emc"]
+    kernel.exit_task(task)
+    # each PTE clear crossed the gate
+    assert machine.clock.events["emc"] - before >= 8
+
+
+def test_sandbox_tasks_not_kernel_reaped():
+    """Sandbox teardown belongs to the monitor's scrub path, not the OS."""
+    machine = CvmMachine(MachineConfig(memory_bytes=512 * MIB))
+    system = erebor_boot(machine, cma_bytes=32 * MIB)
+    sandbox = system.monitor.create_sandbox("sb", confined_budget=4 * MIB)
+    sandbox.declare_confined(256 * 1024)
+    frames = list(sandbox.confined_frames)
+    system.kernel.exit_task(sandbox.task)
+    # confined frames still owned by the sandbox (until monitor scrubs)
+    assert all(machine.phys.frame(fn).owner == f"sandbox:{sandbox.sandbox_id}"
+               for fn in frames)
+    sandbox.cleanup()
+    assert all(machine.phys.frame(fn).owner == "cma" for fn in frames)
+
+
+def test_spawn_exit_cycle_is_leak_free(native_kernel):
+    kernel = native_kernel
+    phys = kernel.phys
+    for i in range(10):
+        task = kernel.spawn(f"cycle-{i}")
+        vma = kernel.mmap(task, 16 * PAGE_SIZE, PROT_READ | PROT_WRITE)
+        kernel.touch_pages(task, vma.start, 16 * PAGE_SIZE, write=True)
+        kernel.exit_task(task)
+    assert anon_bytes(phys) == 0

@@ -1,0 +1,135 @@
+"""Kernel VFS and network-stack unit tests."""
+
+import pytest
+
+from repro.hw.memory import PAGE_SIZE
+from repro.kernel.net import NetError, SEGMENT_BYTES
+from repro.kernel.vfs import DebugFsNode, FsError, RegularFile, Vfs
+from repro.vm import CvmMachine, MachineConfig, MIB
+
+
+# --- VFS ---------------------------------------------------------------------
+
+def test_regular_file_read_write():
+    f = RegularFile("/a")
+    assert f.write_at(0, b"hello") == 5
+    assert f.read_at(0, 5) == b"hello"
+    assert f.read_at(3, 10) == b"lo"
+    f.write_at(10, b"gap")
+    assert f.read_at(5, 5) == b"\x00" * 5
+    assert f.size == 13
+
+
+def test_synthetic_file_deterministic():
+    f = RegularFile("/big", synthetic_size=1 * MIB)
+    assert f.size == 1 * MIB
+    assert f.read_at(0, 64) == f.read_at(0, 64)
+    assert len(f.read_at(1 * MIB - 10, 100)) == 10
+    with pytest.raises(FsError):
+        f.write_at(0, b"x")
+    with pytest.raises(FsError):
+        f.truncate()
+
+
+def test_page_cache_frames_allocated_once():
+    phys = CvmMachine(MachineConfig(memory_bytes=64 * MIB)).phys
+    f = RegularFile("/c", b"data" * 2000)
+    fn1 = f.page_cache_frame(0, phys)
+    fn2 = f.page_cache_frame(0, phys)
+    fn3 = f.page_cache_frame(1, phys)
+    assert fn1 == fn2 != fn3
+    assert phys.read(fn1 * PAGE_SIZE, 4) == b"data"
+
+
+def test_vfs_open_create_truncate():
+    vfs = Vfs()
+    with pytest.raises(FsError):
+        vfs.open("/missing")
+    handle = vfs.open("/new", create=True, write=True)
+    handle.inode.write_at(0, b"old-content")
+    handle2 = vfs.open("/new", write=True, truncate=True)
+    assert handle2.inode.size == 0
+
+
+def test_vfs_unlink_and_listdir():
+    vfs = Vfs()
+    vfs.create("/d/a")
+    vfs.create("/d/b")
+    vfs.create("/e/c")
+    assert vfs.listdir("/d") == ["/d/a", "/d/b"]
+    vfs.unlink("/d/a")
+    assert vfs.listdir("/d") == ["/d/b"]
+    with pytest.raises(FsError):
+        vfs.unlink("/d/a")
+
+
+def test_debugfs_node_hooks():
+    store = {"data": b""}
+    node = DebugFsNode("/sys/x",
+                       on_read=lambda: store["data"],
+                       on_write=lambda b: store.update(data=b))
+    node.write_at(0, b"written")
+    assert node.read_at(0, 100) == b"written"
+    assert node.size == 7
+    sealed = DebugFsNode("/sys/sealed")
+    with pytest.raises(FsError):
+        sealed.read_at(0, 1)
+    with pytest.raises(FsError):
+        sealed.write_at(0, b"x")
+
+
+# --- network stack ---------------------------------------------------------------
+
+@pytest.fixture
+def kernel():
+    return CvmMachine(MachineConfig(memory_bytes=128 * MIB)).boot_native_kernel()
+
+
+def test_listen_connect_accept_send_recv(kernel):
+    server = kernel.net.listen(8080)
+    client = kernel.net.connect(8080)
+    conn = kernel.net.accept(server)
+    kernel.net.send(client, b"hi")
+    assert kernel.net.recv(conn) == b"hi"
+    kernel.net.send(conn, b"yo")
+    assert kernel.net.recv(client) == b"yo"
+
+
+def test_double_bind_rejected(kernel):
+    kernel.net.listen(80)
+    with pytest.raises(NetError):
+        kernel.net.listen(80)
+
+
+def test_connect_refused(kernel):
+    with pytest.raises(NetError):
+        kernel.net.connect(9999)
+
+
+def test_send_on_closed_socket(kernel):
+    server = kernel.net.listen(81)
+    client = kernel.net.connect(81)
+    conn = kernel.net.accept(server)
+    kernel.net.close(client)
+    with pytest.raises(NetError):
+        kernel.net.send(conn, b"x")
+
+
+def test_send_charges_per_segment(kernel):
+    server = kernel.net.listen(82)
+    client = kernel.net.connect(82)
+    kernel.net.accept(server)
+    before = kernel.clock.events["net_segments"]
+    kernel.net.send(client, nbytes=3 * SEGMENT_BYTES)
+    assert kernel.clock.events["net_segments"] - before == 3
+
+
+def test_kernel_internal_send_skips_user_copy(kernel):
+    server = kernel.net.listen(83)
+    client = kernel.net.connect(83)
+    kernel.net.accept(server)
+    before = kernel.clock.events["user_copy"]
+    kernel.net.send(client, nbytes=SEGMENT_BYTES, kernel_internal=True)
+    assert kernel.clock.events["user_copy"] == before
+    kernel.net.send(client, nbytes=SEGMENT_BYTES)
+    assert kernel.clock.events["user_copy"] == before + 2

@@ -1,0 +1,151 @@
+"""LibOS tests: both sandboxed and plain boots, all four services."""
+
+import pytest
+
+from repro.core import SandboxViolation, erebor_boot
+from repro.hw.memory import PAGE_SIZE
+from repro.libos import CommonSpec, LibOs, Manifest, MemFsError, PreloadFile
+from repro.vm import CvmMachine, MachineConfig, MIB
+
+
+@pytest.fixture
+def system():
+    return erebor_boot(CvmMachine(MachineConfig(memory_bytes=512 * MIB)),
+                       cma_bytes=64 * MIB)
+
+
+def manifest(**kw):
+    defaults = dict(name="app", heap_bytes=2 * MIB, threads=4,
+                    preload=[PreloadFile("/lib/libc.so", b"\x7fELF" + b"x" * 100),
+                             PreloadFile("/data/model.bin", synthetic_size=1 * MIB)],
+                    common=[CommonSpec("weights", 1 * MIB, initializer=True)])
+    defaults.update(kw)
+    return Manifest(**defaults)
+
+
+def test_boot_sandboxed_declares_everything(system):
+    libos = LibOs.boot_sandboxed(system, manifest(), confined_budget=8 * MIB)
+    sb = libos.sandbox
+    assert sb.state == "ready"
+    assert libos.heap_vma.kind == "confined"
+    assert len(sb.threads) == 4
+    assert libos.fs.exists("/lib/libc.so")
+    assert "weights" in libos.common_vmas
+    assert libos.device_fd is not None
+
+
+def test_heap_is_prefaulted_at_boot(system):
+    libos = LibOs.boot_sandboxed(system, manifest(), confined_budget=8 * MIB)
+    # all heap pages already mapped: touching them faults zero times
+    assert libos.touch_range(libos.heap_vma.start, 2 * MIB, write=True) == 0
+
+
+def test_malloc_bump_allocation(system):
+    libos = LibOs.boot_sandboxed(system, manifest(), confined_budget=8 * MIB)
+    a = libos.malloc(100)
+    b = libos.malloc(100)
+    assert b > a >= libos.heap_vma.start
+    with pytest.raises(MemoryError):
+        libos.malloc(10 * MIB)
+
+
+def test_memfs_roundtrip_and_wipe(system):
+    libos = LibOs.boot_sandboxed(system, manifest(), confined_budget=8 * MIB)
+    fd = libos.fs.open("/tmp/scratch", create=True)
+    libos.fs.write(fd, b"hello")
+    libos.fs.close(fd)
+    fd = libos.fs.open("/tmp/scratch")
+    assert libos.fs.read(fd, 5) == b"hello"
+    libos.end_session()
+    assert not libos.fs.exists("/tmp/scratch")      # temp file gone
+    assert libos.fs.exists("/lib/libc.so")          # preloads survive
+
+
+def test_memfs_preloads_read_only(system):
+    libos = LibOs.boot_sandboxed(system, manifest(), confined_budget=8 * MIB)
+    fd = libos.fs.open("/lib/libc.so")
+    with pytest.raises(MemFsError):
+        libos.fs.write(fd, b"patch")
+
+
+def test_memfs_synthetic_reads(system):
+    libos = LibOs.boot_sandboxed(system, manifest(), confined_budget=8 * MIB)
+    fd = libos.fs.open("/data/model.bin")
+    chunk = libos.fs.read(fd, 4096)
+    assert len(chunk) == 4096
+
+
+def test_locked_sandbox_memfs_needs_no_syscalls(system):
+    libos = LibOs.boot_sandboxed(system, manifest(), confined_budget=8 * MIB)
+    libos.sandbox.install_input(b"data")
+    assert libos.sandbox.locked
+    # memfs operations still work: pure userspace
+    fd = libos.fs.open("/tmp/out", create=True)
+    libos.fs.write(fd, b"result")
+    assert libos.sandbox.locked and not libos.sandbox.dead
+
+
+def test_libos_sync_always_spins_no_syscalls(system):
+    """§6.2: the LibOS uses its own spinlock — futex would be a covert
+    channel once locked, so no sync ever issues a syscall."""
+    libos = LibOs.boot_sandboxed(system, manifest(), confined_budget=8 * MIB)
+    before = system.machine.clock.events["syscall"]
+    libos.pool.sync()
+    assert libos.pool.stats.spin_cycles > 0
+    libos.sandbox.install_input(b"go")
+    libos.pool.sync()
+    assert libos.pool.stats.sync_points == 2
+    assert system.machine.clock.events["syscall"] == before
+    assert not libos.sandbox.dead
+
+
+def test_parallel_for_scales_with_threads(system):
+    libos = LibOs.boot_sandboxed(system, manifest(threads=8),
+                                 confined_budget=8 * MIB)
+    libos.sandbox.install_input(b"go")
+    before = system.machine.clock.cycles
+    libos.pool.parallel_for(80, 10_000, sync_every=10)
+    wall = system.machine.clock.cycles - before
+    assert wall < 80 * 10_000  # 8-way split beats serial
+
+
+def test_channel_ioctl_flow_when_locked(system):
+    libos = LibOs.boot_sandboxed(system, manifest(), confined_budget=8 * MIB)
+    libos.sandbox.install_input(b"prompt")
+    assert libos.recv_input() == b"prompt"
+    libos.send_output(b"answer")
+    assert libos.sandbox.take_output() == b"answer"
+    assert not libos.sandbox.dead   # ioctl is the one legal syscall
+
+
+def test_plain_boot_uses_debugfs_channel():
+    machine = CvmMachine(MachineConfig(memory_bytes=256 * MIB))
+    kernel = machine.boot_native_kernel()
+    libos = LibOs.boot_plain(kernel, manifest())
+    from repro.libos import DEBUGFS_IN
+    kernel.vfs.lookup(DEBUGFS_IN).write_at(0, b"plain-input")
+    assert libos.recv_input() == b"plain-input"
+    libos.send_output(b"plain-output")
+    from repro.libos import DEBUGFS_OUT
+    assert kernel.vfs.lookup(DEBUGFS_OUT).read_at(0, 100) == b"plain-output"
+
+
+def test_plain_common_memory_shared_through_page_cache():
+    machine = CvmMachine(MachineConfig(memory_bytes=256 * MIB))
+    kernel = machine.boot_native_kernel()
+    m = manifest(common=[CommonSpec("weights", 1 * MIB)])
+    l1 = LibOs.boot_plain(kernel, m)
+    l2 = LibOs.boot_plain(kernel, Manifest(name="app2", heap_bytes=1 * MIB,
+                                           common=[CommonSpec("weights", 1 * MIB)]))
+    l1.touch_common("weights", PAGE_SIZE)
+    l2.touch_common("weights", PAGE_SIZE)
+    f1 = l1.task.aspace.mapped_frame(l1.common_vmas["weights"].start)
+    f2 = l2.task.aspace.mapped_frame(l2.common_vmas["weights"].start)
+    assert f1 == f2
+
+
+def test_sandboxed_syscall_after_lock_still_kills(system):
+    libos = LibOs.boot_sandboxed(system, manifest(), confined_budget=8 * MIB)
+    libos.sandbox.install_input(b"go")
+    with pytest.raises(SandboxViolation):
+        system.kernel.syscall(libos.task, "getpid")

@@ -1,0 +1,236 @@
+"""Micro-level security claims: the hardware-enforced halves of C2-C4.
+
+These scenarios execute attacker instruction sequences on the simulated
+CPU with the monitor's gates, PKS profile and CET armed — the same
+mechanism mix the paper's §8 analysis walks through.
+"""
+
+import pytest
+
+from repro.core.emc import ENTRY_GATE_VA, EmcCall, MONITOR_DATA_VA
+from repro.core.gates import (
+    PKEY_KTEXT,
+    PKEY_MONITOR,
+    PKRS_KERNEL,
+    SAVED_PKRS_SLOT,
+    int_gate,
+    int_gate_return,
+)
+from repro.core.microrig import GateRig
+from repro.hw import regs
+from repro.hw.errors import ControlProtectionFault, PageFault
+from repro.hw.isa import I, INSTR_SIZE
+from repro.hw.testbench import KERNEL_CODE_VA, USER_CODE_VA
+
+KTEXT_VA = 0x60_1000_0000
+HANDLER_VA = 0x60_2000_0000
+RET_GATE_VA = 0x60_3000_0000
+
+
+# --------------------------------------------------------------------------- #
+# C2: the deprivileged kernel cannot create sensitive instructions
+# --------------------------------------------------------------------------- #
+
+def test_c2_kernel_cannot_overwrite_its_own_text():
+    """Kernel text's writable direct-map alias is closed by PKS (W^X).
+
+    The text mapping itself is read-only; the dangerous path is the
+    kernel's writable direct-map alias of the same frames — that alias
+    carries the write-disabled KTEXT protection key.
+    """
+    rig = GateRig()
+    rig.machine.map_data(KTEXT_VA, writable=True, pkey=PKEY_KTEXT,
+                         owner="ktext")
+    rig.machine.load_code(KERNEL_CODE_VA, [
+        I("movi", "rbx", imm=KTEXT_VA),
+        I("movi", "rax", imm=0x1234),
+        I("store", "rbx", "rax"),     # patch text via the alias -> PKS #PF
+        I("hlt"),
+    ])
+    with pytest.raises(PageFault) as exc:
+        rig.machine.run_kernel()
+    assert exc.value.pkey_violation
+
+
+def test_c2_smep_blocks_sensitive_instruction_in_user_pages():
+    """Kernel cannot 'outsource' a tdcall to a user-mapped page."""
+    rig = GateRig()
+    rig.machine.load_code(USER_CODE_VA, [I("tdcall"), I("ret")], user=True)
+    rig.machine.load_code(KERNEL_CODE_VA, [
+        I("call", imm=USER_CODE_VA),  # execute from user page -> SMEP #PF
+        I("hlt"),
+    ])
+    with pytest.raises(PageFault):
+        rig.machine.run_kernel()
+
+
+# --------------------------------------------------------------------------- #
+# C3: monitor integrity against the kernel
+# --------------------------------------------------------------------------- #
+
+def test_c3_kernel_read_of_monitor_memory_faults():
+    rig = GateRig()
+    rig.machine.load_code(KERNEL_CODE_VA, [
+        I("movi", "rbx", imm=MONITOR_DATA_VA),
+        I("load", "rax", "rbx"),      # monitor pkey is access-disabled
+        I("hlt"),
+    ])
+    with pytest.raises(PageFault) as exc:
+        rig.machine.run_kernel()
+    assert exc.value.pkey_violation
+
+
+def test_c3_kernel_write_to_monitor_memory_faults():
+    rig = GateRig()
+    rig.machine.load_code(KERNEL_CODE_VA, [
+        I("movi", "rbx", imm=MONITOR_DATA_VA),
+        I("movi", "rax", imm=0xE11),
+        I("store", "rbx", "rax"),
+        I("hlt"),
+    ])
+    with pytest.raises(PageFault) as exc:
+        rig.machine.run_kernel()
+    assert exc.value.pkey_violation
+
+
+def test_c3_monitor_code_readable_as_instructions_but_not_data():
+    """PKS blocks data reads of monitor pages (confidentiality of keys)."""
+    rig = GateRig()
+    rig.machine.load_code(KERNEL_CODE_VA, [
+        I("movi", "rbx", imm=ENTRY_GATE_VA),
+        I("load", "rax", "rbx"),
+        I("hlt"),
+    ])
+    with pytest.raises(PageFault) as exc:
+        rig.machine.run_kernel()
+    assert exc.value.pkey_violation
+
+
+# --------------------------------------------------------------------------- #
+# C4: deterministic EMC entry via HW-CFI
+# --------------------------------------------------------------------------- #
+
+def test_c4_indirect_jump_past_the_entry_gate_raises_cp():
+    """Jumping into the middle of the monitor misses endbr -> #CP."""
+    rig = GateRig()
+    mid_monitor = ENTRY_GATE_VA + 6 * INSTR_SIZE   # after the PKRS grant
+    rig.machine.load_code(KERNEL_CODE_VA, [
+        I("movi", "rax", imm=mid_monitor),
+        I("icall", "rax"),
+        I("hlt"),
+    ])
+    with pytest.raises(ControlProtectionFault) as exc:
+        rig.machine.run_kernel()
+    assert exc.value.missing_endbranch
+    # and crucially: permissions were never granted
+    assert rig.cpu.msrs[regs.IA32_PKRS] == PKRS_KERNEL
+
+
+def test_c4_indirect_jump_to_exit_gate_raises_cp():
+    """The exit gate is not a legal entry point either."""
+    rig = GateRig()
+    rig.machine.load_code(KERNEL_CODE_VA, [
+        I("movi", "rax", imm=rig.layout.exit_gate_va),
+        I("ijmp", "rax"),
+        I("hlt"),
+    ])
+    with pytest.raises(ControlProtectionFault):
+        rig.machine.run_kernel()
+
+
+def test_c4_entry_gate_is_the_only_legal_indirect_target():
+    rig = GateRig()
+    assert rig.run_emc(int(EmcCall.NOP)) > 0  # entry gate itself works
+
+
+def test_c4_ret_into_monitor_blocked_by_shadow_stack():
+    """A forged return address into monitor code trips the SST check."""
+    rig = GateRig()
+    mid_monitor = rig.layout.exit_gate_va + 2 * INSTR_SIZE
+    # call a helper (so the shadow stack has one legit entry), then have the
+    # helper overwrite its on-stack return address with a monitor address
+    helper_va = KERNEL_CODE_VA + 2 * INSTR_SIZE
+    rig.machine.load_code(KERNEL_CODE_VA, [
+        I("call", imm=helper_va),
+        I("hlt"),
+        # helper: overwrite [rsp] with monitor address, then ret
+        I("movi", "rax", imm=mid_monitor),
+        I("store", "rsp", "rax"),
+        I("ret"),
+    ])
+    with pytest.raises(ControlProtectionFault) as exc:
+        rig.machine.run_kernel()
+    assert exc.value.shadow_stack_mismatch
+    assert rig.cpu.msrs[regs.IA32_PKRS] == PKRS_KERNEL
+
+
+def test_c4_interrupt_during_emc_revokes_permissions():
+    """Fig. 5c-right: a preempting kernel never holds monitor access.
+
+    We interrupt the EMC right after the entry gate opened PKRS. The #INT
+    gate spills the open PKRS into monitor memory, revokes it, and only
+    then runs the OS handler; the handler's attempt to read monitor memory
+    faults on the protection key.
+    """
+    rig = GateRig()
+    # OS interrupt handler: try to read monitor memory (the attack)
+    rig.machine.load_code(HANDLER_VA, [
+        I("movi", "rbx", imm=MONITOR_DATA_VA),
+        I("load", "r12", "rbx"),
+        I("iret"),
+    ])
+    gate_va = 0x60_5000_0000
+    rig.machine.load_code(gate_va, int_gate(HANDLER_VA))
+    idt = rig.machine.install_idt({33: gate_va})
+
+    stub = rig.caller_stub(int(EmcCall.NOP))
+    rig.machine.load_code(KERNEL_CODE_VA, stub)
+    rig.cpu.mode = "kernel"
+    rig.cpu.rip = KERNEL_CODE_VA
+    # step until the entry gate's wrmsr has executed (PKRS now open)
+    for _ in range(200):
+        instr = rig.cpu.step()
+        if instr.op == "wrmsr":
+            break
+    assert rig.cpu.msrs[regs.IA32_PKRS] == 0  # open
+    # host/OS injects an interrupt mid-EMC
+    rig.cpu.deliver(33)
+    with pytest.raises(PageFault) as exc:
+        rig.cpu.run(max_steps=100, deliver_faults=False)
+    assert exc.value.pkey_violation
+    assert rig.cpu.msrs[regs.IA32_PKRS] == PKRS_KERNEL  # revoked before OS ran
+
+
+def test_c4_interrupt_gate_restores_permissions_on_resume():
+    """A benign interrupt during EMC resumes with permissions intact."""
+    rig = GateRig()
+    return_va = 0x60_6000_0000
+    rig.machine.load_code(return_va, int_gate_return())
+    # benign handler: record its run in kernel memory (registers are
+    # parked/restored by the gate), then return through the gate
+    marker_va = 0x60_9100_0000
+    rig.machine.map_data(marker_va, 1, owner="kernel")
+    rig.machine.load_code(HANDLER_VA, [
+        I("movi", "r12", imm=0x77),
+        I("movi", "rbx", imm=marker_va),
+        I("store", "rbx", "r12"),
+        I("jmp", imm=return_va),
+    ])
+    gate_va = 0x60_5000_0000
+    rig.machine.load_code(gate_va, int_gate(HANDLER_VA))
+    rig.machine.install_idt({33: gate_va})
+
+    stub = rig.caller_stub(int(EmcCall.WRITE_MSR), rsi=0x321, rdx=0xABC)
+    rig.machine.load_code(KERNEL_CODE_VA, stub)
+    rig.cpu.mode = "kernel"
+    rig.cpu.rip = KERNEL_CODE_VA
+    for _ in range(200):
+        if rig.cpu.step().op == "wrmsr":
+            break
+    rig.cpu.deliver(33)
+    rig.cpu.run(max_steps=1000)
+    # interrupt ran, EMC completed, permissions ended revoked
+    pa, _ = rig.machine.aspace.translate(marker_va)
+    assert rig.machine.phys.read_u64(pa) == 0x77
+    assert rig.cpu.msrs[0x321] == 0xABC
+    assert rig.cpu.msrs[regs.IA32_PKRS] == PKRS_KERNEL

@@ -1,0 +1,98 @@
+"""EMC attack-surface fuzz: the monitor fails closed under garbage input.
+
+A malicious kernel owns the EMC interface (it can call anything with any
+arguments). Whatever it sends, the monitor must either perform a policy-
+compliant operation or refuse — never corrupt its own invariants, never
+crash the machine, never flip a pinned protection bit.
+"""
+
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core import PolicyViolation, erebor_boot
+from repro.core.emc import EmcCall
+from repro.core.microrig import GateRig
+from repro.core.gates import PKRS_KERNEL
+from repro.hw import regs
+from repro.hw.paging import make_pte
+from repro.vm import CvmMachine, MachineConfig, MIB
+
+
+@pytest.fixture(scope="module")
+def system():
+    machine = CvmMachine(MachineConfig(memory_bytes=512 * MIB))
+    return erebor_boot(machine, cma_bytes=32 * MIB)
+
+
+def protections_intact(system) -> bool:
+    cpu = system.machine.cpu
+    return bool(cpu.crs[4] & regs.CR4_SMEP
+                and cpu.crs[4] & regs.CR4_SMAP
+                and cpu.crs[4] & regs.CR4_PKS
+                and cpu.msrs[regs.IA32_PKRS] == PKRS_KERNEL)
+
+
+@settings(max_examples=40, deadline=None)
+@given(st.integers(0, 2**31 - 1))
+def test_property_random_macro_emc_storm_fails_closed(seed):
+    """Random ops with random args: exceptions only, invariants hold."""
+    machine = CvmMachine(MachineConfig(memory_bytes=256 * MIB))
+    system = erebor_boot(machine, cma_bytes=16 * MIB)
+    ops = system.monitor.ops
+    task = system.kernel.spawn("attacker")
+    rng = random.Random(seed)
+    attacks = [
+        lambda: ops.write_cr(rng.choice((0, 3, 4, 8)),
+                             rng.getrandbits(64)),
+        lambda: ops.write_msr(rng.getrandbits(16), rng.getrandbits(64)),
+        lambda: ops.write_pte(task.aspace, rng.getrandbits(32) & ~0xFFF,
+                              make_pte(rng.getrandbits(12),
+                                       rng.getrandbits(4) | 1,
+                                       rng.getrandbits(4))),
+        lambda: ops.map_gpa(rng.getrandbits(16), rng.randrange(1, 4),
+                            shared=bool(rng.getrandbits(1))),
+        lambda: ops.tdreport(bytes(rng.getrandbits(8) for _ in range(8))),
+        lambda: ops.user_copy(rng.getrandbits(16), to_user=True),
+        lambda: ops.verify_dynamic_code(
+            bytes(rng.getrandbits(8) for _ in range(48))),
+    ]
+    for _ in range(25):
+        try:
+            rng.choice(attacks)()
+        except (PolicyViolation, Exception):
+            pass
+    assert protections_intact(system)
+    # the monitor still serves legitimate requests afterwards
+    sandbox = system.monitor.create_sandbox("ok", confined_budget=2 * MIB)
+    sandbox.declare_confined(256 * 1024)
+    assert sandbox.state == "ready"
+
+
+@settings(max_examples=25, deadline=None)
+@given(st.integers(0, 2**16 - 1), st.integers(0, 2**64 - 1),
+       st.integers(0, 2**64 - 1))
+def test_property_micro_gate_survives_garbage_call_numbers(number, rsi, rdx):
+    """Unknown call numbers fall through to the exit gate, no work done."""
+    rig = GateRig()
+    msrs_before = dict(rig.cpu.msrs)
+    crs_before = dict(rig.cpu.crs)
+    rig.run_emc(number, rsi=rsi & 0xFFFF, rdx=rdx)
+    if number == int(EmcCall.WRITE_MSR):
+        msrs_before[rsi & 0xFFFF] = rdx          # the one legitimate effect
+    if number == int(EmcCall.WRITE_CR):
+        return                                   # handler may set CR4
+    assert rig.cpu.msrs[regs.IA32_PKRS] == PKRS_KERNEL
+    assert {k: v for k, v in rig.cpu.msrs.items() if k != regs.IA32_PL0_SSP} \
+        == {k: v for k, v in msrs_before.items() if k != regs.IA32_PL0_SSP}
+    assert rig.cpu.crs == crs_before
+
+
+def test_denial_storm_leaves_audit_trail(system):
+    before = len(system.monitor.audit_log)
+    for _ in range(10):
+        with pytest.raises(PolicyViolation):
+            system.monitor.ops.write_msr(regs.IA32_PKRS, 0)
+    denies = [e for e in system.monitor.audit_log[before:] if e.kind == "deny"]
+    assert len(denies) == 10

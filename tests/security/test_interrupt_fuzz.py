@@ -1,0 +1,120 @@
+"""Interrupt-injection fuzz: the #INT gate holds at EVERY preemption point.
+
+The paper assumes hardware patched against malicious interrupt injection
+(Heckler/WeSee, §4.1) for *unexpected vectors*; for ordinary injectable
+interrupts, Erebor's #INT gate must guarantee the OS handler never runs
+with monitor permissions — no matter which instruction of the EMC the
+interrupt lands on. This test injects at every single step of an EMC
+round trip and asserts the invariant each time.
+"""
+
+import pytest
+
+from repro.core.emc import EmcCall, MONITOR_DATA_VA
+from repro.core.gates import PKRS_KERNEL, int_gate, int_gate_return
+from repro.core.microrig import GateRig
+from repro.hw import regs
+from repro.hw.cpu import CpuHalt
+from repro.hw.errors import HardwareFault
+from repro.hw.isa import I
+from repro.hw.testbench import KERNEL_CODE_VA
+
+GATE_VA = 0x60_5000_0000
+RETURN_VA = 0x60_6000_0000
+HANDLER_VA = 0x60_7000_0000
+PROBE_MSR = 0x7777
+
+
+def build_rig():
+    """A rig whose OS handler records the PKRS value it observes."""
+    rig = GateRig()
+    # OS interrupt handler: read PKRS into a probe MSR... it cannot wrmsr
+    # (deprivileged), so record via a register the test inspects through
+    # a store to kernel memory.
+    rig.machine.map_data(0x60_9000_0000, 1, owner="kernel")
+    rig.machine.load_code(HANDLER_VA, [
+        I("movi", "rcx", imm=regs.IA32_PKRS),
+        I("rdmsr"),                                  # rax = observed PKRS
+        I("movi", "rbx", imm=0x60_9000_0000),
+        I("store", "rbx", "rax"),                    # record it
+        I("jmp", imm=RETURN_VA),
+    ])
+    rig.machine.load_code(GATE_VA, int_gate(HANDLER_VA))
+    rig.machine.load_code(RETURN_VA, int_gate_return())
+    rig.machine.install_idt({33: GATE_VA})
+    return rig
+
+
+def observed_pkrs(rig) -> int:
+    hit = rig.machine.aspace.translate(0x60_9000_0000)
+    return rig.machine.phys.read_u64(hit[0])
+
+
+def run_one(inject_at_step: int) -> tuple[int, bool, int]:
+    """Run a WRITE_MSR EMC, injecting vector 33 after `inject_at_step`
+    retired instructions. Returns (observed_pkrs, completed, msr_value)."""
+    rig = build_rig()
+    stub = rig.caller_stub(int(EmcCall.WRITE_MSR), rsi=PROBE_MSR, rdx=0xAB)
+    rig.machine.load_code(KERNEL_CODE_VA, stub)
+    rig.cpu.mode = "kernel"
+    rig.cpu.rip = KERNEL_CODE_VA
+    steps = 0
+    injected = False
+    completed = False
+    for _ in range(5000):
+        if steps == inject_at_step and not injected:
+            rig.cpu.deliver(33)
+            injected = True
+        try:
+            rig.cpu.step()
+        except CpuHalt:
+            completed = True
+            break
+        steps += 1
+    return observed_pkrs(rig), completed, rig.cpu.msrs.get(PROBE_MSR, 0)
+
+
+def total_emc_steps() -> int:
+    rig = build_rig()
+    stub = rig.caller_stub(int(EmcCall.WRITE_MSR), rsi=PROBE_MSR, rdx=0xAB)
+    rig.machine.load_code(KERNEL_CODE_VA, stub)
+    rig.cpu.mode = "kernel"
+    rig.cpu.rip = KERNEL_CODE_VA
+    steps = 0
+    for _ in range(5000):
+        try:
+            rig.cpu.step()
+        except CpuHalt:
+            return steps
+        steps += 1
+    raise AssertionError("EMC did not complete")
+
+
+def test_injection_at_every_emc_instruction_never_leaks_permissions():
+    """The core invariant, exhaustively: for every possible preemption
+    point, the OS handler observes closed (kernel-profile) PKRS, and the
+    interrupted EMC still completes correctly afterwards."""
+    n = total_emc_steps()
+    assert n > 30  # sanity: the sweep actually covers the gate path
+    for inject_at in range(n):
+        observed, completed, msr = run_one(inject_at)
+        assert observed == PKRS_KERNEL, (
+            f"OS handler saw open PKRS {observed:#x} when injected "
+            f"at step {inject_at}")
+        assert completed, f"EMC never completed (injected at {inject_at})"
+        assert msr == 0xAB, f"EMC result lost (injected at {inject_at})"
+
+
+def test_injection_outside_emc_also_sees_closed_permissions():
+    rig = build_rig()
+    rig.machine.load_code(KERNEL_CODE_VA, [I("nop"), I("nop"), I("hlt")])
+    rig.cpu.mode = "kernel"
+    rig.cpu.rip = KERNEL_CODE_VA
+    rig.cpu.step()
+    rig.cpu.deliver(33)          # interrupt plain kernel execution
+    try:
+        rig.cpu.run(max_steps=100)
+    except HardwareFault:
+        pytest.fail("int gate must not fault outside EMC")
+    assert observed_pkrs(rig) == PKRS_KERNEL
+    assert rig.cpu.msrs[regs.IA32_PKRS] == PKRS_KERNEL

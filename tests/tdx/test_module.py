@@ -1,0 +1,184 @@
+"""Unit tests for the TDX module: sEPT, tdcall dispatch, measurement."""
+
+import pytest
+
+from repro.hw.cycles import Cost, CycleClock
+from repro.hw.errors import GeneralProtectionFault
+from repro.hw.isa import I
+from repro.hw.memory import PhysicalMemory
+from repro.hw.testbench import KERNEL_CODE_VA, KERNEL_DATA_VA, MicroMachine
+from repro.tdx import (
+    AttestationAuthority,
+    HostVmm,
+    LEAF_TDREPORT,
+    LEAF_VMCALL,
+    PrivateMemoryError,
+    TdxModule,
+    VMCALL_CPUID,
+    VMCALL_MAPGPA,
+)
+
+
+@pytest.fixture
+def rig():
+    phys = PhysicalMemory(64 * 1024 * 1024)
+    clock = CycleClock()
+    vmm = HostVmm(phys, clock)
+    tdx = TdxModule(phys, clock, vmm, AttestationAuthority())
+    vmm.shared_oracle = tdx
+    return phys, clock, vmm, tdx
+
+
+def test_all_memory_private_by_default(rig):
+    _, _, _, tdx = rig
+    assert not tdx.is_shared(0)
+    assert not tdx.is_shared(12345)
+
+
+def test_mapgpa_converts_and_notifies_host(rig):
+    _, _, vmm, tdx = rig
+    tdx.guest_map_gpa(100, 4, shared=True)
+    assert all(tdx.is_shared(fn) for fn in range(100, 104))
+    assert not tdx.is_shared(104)
+    assert ("mapgpa", (100, 4, True)) in vmm.observations
+    tdx.guest_map_gpa(100, 2, shared=False)
+    assert not tdx.is_shared(100)
+    assert tdx.is_shared(102)
+
+
+def test_host_cannot_read_private_memory(rig):
+    phys, _, vmm, tdx = rig
+    phys.write(50 * 4096, b"secret data")
+    with pytest.raises(PrivateMemoryError):
+        vmm.host_read(50)
+
+
+def test_host_reads_shared_memory(rig):
+    phys, _, vmm, tdx = rig
+    phys.write(51 * 4096, b"public data")
+    tdx.guest_map_gpa(51, 1, shared=True)
+    assert vmm.host_read(51).startswith(b"public data")
+    assert b"public data" in vmm.observed_blob()
+
+
+def test_tdcall_charges_table3_cost(rig):
+    _, clock, _, tdx = rig
+    before = clock.cycles
+    tdx.guest_map_gpa(10, 1, shared=True)
+    assert clock.cycles - before == Cost.TDCALL_ROUND_TRIP
+
+
+def test_tdreport_binds_measurement_and_report_data(rig):
+    _, _, _, tdx = rig
+    tdx.build_load("firmware", b"OVMF")
+    tdx.build_load("monitor", b"EREBOR")
+    tdx.finalize()
+    quote = tdx.guest_tdreport(b"channel-binding")
+    assert quote.report_data.startswith(b"channel-binding")
+    assert quote.mrtd == tdx.measurement.mrtd
+    report = tdx.authority.verify(quote, expected_mrtd=tdx.measurement.mrtd)
+    assert report.mrtd == quote.mrtd
+
+
+def test_measurement_order_sensitive(rig):
+    _, _, _, tdx = rig
+    tdx.build_load("a", b"1")
+    tdx.build_load("b", b"2")
+    other = TdxModule(rig[0], rig[1], rig[2], AttestationAuthority())
+    other.build_load("b", b"2")
+    other.build_load("a", b"1")
+    assert tdx.measurement.mrtd != other.measurement.mrtd
+
+
+def test_build_load_after_finalize_rejected(rig):
+    _, _, _, tdx = rig
+    tdx.finalize()
+    with pytest.raises(RuntimeError):
+        tdx.build_load("late", b"payload")
+
+
+def test_report_data_too_long(rig):
+    _, _, _, tdx = rig
+    with pytest.raises(ValueError):
+        tdx.guest_tdreport(b"x" * 65)
+
+
+def test_micro_tdcall_vmcall_mapgpa(rig):
+    phys, clock, vmm, tdx = rig
+    m = MicroMachine(tdx=tdx)
+    # tdcall(vmcall, mapgpa): rcx=fn_start, rdx=(count<<1)|shared
+    m.load_code(KERNEL_CODE_VA, [
+        I("movi", "rax", imm=LEAF_VMCALL),
+        I("movi", "rbx", imm=VMCALL_MAPGPA),
+        I("movi", "rcx", imm=77),
+        I("movi", "rdx", imm=(3 << 1) | 1),
+        I("tdcall"),
+        I("hlt"),
+    ])
+    m.run_kernel()
+    assert tdx.is_shared(77) and tdx.is_shared(79)
+
+
+def test_micro_tdcall_scrubs_registers_before_host(rig):
+    _, _, vmm, tdx = rig
+    m = MicroMachine(tdx=tdx)
+    m.load_code(KERNEL_CODE_VA, [
+        I("movi", "r12", imm=0x5EC12E7),  # "secret" value in a register
+        I("movi", "rax", imm=LEAF_VMCALL),
+        I("movi", "rbx", imm=VMCALL_CPUID),
+        I("tdcall"),
+        I("hlt"),
+    ])
+    m.run_kernel()
+    exits = [p for kind, p in vmm.observations if kind == "td_exit_regs"]
+    assert exits and all(v == 0 for v in exits[0].values())
+
+
+def test_micro_tdreport(rig):
+    _, _, _, tdx = rig
+    tdx.build_load("monitor", b"EREBOR")
+    tdx.finalize()
+    m = MicroMachine(tdx=tdx)
+    m.map_data(KERNEL_DATA_VA)
+    m.write_phys(KERNEL_DATA_VA, b"nonce-material".ljust(64, b"\x00"))
+    m.load_code(KERNEL_CODE_VA, [
+        I("movi", "rax", imm=LEAF_TDREPORT),
+        I("movi", "rcx", imm=KERNEL_DATA_VA),
+        I("tdcall"),
+        I("hlt"),
+    ])
+    m.run_kernel()
+    assert m.cpu.last_tdreport.report_data.startswith(b"nonce-material")
+
+
+def test_micro_tdcall_from_user_faults(rig):
+    _, _, _, tdx = rig
+    m = MicroMachine(tdx=tdx)
+    from repro.hw.testbench import USER_CODE_VA
+    m.load_code(USER_CODE_VA, [I("tdcall")], user=True)
+    with pytest.raises(GeneralProtectionFault):
+        m.run_user()
+
+
+def test_unknown_leaf_faults(rig):
+    _, _, _, tdx = rig
+    m = MicroMachine(tdx=tdx)
+    m.load_code(KERNEL_CODE_VA, [I("movi", "rax", imm=999), I("tdcall"), I("hlt")])
+    with pytest.raises(GeneralProtectionFault):
+        m.run_kernel()
+
+
+def test_vmm_interrupt_injection_reaches_sink(rig):
+    _, _, vmm, _ = rig
+    got = []
+    vmm.interrupt_sink = got.append
+    vmm.inject_interrupt(32)
+    assert got == [32]
+    assert ("inject_irq", 32) in vmm.observations
+
+
+def test_plain_vmcall_cost(rig):
+    _, clock, vmm, _ = rig
+    before = clock.cycles
+    vmm.plain_vmcall()
+    assert clock.cycles - before == Cost.VMCALL_ROUND_TRIP

@@ -1,0 +1,46 @@
+"""Package-health smoke tests: every module imports, API exports resolve."""
+
+import importlib
+import pkgutil
+
+import pytest
+
+import repro
+
+
+def all_modules():
+    names = ["repro"]
+    for info in pkgutil.walk_packages(repro.__path__, prefix="repro."):
+        names.append(info.name)
+    return names
+
+
+@pytest.mark.parametrize("name", all_modules())
+def test_module_imports(name):
+    importlib.import_module(name)
+
+
+@pytest.mark.parametrize("package", [
+    "repro", "repro.hw", "repro.tdx", "repro.crypto", "repro.kernel",
+    "repro.core", "repro.libos", "repro.apps", "repro.baselines",
+    "repro.client", "repro.bench",
+])
+def test_all_exports_resolve(package):
+    module = importlib.import_module(package)
+    for name in getattr(module, "__all__", []):
+        assert hasattr(module, name), f"{package}.__all__ lists {name}"
+
+
+def test_version_string():
+    assert repro.__version__ == "1.0.0"
+
+
+def test_public_items_have_docstrings():
+    """Deliverable (e): doc comments on every public item."""
+    for package in ("repro.core", "repro.libos", "repro.bench",
+                    "repro.baselines", "repro.client"):
+        module = importlib.import_module(package)
+        for name in getattr(module, "__all__", []):
+            obj = getattr(module, name)
+            if callable(obj) or isinstance(obj, type):
+                assert obj.__doc__, f"{package}.{name} lacks a docstring"

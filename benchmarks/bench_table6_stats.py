@@ -4,6 +4,11 @@ Regenerates the columns: per-second sandbox exit rates (#PF / #Timer /
 #VE / total), EMC rate, data-processing time, confined and common memory,
 and the one-time initialization overhead vs native. Paper bands: exits
 2.2-4.4k/s, EMC tens of k/s, init overhead 11.5-52.7%.
+
+The rate columns are read from the ``repro.obs`` metrics registry the
+runner snapshots around every measurement window (``metric_rate``), not
+recomputed from ad-hoc event counters — the same series ``results.json``
+and the Prometheus exporter carry.
 """
 
 import pytest
@@ -27,13 +32,16 @@ def test_print_table6(benchmark, workload_matrix):
             r = runs["erebor"]
             native = runs["native"]
             init_ovh = r.init_seconds / native.init_seconds - 1.0
+            pf = r.metric_rate("kernel_page_faults_total")
+            timer = r.metric_rate("kernel_timer_ticks_total")
+            ve = r.metric_rate("kernel_ve_total")
             rows.append([
                 name,
-                f"{r.rate('page_fault'):.0f}",
-                f"{r.rate('timer_interrupt'):.0f}",
-                f"{r.rate('ve'):.0f}",
-                f"{r.total_exit_rate:.0f}",
-                f"{r.rate('emc') / 1000:.1f}k",
+                f"{pf:.0f}",
+                f"{timer:.0f}",
+                f"{ve:.0f}",
+                f"{pf + timer + ve:.0f}",
+                f"{r.metric_rate('erebor_emc_total') / 1000:.1f}k",
                 f"{r.run_seconds:.2f}s",
                 mib(r.confined_bytes),
                 mib(r.common_bytes) if r.common_bytes else "-",
@@ -57,8 +65,10 @@ def test_exit_rates_in_paper_band(benchmark, workload_matrix):
 def test_emc_rates_tens_of_thousands(benchmark, workload_matrix):
     data = benchmark.pedantic(lambda: workload_matrix, rounds=1, iterations=1)
     for name, runs in data.items():
-        emc = runs["erebor"].rate("emc")
+        emc = runs["erebor"].metric_rate("erebor_emc_total")
         assert 15_000 <= emc <= 120_000, (name, emc)  # paper: 39.5k-87.6k
+        # registry series and clock event ledger must agree exactly
+        assert emc == pytest.approx(runs["erebor"].rate("emc"))
 
 
 def test_init_overhead_band(benchmark, workload_matrix):

@@ -66,17 +66,22 @@ def collect_fig9_table6(scale: float = 0.5, seed: int = 2025) -> dict:
     for name in WORKLOADS:
         runs = runner.run_all_settings(name)
         native = runs["native"]
-        entry = {"overhead_vs_native": {}, "table6": {}}
+        entry = {"overhead_vs_native": {}, "table6": {}, "metrics": {}}
         for setting, result in runs.items():
             entry["overhead_vs_native"][setting] = (
                 result.run_seconds / native.run_seconds - 1.0)
+            entry["metrics"][setting] = result.metrics
         erebor = runs["erebor"]
+        # Table 6 columns come from the labelled metrics registry the
+        # runner snapshots around the measurement window (not from ad-hoc
+        # event counters); bench_table6_stats.py renders the same series.
         entry["table6"] = {
-            "pf_per_sec": erebor.rate("page_fault"),
-            "timer_per_sec": erebor.rate("timer_interrupt"),
-            "ve_per_sec": erebor.rate("ve"),
-            "emc_per_sec": erebor.rate("emc"),
-            "sandbox_exit_per_sec": erebor.rate("sandbox_exit"),
+            "pf_per_sec": erebor.metric_rate("kernel_page_faults_total"),
+            "timer_per_sec": erebor.metric_rate("kernel_timer_ticks_total"),
+            "ve_per_sec": erebor.metric_rate("kernel_ve_total"),
+            "emc_per_sec": erebor.metric_rate("erebor_emc_total"),
+            "sandbox_exit_per_sec": erebor.metric_rate(
+                "erebor_sandbox_exits_total"),
             "run_seconds": erebor.run_seconds,
             "confined_bytes": erebor.confined_bytes,
             "common_bytes": erebor.common_bytes,

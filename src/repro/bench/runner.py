@@ -28,6 +28,8 @@ from ..core.monitor import EreborFeatures
 from ..hw.memory import PAGE_SIZE
 from ..kernel.kernel import GuestKernel, KernelConfig
 from ..libos.libos import DEBUGFS_IN, DEBUGFS_OUT, LibOs
+from ..obs.metrics import (MetricsRegistry, snapshot_counter_total,
+                           snapshot_delta)
 from ..vm import CvmMachine, MachineConfig, MIB
 
 SETTINGS = ("native", "libos", "mmu", "exit", "erebor")
@@ -52,6 +54,9 @@ class RunResult:
     by_tag: dict = field(default_factory=dict)
     confined_bytes: int = 0
     common_bytes: int = 0
+    #: metrics-registry delta over the measurement window (JSON-able
+    #: snapshot: {"counters": ..., "gauges": ..., "histograms": ...})
+    metrics: dict = field(default_factory=dict)
 
     @property
     def run_cycles(self) -> int:
@@ -61,6 +66,20 @@ class RunResult:
         if self.run_seconds <= 0:
             return 0.0
         return self.events.get(event, 0) / self.run_seconds
+
+    def metric_total(self, name: str, **match) -> float:
+        """Sum a counter from the attached metrics snapshot.
+
+        ``match`` filters label values (e.g. ``cls="mmu"``); series missing
+        a matched label are skipped.
+        """
+        return snapshot_counter_total(self.metrics, name, **match)
+
+    def metric_rate(self, name: str, **match) -> float:
+        """Counter total per simulated second of the measurement window."""
+        if self.run_seconds <= 0:
+            return 0.0
+        return self.metric_total(name, **match) / self.run_seconds
 
     @property
     def total_exit_rate(self) -> float:
@@ -73,12 +92,15 @@ class WorkloadRunner:
 
     def __init__(self, *, scale: float = 0.25, seed: int = 2025,
                  hz: int = 1000, memory_bytes: int = 768 * MIB,
-                 cma_bytes: int = 256 * MIB):
+                 cma_bytes: int = 256 * MIB, instrument=None):
         self.scale = scale
         self.seed = seed
         self.hz = hz
         self.memory_bytes = memory_bytes
         self.cma_bytes = cma_bytes
+        #: optional hook called with each freshly built machine before any
+        #: cycle is charged — e.g. repro.obs attaching a tracer at cycle 0
+        self.instrument = instrument
 
     # ------------------------------------------------------------------ #
 
@@ -100,8 +122,15 @@ class WorkloadRunner:
     # ------------------------------------------------------------------ #
 
     def _machine(self) -> CvmMachine:
-        return CvmMachine(MachineConfig(memory_bytes=self.memory_bytes,
-                                        hz=self.hz, seed=self.seed))
+        machine = CvmMachine(MachineConfig(memory_bytes=self.memory_bytes,
+                                           hz=self.hz, seed=self.seed))
+        if self.instrument is not None:
+            self.instrument(machine)
+        if not machine.clock.metrics.enabled:
+            # every bench run carries a live registry so Table 6 columns
+            # can be regenerated from labelled metrics (export.py)
+            machine.clock.metrics = MetricsRegistry()
+        return machine
 
     def _install_activity_hooks(self, kernel: GuestKernel, work: Workload,
                                 rt, system_task) -> None:
@@ -183,6 +212,7 @@ class WorkloadRunner:
         self._init_common_content(kernel, rt, work)
         rt.compute(work.profile.init_compute_cycles)
         t1 = machine.clock.snapshot()
+        m1 = machine.clock.metrics.snapshot()
 
         self._install_activity_hooks(kernel, work, rt, system_task)
         request = work.default_request()
@@ -199,7 +229,9 @@ class WorkloadRunner:
                          run_seconds=delta.seconds, output=output,
                          events=dict(delta.events), by_tag=dict(delta.by_tag),
                          confined_bytes=manifest.heap_bytes,
-                         common_bytes=common)
+                         common_bytes=common,
+                         metrics=snapshot_delta(
+                             machine.clock.metrics.snapshot(), m1))
 
     # ------------------------------------------------------------------ #
     # LibOS-only
@@ -216,6 +248,7 @@ class WorkloadRunner:
         self._init_common_content(kernel, rt, work)
         rt.compute(work.profile.init_compute_cycles)
         t1 = machine.clock.snapshot()
+        m1 = machine.clock.metrics.snapshot()
 
         self._install_activity_hooks(kernel, work, rt, system_task)
         request = work.default_request()
@@ -231,7 +264,9 @@ class WorkloadRunner:
                          run_seconds=delta.seconds, output=output,
                          events=dict(delta.events), by_tag=dict(delta.by_tag),
                          confined_bytes=manifest.heap_bytes,
-                         common_bytes=sum(s.size for s in manifest.common))
+                         common_bytes=sum(s.size for s in manifest.common),
+                         metrics=snapshot_delta(
+                             machine.clock.metrics.snapshot(), m1))
 
     # ------------------------------------------------------------------ #
     # Erebor (full + ablations)
@@ -265,6 +300,7 @@ class WorkloadRunner:
         client.request(proxy, channel, work.default_request())
 
         run_start = machine.clock.snapshot()
+        m1 = machine.clock.metrics.snapshot()
         kernel.current = libos.task
         request = rt.recv_input()
         output = work.serve(rt, request)
@@ -279,4 +315,6 @@ class WorkloadRunner:
                          run_seconds=delta.seconds, output=output,
                          events=dict(delta.events), by_tag=dict(delta.by_tag),
                          confined_bytes=libos.sandbox.confined_bytes,
-                         common_bytes=sum(s.size for s in manifest.common))
+                         common_bytes=sum(s.size for s in manifest.common),
+                         metrics=snapshot_delta(
+                             machine.clock.metrics.snapshot(), m1))

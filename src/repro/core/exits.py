@@ -19,6 +19,7 @@ from typing import TYPE_CHECKING
 
 from ..hw.cycles import Cost
 from ..kernel.kernel import ExitPath
+from ..obs.metrics import sandbox_label
 from ..kernel.process import Task
 from .policy import SandboxViolation
 
@@ -35,6 +36,7 @@ class MonitorExitPath(ExitPath):
     def __init__(self, monitor: "EreborMonitor"):
         self.monitor = monitor
         self.clock = monitor.clock
+        self._last_exit_cycle: int | None = None
 
     # ------------------------------------------------------------------ #
     # helpers
@@ -45,16 +47,34 @@ class MonitorExitPath(ExitPath):
             return task.sandbox
         return None
 
-    def _charge_exit(self, *, sandboxed: bool, sandbox=None) -> None:
-        self.clock.charge(Cost.EXIT_INSPECT, "exit_interpose")
+    def _charge_exit(self, cls: str = "other", *, sandboxed: bool,
+                     sandbox=None, task=None) -> None:
+        clock = self.clock
+        clock.charge(Cost.EXIT_INSPECT, "exit_interpose")
         if sandboxed:
-            self.clock.count("sandbox_exit")
+            clock.count("sandbox_exit")
             if sandbox is not None:
                 sandbox.stats["exits"] += 1
             if self.monitor.features.uarch_model:
-                self.clock.charge(Cost.UARCH_PER_SANDBOX_EXIT, "uarch")
+                clock.charge(Cost.UARCH_PER_SANDBOX_EXIT, "uarch")
             if self.monitor.mitigations is not None:
                 self.monitor.mitigations.on_sandbox_exit(sandbox)
+        metrics = clock.metrics
+        if metrics.enabled:
+            owner = sandbox_label(task)
+            metrics.inc("erebor_exits_total", cls=cls, sandbox=owner)
+            if sandboxed:
+                metrics.inc("erebor_sandbox_exits_total", cls=cls,
+                            sandbox=owner)
+            # exit-gap histogram: cycles between consecutive interposed
+            # exits, the interposition-frequency distribution Fig. 10 keys
+            last = self._last_exit_cycle
+            if last is not None:
+                metrics.observe("erebor_exit_gap_cycles",
+                                clock.cycles - last)
+            self._last_exit_cycle = clock.cycles
+        clock.tracer.event(f"exit:{cls}", cat="exit",
+                           sandboxed=sandboxed)
 
     @property
     def _active(self) -> bool:
@@ -68,7 +88,8 @@ class MonitorExitPath(ExitPath):
         if not self._active:
             return
         sandbox = self._sandbox_of(task)
-        self._charge_exit(sandboxed=sandbox is not None, sandbox=sandbox)
+        self._charge_exit("syscall", sandboxed=sandbox is not None,
+                          sandbox=sandbox, task=task)
         if sandbox is not None:
             self.clock.count("sandbox_syscall_exit")
             sandbox.stats["syscall_exits"] += 1
@@ -105,8 +126,10 @@ class MonitorExitPath(ExitPath):
         if not self._active:
             return
         sandbox = self._sandbox_of(task)
-        self._charge_exit(sandboxed=sandbox is not None, sandbox=sandbox)
+        self._charge_exit("pagefault", sandboxed=sandbox is not None,
+                          sandbox=sandbox, task=task)
         self.clock.charge(Cost.INT_GATE_OVERHEAD, "int_gate")
+        self.clock.metrics.inc("erebor_pkrs_toggles_total", 2)
         if sandbox is not None:
             self.clock.count("sandbox_pf_exit")
             sandbox.stats["pf_exits"] += 1
@@ -119,8 +142,10 @@ class MonitorExitPath(ExitPath):
         if not self._active:
             return
         sandbox = self._sandbox_of(task)
-        self._charge_exit(sandboxed=sandbox is not None, sandbox=sandbox)
+        self._charge_exit("irq", sandboxed=sandbox is not None,
+                          sandbox=sandbox, task=task)
         self.clock.charge(Cost.INT_GATE_OVERHEAD, "int_gate")
+        self.clock.metrics.inc("erebor_pkrs_toggles_total", 2)
         if sandbox is not None:
             self.clock.count("sandbox_irq_exit")
             sandbox.stats["irq_exits"] += 1
@@ -146,7 +171,8 @@ class MonitorExitPath(ExitPath):
         if not self._active:
             return
         sandbox = self._sandbox_of(task)
-        self._charge_exit(sandboxed=sandbox is not None, sandbox=sandbox)
+        self._charge_exit("ve", sandboxed=sandbox is not None,
+                          sandbox=sandbox, task=task)
         self.clock.count("ve_interposed")
         if sandbox is None or not sandbox.locked:
             return

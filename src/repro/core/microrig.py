@@ -149,7 +149,9 @@ class GateRig:
         for _ in range(5):
             cpu.step()
         before = self.clock.cycles
-        cpu.run(max_steps=10_000)
+        with self.clock.tracer.span("gate:micro", cat="gate",
+                                    call=call_number):
+            cpu.run(max_steps=10_000)
         after = self.clock.cycles
         # the final hlt costs 1 cycle; exclude it
         return after - before - 1

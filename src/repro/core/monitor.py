@@ -26,6 +26,8 @@ from ..hw.memory import pages_for
 from ..kernel.image import SelfImage
 from ..kernel.kernel import GuestKernel, KernelConfig
 from ..kernel.ops import PrivilegedOps
+from ..obs.metrics import sandbox_label
+from ..obs.ring import RingBuffer
 from ..tdx.module import VMCALL_CPUID
 from .nested_mmu import NestedMmu
 from .policy import (
@@ -59,13 +61,43 @@ class EreborFeatures:
     uarch_model: bool = True
 
 
-@dataclass
 class MonitorStats:
-    emc_calls: int = 0
-    policy_denials: int = 0
-    sandboxes_created: int = 0
-    sandboxes_killed: int = 0
-    verified_code_blobs: int = 0
+    """Read-only monitor statistics derived from the clock's event ledger.
+
+    Historically this was an independently-bumped dataclass, which let it
+    drift from the :class:`~repro.hw.cycles.CycleClock` event counters the
+    benchmark harness reports (``charge_emc`` bumped both). There is now a
+    single source of truth — ``clock.events`` — and this class is a naming
+    view over it, so the two can never diverge (test-enforced).
+    """
+
+    __slots__ = ("_events",)
+
+    #: attribute → clock event name
+    _FIELDS = {
+        "emc_calls": "emc",
+        "policy_denials": "policy_denial",
+        "sandboxes_created": "sandbox_created",
+        "sandboxes_killed": "sandbox_killed",
+        "verified_code_blobs": "verified_code_blob",
+    }
+
+    def __init__(self, events):
+        self._events = events
+
+    def __getattr__(self, name: str) -> int:
+        try:
+            return self._events[self._FIELDS[name]]
+        except KeyError:
+            raise AttributeError(name) from None
+
+    def as_dict(self) -> dict:
+        return {attr: self._events[event]
+                for attr, event in self._FIELDS.items()}
+
+    def __repr__(self) -> str:
+        body = ", ".join(f"{k}={v}" for k, v in self.as_dict().items())
+        return f"MonitorStats({body})"
 
 
 @dataclass
@@ -87,6 +119,8 @@ class EreborMonitor:
     CMA_BYTES_DEFAULT = 512 * 1024 * 1024
     #: size of the device-shared I/O window (the only shareable region)
     SHARED_IO_BYTES = 16 * 1024 * 1024
+    #: audit-log ring capacity (events); oldest entries drop beyond this
+    AUDIT_LOG_CAPACITY = 4096
 
     def __init__(self, machine: "CvmMachine",
                  features: EreborFeatures | None = None,
@@ -102,10 +136,13 @@ class EreborMonitor:
         self.sst_manager = ShadowStackManager(self)
         self.vmmu = NestedMmu(self.phys, self.clock)
         self.ops = MonitorOps(self)
-        self.stats = MonitorStats()
-        #: append-only log of security-relevant decisions (an operator /
-        #: auditor aid; never consulted by enforcement itself)
-        self.audit_log: list[AuditEvent] = []
+        self.stats = MonitorStats(self.clock.events)
+        #: bounded log of security-relevant decisions (an operator /
+        #: auditor aid; never consulted by enforcement itself). A ring:
+        #: once full the oldest events are overwritten and
+        #: ``audit_log.dropped`` counts what was lost.
+        self.audit_log: RingBuffer[AuditEvent] = RingBuffer(
+            self.AUDIT_LOG_CAPACITY)
         self.kernel: GuestKernel | None = None
         self.kernel_syscall_entry: int | None = None
         self.sandboxes: dict[int, "Sandbox"] = {}
@@ -148,9 +185,11 @@ class EreborMonitor:
 
     def verify_code(self, blob: bytes, what: str = "code") -> None:
         """Byte-scan executable bytes for sensitive sequences (§5.1)."""
-        self.clock.charge(12 * len(blob) // 64 + Cost.FENCE, "verify")
+        with self.clock.tracer.span("verify:code", cat="monitor",
+                                    what=what, size=len(blob)):
+            self.clock.charge(12 * len(blob) // 64 + Cost.FENCE, "verify")
         hits = scan_for_sensitive(blob)
-        self.stats.verified_code_blobs += 1
+        self.clock.count("verified_code_blob")
         if hits:
             offset, op = hits[0]
             self.audit("verify", f"REJECTED {what}: {op} at {offset:#x}")
@@ -187,20 +226,35 @@ class EreborMonitor:
     # EMC accounting
     # ------------------------------------------------------------------ #
 
-    def charge_emc(self, validation_cycles: int) -> None:
-        self.clock.charge(Cost.EMC_ROUND_TRIP, "emc")
-        self.clock.charge(validation_cycles, "emc_validate")
-        self.clock.count("emc")
-        self.stats.emc_calls += 1
-        if self.features.uarch_model:
-            self.clock.charge(Cost.UARCH_PER_EMC, "uarch")
+    def charge_emc(self, validation_cycles: int, kind: str = "nop") -> None:
+        clock = self.clock
+        emc_start = clock.cycles
+        with clock.tracer.span("gate", cat="gate"), \
+                clock.tracer.span(f"emc:{kind}", cat="emc"):
+            clock.charge(Cost.EMC_ROUND_TRIP, "emc")
+            with clock.tracer.span("validate", cat="emc"):
+                clock.charge(validation_cycles, "emc_validate")
+            clock.count("emc")
+            if self.features.uarch_model:
+                clock.charge(Cost.UARCH_PER_EMC, "uarch")
+        metrics = clock.metrics
+        if metrics.enabled:
+            kernel = self.kernel
+            owner = sandbox_label(kernel.current if kernel else None)
+            metrics.inc("erebor_emc_total", cls=kind, sandbox=owner)
+            # each EMC round trip writes IA32_PKRS twice (revoke + restore)
+            metrics.inc("erebor_pkrs_toggles_total", 2)
+            metrics.observe("erebor_emc_cycles", clock.cycles - emc_start,
+                            cls=kind)
 
     def audit(self, kind: str, detail: str) -> None:
-        self.audit_log.append(AuditEvent(self.clock.cycles, kind, detail))
+        cycle = self.clock.cycles
+        self.audit_log.append(AuditEvent(cycle, kind, detail))
+        self.clock.tracer.audit(kind, detail, cycle=cycle)
 
     def _deny(self, exc: PolicyViolation) -> PolicyViolation:
-        self.stats.policy_denials += 1
         self.clock.count("policy_denial")
+        self.clock.metrics.inc("erebor_policy_denials_total")
         self.audit("deny", str(exc))
         return exc
 
@@ -221,7 +275,7 @@ class EreborMonitor:
             raise PolicyViolation(
                 "attestation requires a TD guest; the normal-VM setting "
                 "has no TDX module (use the DebugFS channel emulation)")
-        self.charge_emc(Cost.VALIDATE_GHCI)
+        self.charge_emc(Cost.VALIDATE_GHCI, kind="ghci")
         self.audit("attest", f"quote over {len(report_data)}B report data")
         return self.tdx.guest_tdreport(report_data)
 
@@ -270,7 +324,10 @@ class EreborMonitor:
         sandbox = Sandbox(self, sandbox_id, name,
                           confined_budget=confined_budget, threads=threads)
         self.sandboxes[sandbox_id] = sandbox
-        self.stats.sandboxes_created += 1
+        self.clock.count("sandbox_created")
+        self.clock.tracer.event("sandbox:create", cat="sandbox",
+                                sandbox=sandbox_id, name=name)
+        self.clock.metrics.inc("erebor_sandboxes_created_total")
         self.audit("sandbox", f"created #{sandbox_id} {name!r} "
                    f"(budget {confined_budget >> 20} MiB, {threads} threads)")
         return sandbox
@@ -299,7 +356,7 @@ class MonitorOps(PrivilegedOps):
             else:
                 aspace.clear_pte(va)
             return
-        self.monitor.charge_emc(Cost.VALIDATE_MMU)
+        self.monitor.charge_emc(Cost.VALIDATE_MMU, kind="mmu")
         try:
             vmmu.write_pte(aspace, va, pte)
         except PolicyViolation as exc:
@@ -314,14 +371,14 @@ class MonitorOps(PrivilegedOps):
             self.clock.count("pte_write", n)
             return
         for _ in range(n):
-            self.monitor.charge_emc(Cost.VALIDATE_MMU)
+            self.monitor.charge_emc(Cost.VALIDATE_MMU, kind="mmu")
             self.clock.charge(Cost.PTE_WRITE_NATIVE, "mmu_op")
             self.clock.count("pte_write")
 
     # --- CR / MSR / IDT ----------------------------------------------------
 
     def write_cr(self, crn, value):
-        self.monitor.charge_emc(Cost.VALIDATE_CR)
+        self.monitor.charge_emc(Cost.VALIDATE_CR, kind="cr")
         try:
             validate_cr_write(crn, value)
         except PolicyViolation as exc:
@@ -331,7 +388,7 @@ class MonitorOps(PrivilegedOps):
         self.monitor.cpu.crs[crn] = value
 
     def write_msr(self, msr, value):
-        self.monitor.charge_emc(Cost.VALIDATE_MSR)
+        self.monitor.charge_emc(Cost.VALIDATE_MSR, kind="msr")
         try:
             validate_msr_write(msr, value)
         except PolicyViolation as exc:
@@ -346,18 +403,18 @@ class MonitorOps(PrivilegedOps):
         self.monitor.cpu.msrs[msr] = value
 
     def load_idt(self, idt):
-        self.monitor.charge_emc(Cost.IDT_MONITOR_UPDATE)
+        self.monitor.charge_emc(Cost.IDT_MONITOR_UPDATE, kind="idt")
         self.clock.count("lidt")
         self.monitor.cpu.idt = idt
 
     def set_idt_vector(self, idt, vector, handler):
-        self.monitor.charge_emc(Cost.IDT_MONITOR_UPDATE)
+        self.monitor.charge_emc(Cost.IDT_MONITOR_UPDATE, kind="idt")
         idt.set_vector(vector, 0, py_handler=handler)
 
     # --- GHCI ---------------------------------------------------------------
 
     def map_gpa(self, fn_start, count, *, shared):
-        self.monitor.charge_emc(Cost.VALIDATE_GHCI)
+        self.monitor.charge_emc(Cost.VALIDATE_GHCI, kind="ghci")
         try:
             validate_ghci("map_gpa")
             if shared:
@@ -373,7 +430,7 @@ class MonitorOps(PrivilegedOps):
             self.monitor.tdx.guest_map_gpa(fn_start, count, shared=shared)
 
     def vmcall(self, subfn, payload=None):
-        self.monitor.charge_emc(Cost.VALIDATE_GHCI)
+        self.monitor.charge_emc(Cost.VALIDATE_GHCI, kind="ghci")
         try:
             validate_ghci("vmcall_io")
         except PolicyViolation as exc:
@@ -391,7 +448,7 @@ class MonitorOps(PrivilegedOps):
 
     def verify_dynamic_code(self, blob, what="module"):
         """The VERIFY_CODE EMC: scan before anything becomes kernel text."""
-        self.monitor.charge_emc(Cost.VALIDATE_MMU)
+        self.monitor.charge_emc(Cost.VALIDATE_MMU, kind="verify")
         self.clock.count("dynamic_code_load")
         try:
             self.monitor.verify_code(blob, what=what)
@@ -407,7 +464,7 @@ class MonitorOps(PrivilegedOps):
                               + pages * Cost.COPY_PER_PAGE_NATIVE, "user_copy")
             self.clock.count("user_copy")
             return
-        self.monitor.charge_emc(Cost.VALIDATE_SMAP)
+        self.monitor.charge_emc(Cost.VALIDATE_SMAP, kind="smap")
         kernel = self.monitor.kernel
         if task is None:
             task = kernel.current if kernel else None

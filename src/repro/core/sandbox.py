@@ -111,7 +111,7 @@ class Sandbox:
             raise PolicyViolation(
                 f"confined budget exceeded: {self.confined_bytes + size} "
                 f"> {self.confined_budget}")
-        self.monitor.charge_emc(Cost.VALIDATE_MMU)
+        self.monitor.charge_emc(Cost.VALIDATE_MMU, kind="mmu")
         pages = pages_for(size)
         frames = self.monitor.take_cma_frames(
             pages, f"sandbox:{self.sandbox_id}")
@@ -141,7 +141,7 @@ class Sandbox:
         """Map a named common region (created on first attach)."""
         if self.dead:
             raise PolicyViolation(f"sandbox {self.sandbox_id} is dead")
-        self.monitor.charge_emc(Cost.VALIDATE_MMU)
+        self.monitor.charge_emc(Cost.VALIDATE_MMU, kind="mmu")
         vmmu = self.monitor.vmmu
         region = vmmu.common_regions.get(name)
         if region is None:
@@ -196,13 +196,18 @@ class Sandbox:
         for name in self.common_names:
             region = monitor.vmmu.common_regions[name]
             if region.writable:
-                monitor.charge_emc(Cost.VALIDATE_MMU)
+                monitor.charge_emc(Cost.VALIDATE_MMU, kind="mmu")
                 monitor.vmmu.seal_common_region(name)
         for vma in self.task.vmas:
             if vma.kind == "common":
                 vma.prot &= ~PROT_WRITE
         self.state = "locked"
         monitor.clock.count("sandbox_lock")
+        monitor.clock.tracer.event("sandbox:lock", cat="sandbox",
+                                   sandbox=self.sandbox_id)
+        monitor.clock.metrics.set_gauge("erebor_sandbox_confined_bytes",
+                                        self.confined_bytes,
+                                        sandbox=str(self.sandbox_id))
         monitor.audit("sandbox", f"locked #{self.sandbox_id} "
                       f"({self.confined_bytes >> 20} MiB confined)")
 
@@ -211,7 +216,11 @@ class Sandbox:
         if self.dead:
             return
         self.kill_reason = why
-        self.monitor.stats.sandboxes_killed += 1
+        clock = self.monitor.clock
+        clock.count("sandbox_killed")
+        clock.tracer.event("sandbox:kill", cat="sandbox",
+                           sandbox=self.sandbox_id, why=why)
+        clock.metrics.inc("erebor_sandboxes_killed_total")
         self.monitor.audit("kill", f"sandbox #{self.sandbox_id}: {why}")
         self._scrub()
         self.state = "dead"
@@ -220,6 +229,8 @@ class Sandbox:
         """Graceful session end: return results were sent; scrub (§6.3)."""
         if self.dead:
             return
+        self.monitor.clock.tracer.event("sandbox:cleanup", cat="sandbox",
+                                        sandbox=self.sandbox_id)
         self._scrub()
         self.state = "dead"
 
@@ -246,6 +257,8 @@ class Sandbox:
         self.channel = None
         self.state = "ready"
         monitor.clock.count("sandbox_warm_reset")
+        monitor.clock.tracer.event("sandbox:warm_reset", cat="sandbox",
+                                   sandbox=self.sandbox_id)
 
     def _scrub(self) -> None:
         kernel = self.monitor.kernel

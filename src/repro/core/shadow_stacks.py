@@ -67,9 +67,15 @@ class ShadowStackManager:
         kernel = monitor.kernel
         phys = monitor.phys
         aspace = kernel.kernel_aspace
-        monitor.clock.charge(Cost.EMC_ROUND_TRIP + Cost.VALIDATE_MSR, "sst")
+        with monitor.clock.tracer.span("emc:sst", cat="emc"):
+            monitor.clock.charge(Cost.EMC_ROUND_TRIP + Cost.VALIDATE_MSR,
+                                 "sst")
         monitor.clock.count("emc")
         monitor.clock.count("sst_switch")
+        from ..obs.metrics import sandbox_label
+        monitor.clock.metrics.inc("erebor_emc_total", cls="sst",
+                                  sandbox=sandbox_label(nxt))
+        monitor.clock.metrics.inc("erebor_pkrs_toggles_total", 2)
         held = self.active.get(cpu_id)
         if held is not None:
             cet.deactivate_shadow_stack(kernel.cpu, aspace, held, phys)

@@ -24,6 +24,9 @@ from __future__ import annotations
 from collections import Counter
 from dataclasses import dataclass, field
 
+from ..obs.metrics import NULL_METRICS
+from ..obs.trace import NULL_TRACER
+
 
 #: Simulated core frequency (Hz); matches the paper's 2.1 GHz Xeon 8570.
 CPU_FREQ_HZ = 2_100_000_000
@@ -146,11 +149,20 @@ class CycleClock:
     The clock is shared by every component of one simulated machine. Tags
     let the harness attribute time (e.g. ``"emc"``, ``"pagefault"``) and
     events let it report rates (Table 6 columns such as ``EMC/s``).
+
+    The clock also carries the machine's observability sinks: ``tracer``
+    (spans/events timestamped in simulated cycles) and ``metrics`` (the
+    labelled counter/gauge/histogram registry). Both default to shared
+    no-op singletons, and neither ever charges the clock — observability
+    reads time, it never spends it — so the calibrated cycle model is
+    byte-identical whether or not :func:`repro.obs.install` has run.
     """
 
     cycles: int = 0
     by_tag: Counter = field(default_factory=Counter)
     events: Counter = field(default_factory=Counter)
+    tracer: object = NULL_TRACER
+    metrics: object = NULL_METRICS
 
     def charge(self, n: int, tag: str | None = None) -> None:
         """Advance the clock by ``n`` cycles, attributing them to ``tag``."""

@@ -28,6 +28,7 @@ from ..hw.errors import PageFault
 from ..hw.memory import PAGE_SHIFT, PAGE_SIZE, PhysicalMemory, pages_for
 from ..hw.mmu import USER_MODE, AccessContext
 from ..hw.paging import PTE_NX, PTE_P, PTE_U, PTE_W, AddressSpace, make_pte
+from ..obs.metrics import sandbox_label
 from ..tdx.module import TdxModule, VMCALL_IO
 from .net import NetStack
 from .ops import NativeOps, PrivilegedOps
@@ -226,6 +227,11 @@ class GuestKernel:
             self._timer_tick()
 
     def _timer_tick(self) -> None:
+        with self.clock.tracer.span("irq:timer", cat="irq"):
+            self._timer_tick_body()
+        self.clock.metrics.inc("kernel_timer_ticks_total")
+
+    def _timer_tick_body(self) -> None:
         task = self.current
         self.clock.count("timer_interrupt")
         self.clock.charge(Cost.EXC_DELIVERY, "irq")
@@ -246,6 +252,8 @@ class GuestKernel:
     def _host_emulated_msr_write(self, msr: int, value: int) -> None:
         """A wrmsr the host must emulate: #VE, then a GHCI exit."""
         self.clock.count("ve")
+        self.clock.tracer.event("ve:wrmsr", cat="ve", msr=msr)
+        self.clock.metrics.inc("kernel_ve_total", reason="wrmsr")
         self.clock.charge(Cost.EXC_DELIVERY + Cost.IRET, "ve")
         self.exit_path.on_ve(self.current, "wrmsr")
         if self.tdx is not None:
@@ -261,7 +269,10 @@ class GuestKernel:
 
     def _ve_py_handler(self, cpu, vector, fault) -> None:
         self.clock.count("ve")
-        self.exit_path.on_ve(self.current, getattr(fault, "exit_reason", ""))
+        reason = getattr(fault, "exit_reason", "")
+        self.clock.tracer.event(f"ve:{reason or 'unknown'}", cat="ve")
+        self.clock.metrics.inc("kernel_ve_total", reason=reason or "unknown")
+        self.exit_path.on_ve(self.current, reason)
 
     def raise_ve_interposition(self) -> None:
         """Net stack hook: a #VE occurred on the I/O path."""
@@ -270,6 +281,8 @@ class GuestKernel:
     def simulate_device_ve(self) -> None:
         """One host-device notification (virtio doorbell) #VE + GHCI exit."""
         self.clock.count("ve")
+        self.clock.tracer.event("ve:io", cat="ve")
+        self.clock.metrics.inc("kernel_ve_total", reason="io")
         self.clock.charge(Cost.EXC_DELIVERY + Cost.IRET, "ve")
         self.exit_path.on_ve(self.current, "io")
         if self.tdx is not None:
@@ -307,6 +320,12 @@ class GuestKernel:
 
     def handle_page_fault(self, task: Task, va: int, write: bool) -> None:
         """The demand-paging slow path."""
+        with self.clock.tracer.span("pagefault", cat="fault"):
+            self._handle_page_fault(task, va, write)
+        self.clock.metrics.inc("kernel_page_faults_total",
+                               sandbox=sandbox_label(task))
+
+    def _handle_page_fault(self, task: Task, va: int, write: bool) -> None:
         self.clock.count("page_fault")
         self.clock.charge(Cost.EXC_DELIVERY, "pagefault")
         handled = self.exit_path.on_secure_pagefault(task, va, write)
@@ -399,12 +418,21 @@ class GuestKernel:
     def syscall(self, task: Task, name: str, *args, **kwargs):
         """Dispatch one syscall from ``task`` (macro-level entry)."""
         from . import syscalls
-        self.clock.charge(Cost.SYSCALL_ROUND_TRIP, "syscall")
-        self.clock.count("syscall")
-        self.exit_path.on_syscall(task, name)
-        handler = syscalls.TABLE.get(name)
-        if handler is None:
-            raise ValueError(f"unknown syscall {name!r}")
-        result = handler(self, task, *args, **kwargs)
-        self.pump()
+        clock = self.clock
+        start = clock.cycles
+        with clock.tracer.span(f"syscall:{name}", cat="syscall"):
+            clock.charge(Cost.SYSCALL_ROUND_TRIP, "syscall")
+            clock.count("syscall")
+            self.exit_path.on_syscall(task, name)
+            handler = syscalls.TABLE.get(name)
+            if handler is None:
+                raise ValueError(f"unknown syscall {name!r}")
+            result = handler(self, task, *args, **kwargs)
+            self.pump()
+        metrics = clock.metrics
+        if metrics.enabled:
+            metrics.inc("kernel_syscalls_total", name=name,
+                        sandbox=sandbox_label(task))
+            metrics.observe("kernel_syscall_cycles", clock.cycles - start,
+                            name=name)
         return result

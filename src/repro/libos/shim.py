@@ -69,8 +69,12 @@ class SyscallShim:
             raise ShimUnsupported(name)
         self.stats.emulated += 1
         self.stats.by_name[name] = self.stats.by_name.get(name, 0) + 1
-        self.libos.charge_emulated_call()
-        return handler(*args, **kwargs)
+        clock = self.libos.kernel.clock
+        with clock.tracer.span(f"libos:{name}", cat="libos"):
+            self.libos.charge_emulated_call()
+            result = handler(*args, **kwargs)
+        clock.metrics.inc("libos_calls_total", name=name)
+        return result
 
     # ------------------------------------------------------------------ #
     # files (in-memory stateless FS)

@@ -1,0 +1,107 @@
+"""``python -m repro.obs`` — run a workload and export its observability.
+
+Examples::
+
+    python -m repro.obs --workload helloworld --export json
+    python -m repro.obs --workload unicorn --export chrome -o trace.json
+    python -m repro.obs --workload helloworld --export prometheus
+    python -m repro.obs --workload helloworld --export collapsed
+    python -m repro.obs --list
+
+The ``json`` export is the full bundle (meta + trace + metrics + profile)
+and is schema-checked before being written; ``chrome`` is a Perfetto /
+``chrome://tracing`` loadable ``trace_event`` file; ``prometheus`` is the
+text exposition of the metrics registry; ``collapsed`` is flamegraph
+collapsed-stack lines (pipe into ``flamegraph.pl``).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+from ..bench.runner import SETTINGS
+from .export import chrome_trace, prometheus_text
+from .harness import export_bundle, run_observed
+from .profile import collapsed_stacks, profile_report
+from .schema import check_chrome_trace, check_export
+from .trace import DEFAULT_CAPACITY
+
+EXPORTS = ("json", "chrome", "prometheus", "collapsed", "report")
+
+
+def _workload_names() -> list[str]:
+    import repro.apps  # noqa: F401  (populates the registry)
+    from ..apps.base import REGISTRY
+    return sorted(REGISTRY)
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.obs",
+        description="Run a workload under full observability and export "
+                    "traces, metrics, and cycle profiles.")
+    parser.add_argument("--workload", default="helloworld",
+                        help="workload name (see --list)")
+    parser.add_argument("--setting", default="erebor", choices=SETTINGS,
+                        help="evaluation setting (default: erebor)")
+    parser.add_argument("--export", default="json", choices=EXPORTS,
+                        dest="export_format",
+                        help="output format (default: json)")
+    parser.add_argument("--out", "-o", default=None,
+                        help="output file (default: stdout)")
+    parser.add_argument("--scale", type=float, default=0.25,
+                        help="workload scale factor (default: 0.25)")
+    parser.add_argument("--seed", type=int, default=2025)
+    parser.add_argument("--capacity", type=int, default=DEFAULT_CAPACITY,
+                        help="trace ring-buffer capacity (events)")
+    parser.add_argument("--list", action="store_true",
+                        help="list available workloads and exit")
+    args = parser.parse_args(argv)
+
+    if args.list:
+        print("\n".join(_workload_names()))
+        return 0
+
+    if args.capacity <= 0:
+        parser.error(f"--capacity must be positive, got {args.capacity}")
+
+    names = _workload_names()
+    if args.workload not in names:
+        parser.error(f"unknown workload {args.workload!r}; "
+                     f"pick from {', '.join(names)}")
+
+    run = run_observed(args.workload, args.setting, scale=args.scale,
+                       seed=args.seed, capacity=args.capacity)
+
+    if args.export_format == "json":
+        bundle = export_bundle(run)
+        check_export(bundle)                    # self-validate before emit
+        text = json.dumps(bundle, indent=2)
+    elif args.export_format == "chrome":
+        trace = chrome_trace(run.tracer)
+        check_chrome_trace(trace)
+        text = json.dumps(trace)
+    elif args.export_format == "prometheus":
+        text = prometheus_text(run.registry)
+    elif args.export_format == "collapsed":
+        text = "\n".join(collapsed_stacks(run.tracer)) + "\n"
+    else:  # report
+        text = profile_report(run.tracer) + "\n"
+
+    if args.out:
+        with open(args.out, "w") as fh:
+            fh.write(text)
+        summary = (f"{args.workload}/{args.setting}: "
+                   f"{run.clock.cycles:,} cycles, "
+                   f"{len(run.tracer.events) if run.tracer.enabled else 0} "
+                   f"trace events -> {args.out}")
+        print(summary, file=sys.stderr)
+    else:
+        sys.stdout.write(text if text.endswith("\n") else text + "\n")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

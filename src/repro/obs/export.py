@@ -1,0 +1,153 @@
+"""Exporters: Chrome trace_event JSON, Prometheus text, plain JSON.
+
+The Chrome format (``chrome_trace``) loads directly in Perfetto or
+``chrome://tracing``: spans become complete (``"X"``) events, instants
+become ``"i"`` events, and timestamps are converted from simulated cycles
+to microseconds at the modelled 2.1 GHz core frequency (the raw cycle
+values ride along in ``args``). The Prometheus exposition
+(``prometheus_text``) renders the live metrics registry — counters,
+gauges and cumulative histogram buckets — in the standard text format.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from ..hw.cycles import CPU_FREQ_HZ
+from .metrics import MetricsRegistry, parse_label_key
+from .trace import INSTANT, SPAN, Tracer
+
+#: microseconds per simulated cycle at the modelled core frequency
+_US_PER_CYCLE = 1e6 / CPU_FREQ_HZ
+
+
+def cycles_to_us(cycles: int) -> float:
+    return cycles * _US_PER_CYCLE
+
+
+# --------------------------------------------------------------------------- #
+# Chrome trace_event
+# --------------------------------------------------------------------------- #
+
+def chrome_trace(tracer: Tracer, *, pid: int = 1, tid: int = 1,
+                 process_name: str = "erebor-sim") -> dict:
+    """Render the ring buffer as a Chrome/Perfetto ``trace_event`` dict."""
+    events: list[dict] = [{
+        "name": "process_name", "ph": "M", "pid": pid, "tid": tid,
+        "args": {"name": process_name},
+    }]
+    for e in tracer.events:
+        args = dict(e.args)
+        args["cycles_begin"] = e.begin
+        record = {
+            "name": e.name,
+            "cat": e.cat or "trace",
+            "pid": pid,
+            "tid": tid,
+            "ts": cycles_to_us(e.begin),
+            "args": args,
+        }
+        if e.kind == SPAN:
+            record["ph"] = "X"
+            record["dur"] = cycles_to_us(e.duration)
+            args["cycles_dur"] = e.duration
+        else:
+            record["ph"] = "i"
+            record["s"] = "t"
+            if e.kind != INSTANT:          # audit events keep their kind
+                args["kind"] = e.kind
+        events.append(record)
+    return {
+        "traceEvents": events,
+        "displayTimeUnit": "ms",
+        "otherData": {
+            "clock": "simulated-cycles",
+            "cpu_freq_hz": CPU_FREQ_HZ,
+            "dropped_events": tracer.dropped,
+        },
+    }
+
+
+def write_chrome_trace(tracer: Tracer, path: str | Path, **kw) -> dict:
+    """Write a Perfetto-loadable trace file; returns the dict written."""
+    trace = chrome_trace(tracer, **kw)
+    Path(path).write_text(json.dumps(trace))
+    return trace
+
+
+# --------------------------------------------------------------------------- #
+# plain JSON
+# --------------------------------------------------------------------------- #
+
+def trace_json(tracer: Tracer) -> dict:
+    """The ring buffer as a self-describing JSON-able dict."""
+    return {
+        "clock": "simulated-cycles",
+        "capacity": tracer.events.capacity,
+        "dropped": tracer.dropped,
+        "events": [e.to_dict() for e in tracer.events],
+    }
+
+
+# --------------------------------------------------------------------------- #
+# Prometheus text exposition
+# --------------------------------------------------------------------------- #
+
+def _escape(value) -> str:
+    return str(value).replace("\\", "\\\\").replace('"', '\\"')
+
+
+def _fmt_labels(key: str, extra: dict | None = None) -> str:
+    labels = parse_label_key(key)
+    if extra:
+        labels.update(extra)
+    if not labels:
+        return ""
+    body = ",".join(f'{k}="{_escape(v)}"' for k, v in sorted(labels.items()))
+    return "{" + body + "}"
+
+
+def _fmt_value(v: float) -> str:
+    return str(int(v)) if float(v).is_integer() else repr(float(v))
+
+
+def prometheus_text(registry: MetricsRegistry) -> str:
+    """Render the registry in the Prometheus text exposition format."""
+    lines: list[str] = []
+    help_texts = getattr(registry, "_help", {})
+
+    for name in sorted(registry.counters):
+        if name in help_texts:
+            lines.append(f"# HELP {name} {help_texts[name]}")
+        lines.append(f"# TYPE {name} counter")
+        for key in sorted(registry.counters[name]):
+            lines.append(f"{name}{_fmt_labels(key)} "
+                         f"{_fmt_value(registry.counters[name][key])}")
+
+    for name in sorted(registry.gauges):
+        if name in help_texts:
+            lines.append(f"# HELP {name} {help_texts[name]}")
+        lines.append(f"# TYPE {name} gauge")
+        for key in sorted(registry.gauges[name]):
+            lines.append(f"{name}{_fmt_labels(key)} "
+                         f"{_fmt_value(registry.gauges[name][key])}")
+
+    for name in sorted(registry.histograms):
+        if name in help_texts:
+            lines.append(f"# HELP {name} {help_texts[name]}")
+        lines.append(f"# TYPE {name} histogram")
+        for key in sorted(registry.histograms[name]):
+            hist = registry.histograms[name][key]
+            cumulative = 0
+            for bound, count in zip(hist["bounds"], hist["buckets"]):
+                cumulative += count
+                lines.append(f"{name}_bucket{_fmt_labels(key, {'le': bound})} "
+                             f"{cumulative}")
+            lines.append(f"{name}_bucket{_fmt_labels(key, {'le': '+Inf'})} "
+                         f"{hist['count']}")
+            lines.append(f"{name}_sum{_fmt_labels(key)} "
+                         f"{_fmt_value(hist['sum'])}")
+            lines.append(f"{name}_count{_fmt_labels(key)} {hist['count']}")
+
+    return "\n".join(lines) + "\n"

@@ -1,0 +1,193 @@
+"""Metrics registry: counters, gauges and histograms keyed by (name, labels).
+
+This is the quantitative half of ``repro.obs``: where the trace layer
+answers *when*, the registry answers *how many / how much* — per-sandbox
+EMC counts, exit-class breakdowns, page-fault and PKRS-toggle totals,
+syscall latency histograms. It supersedes the old ``MonitorStats``
+dataclass (now a derived view over the clock's event ledger) and the
+benchmark harness's ad-hoc counters: the bench runner snapshots the
+registry around every run and attaches the delta to ``results.json``.
+
+Label sets are stored as canonical ``"k=v,k2=v2"`` strings (sorted by
+key), which keeps snapshots JSON-able with no conversion. Like the
+tracer, the registry never touches the cycle clock; it exists purely on
+the host side.
+"""
+
+from __future__ import annotations
+
+import copy
+
+#: default histogram bucket upper bounds (simulated cycles)
+DEFAULT_BUCKETS = (250, 700, 1300, 2500, 5000, 10_000, 30_000,
+                   100_000, 1_000_000)
+
+
+def label_key(labels: dict) -> str:
+    """Canonical series key for a label dict: ``"k=v,k2=v2"`` sorted."""
+    if not labels:
+        return ""
+    return ",".join(f"{k}={v}" for k, v in sorted(labels.items()))
+
+
+def parse_label_key(key: str) -> dict:
+    """Inverse of :func:`label_key` (empty string → no labels)."""
+    if not key:
+        return {}
+    return dict(part.split("=", 1) for part in key.split(","))
+
+
+def labels_match(key: str, match: dict) -> bool:
+    """True if the series ``key`` carries every label in ``match``."""
+    if not match:
+        return True
+    labels = parse_label_key(key)
+    return all(labels.get(k) == str(v) for k, v in match.items())
+
+
+def sandbox_label(task) -> str:
+    """Metrics label attributing an event to a sandbox (or the kernel)."""
+    if (task is not None and getattr(task, "kind", "") == "sandbox"
+            and getattr(task, "sandbox", None) is not None):
+        return str(task.sandbox.sandbox_id)
+    return "kernel"
+
+
+class NullMetrics:
+    """No-op registry: the default on every clock (observability off)."""
+
+    enabled = False
+    __slots__ = ()
+
+    def describe(self, name: str, help: str = "",
+                 buckets: tuple | None = None) -> None:
+        return None
+
+    def inc(self, name: str, value: float = 1, /, **labels) -> None:
+        return None
+
+    def set_gauge(self, name: str, value: float, /, **labels) -> None:
+        return None
+
+    def observe(self, name: str, value: float, /, **labels) -> None:
+        return None
+
+    def snapshot(self) -> dict:
+        return {"counters": {}, "gauges": {}, "histograms": {}}
+
+
+#: the shared disabled registry
+NULL_METRICS = NullMetrics()
+
+
+class MetricsRegistry(NullMetrics):
+    """Live metrics store for one simulated machine."""
+
+    enabled = True
+    __slots__ = ("counters", "gauges", "histograms", "_help", "_buckets")
+
+    def __init__(self):
+        self.counters: dict[str, dict[str, float]] = {}
+        self.gauges: dict[str, dict[str, float]] = {}
+        #: name → key → {"buckets": [..], "sum": s, "count": n}
+        self.histograms: dict[str, dict[str, dict]] = {}
+        self._help: dict[str, str] = {}
+        self._buckets: dict[str, tuple] = {}
+
+    # -- registration ---------------------------------------------------- #
+
+    def describe(self, name: str, help: str = "",
+                 buckets: tuple | None = None) -> None:
+        """Attach help text (Prometheus ``# HELP``) and histogram buckets."""
+        if help:
+            self._help[name] = help
+        if buckets is not None:
+            self._buckets[name] = tuple(sorted(buckets))
+
+    # -- writes ---------------------------------------------------------- #
+
+    def inc(self, name: str, value: float = 1, /, **labels) -> None:
+        series = self.counters.setdefault(name, {})
+        key = label_key(labels)
+        series[key] = series.get(key, 0) + value
+
+    def set_gauge(self, name: str, value: float, /, **labels) -> None:
+        self.gauges.setdefault(name, {})[label_key(labels)] = value
+
+    def observe(self, name: str, value: float, /, **labels) -> None:
+        bounds = self._buckets.get(name, DEFAULT_BUCKETS)
+        series = self.histograms.setdefault(name, {})
+        key = label_key(labels)
+        hist = series.get(key)
+        if hist is None:
+            hist = series[key] = {"bounds": list(bounds),
+                                  "buckets": [0] * len(bounds),
+                                  "sum": 0, "count": 0}
+        for i, bound in enumerate(hist["bounds"]):
+            if value <= bound:
+                hist["buckets"][i] += 1
+                break
+        hist["sum"] += value
+        hist["count"] += 1
+
+    # -- reads ----------------------------------------------------------- #
+
+    def counter_value(self, name: str, /, **labels) -> float:
+        return self.counters.get(name, {}).get(label_key(labels), 0)
+
+    def counter_total(self, name: str, /, **match) -> float:
+        """Sum a counter across all series matching the label subset."""
+        return sum(v for key, v in self.counters.get(name, {}).items()
+                   if labels_match(key, match))
+
+    def snapshot(self) -> dict:
+        """Deep-copied, JSON-able view of every series."""
+        return {
+            "counters": {n: dict(s) for n, s in self.counters.items()},
+            "gauges": {n: dict(s) for n, s in self.gauges.items()},
+            "histograms": copy.deepcopy(self.histograms),
+        }
+
+    def delta_since(self, snap: dict) -> dict:
+        """Interval view: counters/histograms since ``snap``, gauges live."""
+        return snapshot_delta(self.snapshot(), snap)
+
+
+def snapshot_delta(new: dict, old: dict) -> dict:
+    """Subtract two :meth:`MetricsRegistry.snapshot` dicts (new - old)."""
+    counters: dict = {}
+    for name, series in new["counters"].items():
+        base = old["counters"].get(name, {})
+        delta = {k: v - base.get(k, 0) for k, v in series.items()
+                 if v - base.get(k, 0)}
+        if delta:
+            counters[name] = delta
+    histograms: dict = {}
+    for name, series in new["histograms"].items():
+        base = old["histograms"].get(name, {})
+        out_series = {}
+        for key, hist in series.items():
+            b = base.get(key)
+            if b is None:
+                out_series[key] = copy.deepcopy(hist)
+                continue
+            diff = {
+                "bounds": list(hist["bounds"]),
+                "buckets": [x - y for x, y in zip(hist["buckets"],
+                                                  b["buckets"])],
+                "sum": hist["sum"] - b["sum"],
+                "count": hist["count"] - b["count"],
+            }
+            if diff["count"]:
+                out_series[key] = diff
+        if out_series:
+            histograms[name] = out_series
+    return {"counters": counters,
+            "gauges": {n: dict(s) for n, s in new["gauges"].items()},
+            "histograms": histograms}
+
+
+def snapshot_counter_total(snapshot: dict, name: str, /, **match) -> float:
+    """Sum a counter in a snapshot dict across matching label sets."""
+    return sum(v for key, v in snapshot.get("counters", {})
+               .get(name, {}).items() if labels_match(key, match))

@@ -1,0 +1,54 @@
+"""Cycle profiler: fold span stacks into collapsed flamegraph lines.
+
+The tracer aggregates *self*-cycles per span path at span exit (duration
+minus time spent in child spans), so the fold is exact even when the
+event ring buffer has dropped records. The output is the standard
+collapsed-stack format (``root;child;leaf <cycles>``) consumed by
+``flamegraph.pl``, speedscope, and friends.
+
+Conservation property (test-enforced): when a run is wrapped in a single
+root span opened at cycle 0 and closed at the end, the folded self-cycles
+across all paths sum to exactly the clock's total — every simulated cycle
+is attributed to exactly one call path (gate → EMC class → validation
+step, syscall → handler, …).
+"""
+
+from __future__ import annotations
+
+from .trace import Tracer
+
+
+def collapsed_stacks(tracer: Tracer) -> list[str]:
+    """Flamegraph collapsed-stack lines, hottest path first."""
+    return [
+        ";".join(path) + f" {cycles}"
+        for path, cycles in sorted(tracer.folded.items(),
+                                   key=lambda kv: -kv[1])
+        if cycles
+    ]
+
+
+def total_attributed(tracer: Tracer) -> int:
+    """Total cycles attributed across all folded paths."""
+    return tracer.total_attributed()
+
+
+def hotspots(tracer: Tracer, top: int = 15) -> list[tuple[str, int, float]]:
+    """The ``top`` hottest paths as (path, self_cycles, share) tuples."""
+    total = tracer.total_attributed() or 1
+    ranked = sorted(tracer.folded.items(), key=lambda kv: -kv[1])[:top]
+    return [(";".join(path), cycles, cycles / total)
+            for path, cycles in ranked if cycles]
+
+
+def profile_report(tracer: Tracer, top: int = 15) -> str:
+    """Human-readable hotspot table (for the CLI's default output)."""
+    rows = hotspots(tracer, top)
+    if not rows:
+        return "(no spans recorded)"
+    width = max(len(p) for p, _, _ in rows)
+    lines = [f"{'path':<{width}}  {'cycles':>14}  share"]
+    for path, cycles, share in rows:
+        lines.append(f"{path:<{width}}  {cycles:>14,}  {share:6.2%}")
+    lines.append(f"{'TOTAL':<{width}}  {tracer.total_attributed():>14,}")
+    return "\n".join(lines)

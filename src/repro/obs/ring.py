@@ -1,0 +1,78 @@
+"""Fixed-capacity ring buffer shared by the trace layer and the audit log.
+
+Long-running and server benchmarks generate unbounded event streams; the
+observability layer must never grow without bound (the old monitor
+``audit_log`` was a plain ``list`` that did exactly that). A
+:class:`RingBuffer` keeps the most recent ``capacity`` items and counts
+what it overwrote, so consumers can tell "nothing happened" apart from
+"events happened but were dropped".
+"""
+
+from __future__ import annotations
+
+from typing import Generic, Iterator, TypeVar
+
+T = TypeVar("T")
+
+
+class RingBuffer(Generic[T]):
+    """Bounded FIFO keeping the newest ``capacity`` items.
+
+    Supports the list-ish read surface the audit log's consumers use:
+    ``len``, iteration (oldest → newest), integer and slice indexing.
+    Overwritten items bump :attr:`dropped`.
+    """
+
+    __slots__ = ("capacity", "dropped", "_buf", "_start")
+
+    def __init__(self, capacity: int = 4096):
+        if capacity <= 0:
+            raise ValueError(f"ring capacity must be positive, got {capacity}")
+        self.capacity = capacity
+        self.dropped = 0
+        self._buf: list[T] = []
+        self._start = 0
+
+    def append(self, item: T) -> None:
+        if len(self._buf) < self.capacity:
+            self._buf.append(item)
+        else:
+            self._buf[self._start] = item
+            self._start = (self._start + 1) % self.capacity
+            self.dropped += 1
+
+    def extend(self, items) -> None:
+        for item in items:
+            self.append(item)
+
+    def clear(self) -> None:
+        self._buf.clear()
+        self._start = 0
+
+    def to_list(self) -> list[T]:
+        return self._buf[self._start:] + self._buf[:self._start]
+
+    def __len__(self) -> int:
+        return len(self._buf)
+
+    def __bool__(self) -> bool:
+        return bool(self._buf)
+
+    def __iter__(self) -> Iterator[T]:
+        n = len(self._buf)
+        for i in range(n):
+            yield self._buf[(self._start + i) % n]
+
+    def __getitem__(self, index):
+        if isinstance(index, slice):
+            return self.to_list()[index]
+        n = len(self._buf)
+        if index < 0:
+            index += n
+        if not 0 <= index < n:
+            raise IndexError(f"ring index {index} out of range ({n} items)")
+        return self._buf[(self._start + index) % n]
+
+    def __repr__(self) -> str:
+        return (f"RingBuffer({len(self._buf)}/{self.capacity} items, "
+                f"{self.dropped} dropped)")

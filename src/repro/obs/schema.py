@@ -1,0 +1,115 @@
+"""Hand-rolled schema checks for the obs export formats (zero-dependency).
+
+CI's smoke job runs ``python -m repro.obs --workload helloworld --export
+json`` and validates the output with :func:`check_export`; tests validate
+the Chrome trace with :func:`check_chrome_trace`. These are deliberately
+small structural checks — presence and types of the load-bearing fields —
+not a full JSON-Schema implementation (the container must not grow
+dependencies).
+"""
+
+from __future__ import annotations
+
+_EVENT_KEYS = {"name", "cat", "kind", "begin", "end", "depth", "path", "args"}
+
+
+def validate_export(obj) -> list[str]:
+    """Return a list of problems with an obs JSON bundle (empty = valid)."""
+    errors: list[str] = []
+
+    def need(container, key, types, where):
+        if not isinstance(container, dict) or key not in container:
+            errors.append(f"{where}: missing key {key!r}")
+            return None
+        value = container[key]
+        if not isinstance(value, types):
+            errors.append(f"{where}.{key}: expected {types}, "
+                          f"got {type(value).__name__}")
+            return None
+        return value
+
+    if not isinstance(obj, dict):
+        return [f"top level: expected dict, got {type(obj).__name__}"]
+
+    meta = need(obj, "meta", dict, "top")
+    if meta is not None:
+        need(meta, "workload", str, "meta")
+        need(meta, "setting", str, "meta")
+        need(meta, "cycles", int, "meta")
+        need(meta, "seconds", (int, float), "meta")
+
+    trace = need(obj, "trace", dict, "top")
+    if trace is not None:
+        need(trace, "dropped", int, "trace")
+        events = need(trace, "events", list, "trace")
+        if events is not None:
+            for i, event in enumerate(events[:64] + events[-8:]):
+                if not isinstance(event, dict):
+                    errors.append(f"trace.events[{i}]: not a dict")
+                    continue
+                missing = _EVENT_KEYS - set(event)
+                if missing:
+                    errors.append(f"trace.events[{i}]: missing {sorted(missing)}")
+                elif event["end"] < event["begin"]:
+                    errors.append(f"trace.events[{i}]: end < begin")
+
+    metrics = need(obj, "metrics", dict, "top")
+    if metrics is not None:
+        for section in ("counters", "gauges", "histograms"):
+            series = need(metrics, section, dict, "metrics")
+            if series is None:
+                continue
+            for name, by_label in series.items():
+                if not isinstance(by_label, dict):
+                    errors.append(f"metrics.{section}.{name}: not a dict")
+
+    profile = need(obj, "profile", dict, "top")
+    if profile is not None:
+        need(profile, "total_cycles", int, "profile")
+        collapsed = need(profile, "collapsed", list, "profile")
+        if collapsed is not None:
+            for i, line in enumerate(collapsed[:64]):
+                if (not isinstance(line, str) or " " not in line
+                        or not line.rsplit(" ", 1)[1].isdigit()):
+                    errors.append(f"profile.collapsed[{i}]: not a "
+                                  f"'path cycles' line: {line!r}")
+
+    return errors
+
+
+def check_export(obj) -> None:
+    """Raise ``ValueError`` listing every schema problem (None if valid)."""
+    errors = validate_export(obj)
+    if errors:
+        raise ValueError("obs export failed schema check:\n  "
+                         + "\n  ".join(errors))
+
+
+def validate_chrome_trace(obj) -> list[str]:
+    """Structural check of a Chrome ``trace_event`` dict."""
+    errors: list[str] = []
+    if not isinstance(obj, dict) or "traceEvents" not in obj:
+        return ["missing traceEvents"]
+    events = obj["traceEvents"]
+    if not isinstance(events, list):
+        return ["traceEvents is not a list"]
+    for i, e in enumerate(events):
+        if not isinstance(e, dict):
+            errors.append(f"traceEvents[{i}]: not a dict")
+            continue
+        for key in ("name", "ph", "pid", "tid"):
+            if key not in e:
+                errors.append(f"traceEvents[{i}]: missing {key!r}")
+        ph = e.get("ph")
+        if ph in ("X", "i") and "ts" not in e:
+            errors.append(f"traceEvents[{i}]: missing ts")
+        if ph == "X" and e.get("dur", -1) < 0:
+            errors.append(f"traceEvents[{i}]: X event without dur >= 0")
+    return errors
+
+
+def check_chrome_trace(obj) -> None:
+    errors = validate_chrome_trace(obj)
+    if errors:
+        raise ValueError("chrome trace failed schema check:\n  "
+                         + "\n  ".join(errors))

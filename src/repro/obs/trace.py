@@ -1,0 +1,215 @@
+"""Structured trace layer: spans and events on the simulated cycle clock.
+
+Every record is timestamped in *simulated cycles* read from the machine's
+:class:`~repro.hw.cycles.CycleClock` — never wall-clock — so traces are
+deterministic and line up exactly with the calibrated cycle model.
+Tracing only ever *reads* the clock; it never charges it, so enabling a
+tracer changes no benchmark number (a test pins the empty EMC round trip
+at 1224 cycles with a live tracer attached).
+
+The layer is off by default: every clock carries the shared
+:data:`NULL_TRACER`, whose methods are no-ops, until
+:func:`repro.obs.install` swaps in a real :class:`Tracer`. Recorded
+events live in a bounded :class:`~repro.obs.ring.RingBuffer`; span
+self-cycles are additionally folded into a path-keyed aggregate
+(:attr:`Tracer.folded`) that survives ring drops, which is what the
+flamegraph profiler consumes.
+
+This module deliberately imports nothing from the rest of the package so
+:mod:`repro.hw.cycles` can depend on it without cycles.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+from typing import Iterator
+
+from .ring import RingBuffer
+
+#: event kinds
+SPAN = "span"          # has a begin and an end cycle
+INSTANT = "instant"    # a point in time
+AUDIT = "audit"        # a monitor audit decision routed through the trace
+
+#: default ring capacity (events); ~200 bytes/event worst case
+DEFAULT_CAPACITY = 1 << 17
+
+
+@dataclass
+class TraceEvent:
+    """One trace record (a completed span or a point event)."""
+
+    name: str
+    cat: str
+    kind: str
+    begin: int                      # cycle the record opened
+    end: int                        # cycle it closed (== begin for instants)
+    depth: int                      # nesting depth at record time
+    path: tuple[str, ...]           # span-stack path, root first
+    args: dict = field(default_factory=dict)
+
+    @property
+    def duration(self) -> int:
+        return self.end - self.begin
+
+    def to_dict(self) -> dict:
+        return {
+            "name": self.name, "cat": self.cat, "kind": self.kind,
+            "begin": self.begin, "end": self.end, "depth": self.depth,
+            "path": list(self.path), "args": dict(self.args),
+        }
+
+
+class _NullSpan:
+    """Context manager that does nothing (shared singleton)."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> "_NullSpan":
+        return self
+
+    def __exit__(self, *exc) -> bool:
+        return False
+
+
+_NULL_SPAN = _NullSpan()
+
+
+class NullTracer:
+    """The no-op recorder: default sink on every :class:`CycleClock`.
+
+    All methods are O(1) no-ops so instrumented hot paths (gates, syscall
+    dispatch, exit interposition) cost nothing extra when observability
+    is off — and, by construction, zero *simulated* cycles either way.
+    """
+
+    enabled = False
+    __slots__ = ()
+
+    def span(self, name: str, cat: str = "", /, **args) -> _NullSpan:
+        return _NULL_SPAN
+
+    def event(self, name: str, cat: str = "", /, **args) -> None:
+        return None
+
+    def audit(self, kind: str, detail: str, cycle: int | None = None) -> None:
+        return None
+
+    def finish(self) -> None:
+        return None
+
+
+#: the shared disabled recorder (stateless, safe to share everywhere)
+NULL_TRACER = NullTracer()
+
+
+class _Frame:
+    __slots__ = ("name", "cat", "begin", "args", "child_cycles")
+
+    def __init__(self, name: str, cat: str, begin: int, args: dict):
+        self.name = name
+        self.cat = cat
+        self.begin = begin
+        self.args = args
+        self.child_cycles = 0
+
+
+class _Span:
+    """Context manager produced by :meth:`Tracer.span`."""
+
+    __slots__ = ("_tracer", "_name", "_cat", "_args")
+
+    def __init__(self, tracer: "Tracer", name: str, cat: str, args: dict):
+        self._tracer = tracer
+        self._name = name
+        self._cat = cat
+        self._args = args
+
+    def __enter__(self) -> "_Span":
+        self._tracer._push(self._name, self._cat, self._args)
+        return self
+
+    def __exit__(self, *exc) -> bool:
+        self._tracer._pop()
+        return False
+
+
+class Tracer(NullTracer):
+    """Recording trace sink bound to one cycle clock."""
+
+    enabled = True
+    __slots__ = ("clock", "events", "folded", "_stack")
+
+    def __init__(self, clock, capacity: int = DEFAULT_CAPACITY):
+        self.clock = clock
+        self.events: RingBuffer[TraceEvent] = RingBuffer(capacity)
+        #: span path → self-cycles (duration minus child spans); aggregated
+        #: at span exit, so it is immune to ring-buffer drops
+        self.folded: Counter = Counter()
+        self._stack: list[_Frame] = []
+
+    # -- recording ------------------------------------------------------- #
+
+    def span(self, name: str, cat: str = "", /, **args) -> _Span:
+        """Open a nested span; use as a context manager."""
+        return _Span(self, name, cat, args)
+
+    def event(self, name: str, cat: str = "", /, **args) -> None:
+        """Record an instant event at the current cycle and depth."""
+        now = self.clock.cycles
+        path = tuple(f.name for f in self._stack) + (name,)
+        self.events.append(TraceEvent(name, cat, INSTANT, now, now,
+                                      len(self._stack), path, args))
+
+    def audit(self, kind: str, detail: str, cycle: int | None = None) -> None:
+        """Record a monitor audit decision as a ``kind="audit"`` event."""
+        now = self.clock.cycles if cycle is None else cycle
+        name = f"audit:{kind}"
+        path = tuple(f.name for f in self._stack) + (name,)
+        self.events.append(TraceEvent(name, "audit", AUDIT, now, now,
+                                      len(self._stack), path,
+                                      {"detail": detail}))
+
+    def finish(self) -> None:
+        """Close every still-open span at the current cycle."""
+        while self._stack:
+            self._pop()
+
+    # -- span machinery -------------------------------------------------- #
+
+    def _push(self, name: str, cat: str, args: dict) -> None:
+        self._stack.append(_Frame(name, cat, self.clock.cycles, args))
+
+    def _pop(self) -> None:
+        frame = self._stack.pop()
+        end = self.clock.cycles
+        duration = end - frame.begin
+        path = tuple(f.name for f in self._stack) + (frame.name,)
+        self.folded[path] += duration - frame.child_cycles
+        if self._stack:
+            self._stack[-1].child_cycles += duration
+        self.events.append(TraceEvent(
+            frame.name, frame.cat, SPAN, frame.begin, end,
+            len(self._stack), path, frame.args))
+
+    # -- inspection ------------------------------------------------------ #
+
+    @property
+    def dropped(self) -> int:
+        return self.events.dropped
+
+    @property
+    def open_depth(self) -> int:
+        return len(self._stack)
+
+    def total_attributed(self) -> int:
+        """Sum of folded self-cycles == total cycles under closed roots."""
+        return sum(self.folded.values())
+
+    def spans(self) -> Iterator[TraceEvent]:
+        return (e for e in self.events if e.kind == SPAN)
+
+    def __repr__(self) -> str:
+        return (f"Tracer({len(self.events)} events, depth "
+                f"{len(self._stack)}, {self.dropped} dropped)")

@@ -121,16 +121,22 @@ class TdxModule:
 
     def guest_map_gpa(self, fn_start: int, count: int, *, shared: bool) -> None:
         """MapGPA conversion; charges a full tdcall round trip."""
-        self.clock.charge(Cost.TDCALL_ROUND_TRIP, "tdcall")
-        self.clock.count("tdcall")
-        self._map_gpa(fn_start, count, shared)
+        with self.clock.tracer.span("tdcall:mapgpa", cat="tdx",
+                                    shared=shared, count=count):
+            self.clock.charge(Cost.TDCALL_ROUND_TRIP, "tdcall")
+            self.clock.count("tdcall")
+            self._map_gpa(fn_start, count, shared)
+        self.clock.metrics.inc("tdx_tdcalls_total", leaf="mapgpa")
 
     def guest_vmcall(self, subfn: int, payload: object = None) -> object:
         """Generic GHCI hypercall: exit to the VMM and return its answer."""
-        self.clock.charge(Cost.TDCALL_ROUND_TRIP, "tdcall")
-        self.clock.count("tdcall")
-        self.clock.count("vm_exit")
-        return self.vmm.handle_vmcall(subfn, payload)
+        with self.clock.tracer.span("tdcall:vmcall", cat="tdx", subfn=subfn):
+            self.clock.charge(Cost.TDCALL_ROUND_TRIP, "tdcall")
+            self.clock.count("tdcall")
+            self.clock.count("vm_exit")
+            result = self.vmm.handle_vmcall(subfn, payload)
+        self.clock.metrics.inc("tdx_tdcalls_total", leaf="vmcall")
+        return result
 
     def guest_tdreport(self, report_data: bytes) -> "TdReport":
         """Produce a signed attestation report over the boot measurement."""
@@ -138,8 +144,10 @@ class TdxModule:
             raise ValueError("report_data limited to 64 bytes")
         # TDREPORT_NATIVE is the end-to-end Table 4 figure: tdcall transit
         # plus report generation and HMAC integrity protection.
-        self.clock.charge(Cost.TDREPORT_NATIVE, "tdreport")
-        self.clock.count("tdcall")
+        with self.clock.tracer.span("tdcall:tdreport", cat="tdx"):
+            self.clock.charge(Cost.TDREPORT_NATIVE, "tdreport")
+            self.clock.count("tdcall")
+        self.clock.metrics.inc("tdx_tdcalls_total", leaf="tdreport")
         from .attestation import TdReport
         report = TdReport(
             mrtd=self.measurement.mrtd,
@@ -163,6 +171,8 @@ class TdxModule:
                           + Cost.TDX_WORLD_RESUME - Cost.ALU, "tdcall")
         self.clock.count("tdcall")
         leaf = cpu.regs["rax"]
+        self.clock.tracer.event(f"tdcall:leaf{leaf}", cat="tdx")
+        self.clock.metrics.inc("tdx_tdcalls_total", leaf=str(leaf))
         if leaf == LEAF_VMCALL:
             subfn = cpu.regs["rbx"]
             self.clock.count("vm_exit")

@@ -62,3 +62,58 @@ def test_table4_composites_derive_from_parts():
                                + Cost.PTE_WRITE_NATIVE)
     assert Cost.EREBOR_GHCI == (Cost.EMC_ROUND_TRIP + Cost.VALIDATE_GHCI
                                 + Cost.TDREPORT_NATIVE)
+
+
+# --- snapshot interval semantics (nested attribution + obs sinks) ----------
+
+def test_snapshot_deltas_attribute_nested_tags():
+    """Interval deltas keep per-tag attribution exact across nested charges
+    (the pattern the runner uses: outer window, inner tagged sub-work)."""
+    clock = CycleClock()
+    clock.charge(10, "emc")
+    outer = clock.snapshot()
+    clock.charge(Cost.EMC_ROUND_TRIP, "emc")
+    inner = clock.snapshot()
+    clock.charge(Cost.VALIDATE_MMU, "emc_validate")
+    clock.charge(Cost.PTE_WRITE_NATIVE, "mmu_op")
+
+    inner_delta = clock.since(inner)
+    outer_delta = clock.since(outer)
+    assert inner_delta.by_tag == {"emc_validate": Cost.VALIDATE_MMU,
+                                  "mmu_op": Cost.PTE_WRITE_NATIVE}
+    assert outer_delta.by_tag["emc"] == Cost.EMC_ROUND_TRIP   # 10 predates it
+    assert outer_delta.cycles == inner_delta.cycles + Cost.EMC_ROUND_TRIP
+    # intervals nest: the outer window contains the inner one exactly
+    assert (outer_delta.by_tag["emc_validate"]
+            == inner_delta.by_tag["emc_validate"])
+
+
+def test_snapshot_unaffected_by_later_charges():
+    clock = CycleClock()
+    clock.charge(5, "a")
+    snap = clock.snapshot()
+    clock.charge(7, "a")
+    assert snap.cycles == 5 and snap.by_tag["a"] == 5
+
+
+def test_default_sinks_are_noop_and_free():
+    """A fresh clock carries the disabled tracer/registry, and recording
+    through them adds zero simulated cycles (observability is free)."""
+    from repro.obs.metrics import NULL_METRICS
+    from repro.obs.trace import NULL_TRACER
+    clock = CycleClock()
+    assert clock.tracer is NULL_TRACER and clock.metrics is NULL_METRICS
+    with clock.tracer.span("gate"):
+        clock.metrics.inc("x", cls="y")
+        clock.tracer.event("e")
+    assert clock.cycles == 0 and clock.events == {}
+
+
+def test_gate_cost_pinned_with_disabled_tracer():
+    """Satellite (c): with the default no-op recorder, the measured EMC
+    round trip is the calibrated 1224 — no hidden cycles from obs."""
+    from repro.core.emc import EmcCall
+    from repro.core.microrig import GateRig
+    rig = GateRig()
+    assert not rig.clock.tracer.enabled
+    assert rig.run_emc(int(EmcCall.NOP)) == Cost.EMC_ROUND_TRIP == 1224

@@ -1,0 +1,16 @@
+"""Shared fixtures: one instrumented workload run reused across obs tests."""
+
+import pytest
+
+from repro.obs.harness import export_bundle, run_observed
+
+
+@pytest.fixture(scope="session")
+def observed():
+    """One full helloworld/erebor run with tracer + metrics attached."""
+    return run_observed("helloworld", "erebor", scale=1.0)
+
+
+@pytest.fixture(scope="session")
+def bundle(observed):
+    return export_bundle(observed)

@@ -1,0 +1,43 @@
+"""Profiler: collapsed stacks and the cycle-conservation property."""
+
+from repro.obs.profile import (
+    collapsed_stacks,
+    hotspots,
+    profile_report,
+    total_attributed,
+)
+
+
+def test_every_cycle_attributed(observed):
+    """Acceptance criterion (c): folded self-cycles sum to the clock total."""
+    assert total_attributed(observed.tracer) == observed.clock.cycles
+    assert observed.clock.cycles > 0
+
+
+def test_collapsed_lines_parse_and_sum(observed):
+    lines = collapsed_stacks(observed.tracer)
+    assert lines
+    total = 0
+    for line in lines:
+        path, cycles = line.rsplit(" ", 1)
+        assert path and cycles.isdigit()
+        total += int(cycles)
+    assert total == observed.clock.cycles
+    # hottest-first ordering
+    counts = [int(line.rsplit(" ", 1)[1]) for line in lines]
+    assert counts == sorted(counts, reverse=True)
+    # all stacks hang off the harness's root span
+    assert all(line.startswith("run:helloworld") for line in lines)
+
+
+def test_hotspots_shares(observed):
+    rows = hotspots(observed.tracer, top=5)
+    assert 0 < len(rows) <= 5
+    assert all(0 < share <= 1 for _, _, share in rows)
+    assert sum(share for _, _, share in rows) <= 1.0 + 1e-9
+
+
+def test_profile_report_renders(observed):
+    report = profile_report(observed.tracer, top=3)
+    assert "TOTAL" in report
+    assert f"{observed.clock.cycles:,}" in report

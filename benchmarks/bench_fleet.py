@@ -1,0 +1,122 @@
+"""Fleet bench: forked/warm start amortization + §9.2 sharing at 8 forks.
+
+Drives the full orchestration stack — template capture, warm pool,
+admission, attested sessions — with the deterministic load generator and
+pins the PR's headline numbers: forked and warm starts ≥5× cheaper than
+a cold boot, 8 forked llama sandboxes deduplicating physical frames at
+least as hard as the paper-scale sharing arithmetic, and byte-identical
+repeats under one seed.
+"""
+
+import pytest
+
+from repro.baselines.unikernel import paper_scale_comparison
+from repro.bench.report import format_table, mib, pct
+from repro.fleet import run_fleet
+from repro.vm import MIB
+
+CLIENTS = 8
+
+
+@pytest.fixture(scope="module")
+def fleet():
+    """8 llama clients, 8-slot pool: every session is a concurrent fork."""
+    report, _system = run_fleet(workload="llama.cpp", clients=CLIENTS,
+                                requests=1, pool_size=CLIENTS,
+                                tenants=CLIENTS, seed=7, scale=0.1,
+                                memory_bytes=1024 * MIB,
+                                cma_bytes=512 * MIB)
+    return report
+
+
+@pytest.fixture(scope="module")
+def reuse_fleet():
+    """8 llama clients over 2 slots: 6 sessions ride the warm path."""
+    report, _system = run_fleet(workload="llama.cpp", clients=CLIENTS,
+                                requests=1, pool_size=2, tenants=2,
+                                seed=7, scale=0.1,
+                                memory_bytes=1024 * MIB,
+                                cma_bytes=512 * MIB)
+    return report
+
+
+def test_fork_and_warm_start_amortization(benchmark, fleet, reuse_fleet):
+    report = benchmark.pedantic(lambda: reuse_fleet, rounds=1, iterations=1)
+    assert report.outcomes == {"completed": CLIENTS}
+    # PR acceptance: both cheap paths beat cold creation by >=5x
+    assert report.fork_speedup() >= 5
+    assert report.warm_speedup() >= 5
+    assert fleet.fork_speedup() >= 5
+    forks = report.fork_start_cycles
+    warms = report.warm_start_cycles
+    rows = [
+        ["cold capture (boot+init)", 1, f"{report.cold_start_cycles:,}",
+         "1.0x"],
+        ["CoW fork", len(forks), f"{sum(forks) // len(forks):,}",
+         f"{report.fork_speedup():,.0f}x"],
+        ["warm reset", len(warms), f"{sum(warms) // len(warms):,}",
+         f"{report.warm_speedup():,.0f}x"],
+    ]
+    print("\n" + format_table(
+        "Fleet start paths, llama.cpp (cycles per client-ready sandbox)",
+        ["path", "starts", "cycles", "vs cold"], rows))
+
+
+def test_eight_forks_hit_paper_shaped_dedup(benchmark, fleet):
+    """S3: 8 forked llama sandboxes share model *and* template frames.
+
+    The paper's §9.2 arithmetic shares only the common model region
+    (89.1% at 4 GB scale; ``paper_scale_comparison(8)`` ≈ 77.8% at the
+    honest per-client footprint). The fork engine also shares the
+    confined image copy-on-write, so the measured reduction must clear
+    the paper-shaped ratio — and the stricter 85% bar, approaching the
+    8-way physical ceiling of 87.5%.
+    """
+    report = benchmark.pedantic(lambda: fleet, rounds=1, iterations=1)
+    paper = paper_scale_comparison(CLIENTS)
+    assert report.outcomes == {"completed": CLIENTS}
+    assert report.memory_reduction >= paper.reduction
+    assert report.memory_reduction >= 0.85
+    # dedup is physical: each client's marginal memory is the few pages
+    # it actually dirtied, far below its virtual confined image
+    assert report.marginal_bytes_mean * 20 < report.template_bytes
+    rows = [
+        ["unikernel-per-client", CLIENTS, mib(report.unikernel_bytes), "-"],
+        ["fleet (template + CoW forks)", CLIENTS, mib(report.fleet_bytes),
+         pct(report.memory_reduction)],
+        [paper.label, paper.clients, mib(paper.erebor_bytes),
+         pct(paper.reduction)],
+    ]
+    print("\n" + format_table(
+        "Per-fleet physical memory, 8 llama clients "
+        "(paper: up to 89.1% saved)",
+        ["configuration", "clients", "footprint", "saved"], rows))
+
+
+def test_marginal_client_memory_below_unikernel(benchmark, fleet):
+    report = benchmark.pedantic(lambda: fleet, rounds=1, iterations=1)
+    per_client_unikernel = report.unikernel_bytes // CLIENTS
+    assert report.marginal_bytes_max < per_client_unikernel
+    assert report.marginal_bytes_mean > 0      # CoW actually broke pages
+
+
+def test_fleet_is_deterministic(benchmark):
+    def twice():
+        a, _ = run_fleet(workload="llama.cpp", clients=4, requests=2,
+                         pool_size=2, tenants=2, seed=11, scale=0.1,
+                         memory_bytes=1024 * MIB, cma_bytes=512 * MIB)
+        b, _ = run_fleet(workload="llama.cpp", clients=4, requests=2,
+                         pool_size=2, tenants=2, seed=11, scale=0.1,
+                         memory_bytes=1024 * MIB, cma_bytes=512 * MIB)
+        return a, b
+
+    a, b = benchmark.pedantic(twice, rounds=1, iterations=1)
+    assert a.to_json() == b.to_json()
+    assert a.digest() == b.digest()
+
+
+def test_throughput_reported(benchmark, reuse_fleet):
+    report = benchmark.pedantic(lambda: reuse_fleet, rounds=1, iterations=1)
+    assert report.requests_served == CLIENTS
+    assert report.throughput_rps > 0
+    assert report.serve_cycles < report.total_cycles

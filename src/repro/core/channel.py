@@ -103,10 +103,24 @@ class SecureChannel:
         pages = max(1, (nbytes + 4095) // 4096)
         self.monitor.clock.charge(pages * CRYPTO_PER_PAGE, "channel_crypto")
 
+    def _check_current(self) -> None:
+        """Refuse data movement through a superseded channel.
+
+        A sandbox reused between clients (``reset_for_reuse``) detaches
+        its channel; a channel object surviving from the previous session
+        must never deliver into — or fetch from — the next client's
+        sandbox (cross-session confusion at fleet scale).
+        """
+        if self.sandbox.channel is not self:
+            raise PolicyViolation(
+                f"stale channel: sandbox {self.sandbox.sandbox_id} was "
+                "reset or rebound since this channel was attached")
+
     def deliver_request(self, record: bytes) -> None:
         """Ciphertext in from the proxy: decrypt straight into the sandbox."""
         if self.rx is None:
             raise PolicyViolation("channel not established")
+        self._check_current()
         self._charge_crypto(len(record))
         plaintext = self.rx.open(record)
         self.sandbox.install_input(plaintext)
@@ -121,6 +135,7 @@ class SecureChannel:
         """One record of a chunked request; returns True when complete."""
         if self.rx is None:
             raise PolicyViolation("channel not established")
+        self._check_current()
         self._charge_crypto(len(record))
         plaintext = self.rx.open(record, aad=b"chunk")
         if not plaintext:
@@ -144,6 +159,7 @@ class SecureChannel:
         """
         if self.tx is None:
             raise PolicyViolation("channel not established")
+        self._check_current()
         data = self.sandbox.take_output()
         if data is None:
             return None

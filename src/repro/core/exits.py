@@ -102,11 +102,20 @@ class MonitorExitPath(ExitPath):
     def on_secure_pagefault(self, task: Task, va: int, write: bool) -> bool:
         """Self-paging (§6.1 future work / Autarky): the monitor resolves
         faults on secure-paged confined memory without exposing the
-        faulting address to the OS, closing the controlled channel."""
+        faulting address to the OS, closing the controlled channel.
+        Copy-on-write confined memory of forked sandboxes is always
+        self-paged: reads map the shared template frame, first writes
+        duplicate the page into a private confined frame."""
         sandbox = self._sandbox_of(task)
-        if sandbox is None or not sandbox.secure_paging:
+        if sandbox is None:
             return False
         vma = task.find_vma(va)
+        if vma is not None and vma.kind == "confined":
+            from ..kernel.process import CowBacking
+            if isinstance(vma.backing, CowBacking):
+                return sandbox.resolve_cow_fault(vma, va, write)
+        if not sandbox.secure_paging:
+            return False
         if vma is None or vma.kind != "confined":
             return False
         if write and not vma.prot & 0x2:

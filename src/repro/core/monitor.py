@@ -314,6 +314,55 @@ class EreborMonitor:
     # sandbox facade (implementation in sandbox.py / channel.py)
     # ------------------------------------------------------------------ #
 
+    def seal_as_template(self, sandbox: "Sandbox", name: str) -> list[int]:
+        """Freeze a pre-initialized sandbox into a named fork template.
+
+        The sandbox must still be pre-lock (it has never held client
+        data, which is what makes read-only sharing of its image safe).
+        Its confined frames are re-classified as template frames: removed
+        from the single-mapping confined registry, flipped read-only in
+        the template's own page table (one batched EMC, like common-region
+        sealing), and registered so no address space can ever map them
+        writable again. Returns the frame list — the golden image forked
+        sandboxes will map copy-on-write.
+        """
+        from ..hw.memory import PAGE_SHIFT
+        from ..hw.paging import PTE_P, PTE_W
+        from ..kernel.process import PROT_WRITE
+        if sandbox.locked or sandbox.dead:
+            raise self._deny(PolicyViolation(
+                f"sandbox {sandbox.sandbox_id} has held client data; "
+                "only pre-lock sandboxes can become templates"))
+        if any(t == name for t in self.vmmu.template_frames.values()):
+            raise self._deny(PolicyViolation(
+                f"template {name!r} already exists"))
+        self.charge_emc(Cost.VALIDATE_MMU, kind="mmu")
+        frames = list(sandbox.confined_frames)
+        aspace = sandbox.task.aspace
+        rewritten = 0
+        for vma in sandbox.confined_vmas:
+            for page in range(vma.length >> PAGE_SHIFT):
+                va = vma.start + (page << PAGE_SHIFT)
+                pte = aspace.get_pte(va)
+                if pte & PTE_P and pte & PTE_W:
+                    aspace.set_pte(va, pte & ~PTE_W)
+                    self.clock.charge(Cost.PTE_WRITE_NATIVE, "mmu_op")
+                    rewritten += 1
+            vma.prot &= ~PROT_WRITE
+        self.vmmu.release_confined(sandbox.sandbox_id)
+        self.vmmu.adopt_template(name, frames)
+        sandbox.confined_frames = []
+        sandbox.state = "template"
+        self.clock.count("template_sealed")
+        self.clock.tracer.event("fleet:template_seal", cat="fleet",
+                                template=name, sandbox=sandbox.sandbox_id,
+                                frames=len(frames))
+        self.clock.metrics.inc("erebor_templates_sealed_total", template=name)
+        self.audit("sandbox", f"sealed #{sandbox.sandbox_id} as template "
+                   f"{name!r} ({len(frames)} frames, {rewritten} PTEs "
+                   "flipped read-only)")
+        return frames
+
     def create_sandbox(self, name: str, *, confined_budget: int,
                        threads: int = 1) -> "Sandbox":
         from .sandbox import Sandbox

@@ -14,6 +14,9 @@ enforces the mapping policies that make Erebor's claims hold:
 * **common-memory write revocation** (§6.1) — frames of a common region
   map writable only while the region is still in its initialization
   window; after lock the monitor flips every mapping read-only;
+* **template immutability** (§9.2 warm start) — frames of a sealed fork
+  template are golden images shared read-only across forked sandboxes;
+  a writable mapping of one is refused everywhere, forever;
 * **shadow-stack discipline** — CET shadow-stack frames are never mapped
   into kernel-writable space.
 """
@@ -68,6 +71,9 @@ class NestedMmu:
         #: sandbox id -> its (only) registered address space
         self.sandbox_aspace: dict[int, AddressSpace] = {}
         self.common_regions: dict[str, CommonRegion] = {}
+        #: template frame -> template name (golden fork images; read-only
+        #: shareable across sandboxes, like common memory, never writable)
+        self.template_frames: dict[int, str] = {}
         #: address spaces whose PTPs the monitor manages
         self.registered_roots: set[int] = set()
 
@@ -96,6 +102,40 @@ class NestedMmu:
         for fn in frames:
             del self.confined_owner[fn]
             self.confined_mapping.pop(fn, None)
+        return frames
+
+    def release_confined_frames(self, frames: list[int]) -> None:
+        """Release specific frames from confined tracking (CoW un-break)."""
+        for fn in frames:
+            self.confined_owner.pop(fn, None)
+            self.confined_mapping.pop(fn, None)
+
+    def adopt_template(self, name: str, frames: list[int]) -> None:
+        """Re-classify a sealed sandbox image as a named fork template.
+
+        Template frames behave like common memory from the mapping
+        policy's point of view: any sandbox may map them read-only, no
+        one may ever map them writable again. They are *not* confined
+        (the single-mapping rule would forbid sharing them), which is
+        safe because a template is sealed before any client data exists.
+        """
+        for fn in frames:
+            prior = self.template_frames.get(fn)
+            if prior is not None and prior != name:
+                raise PolicyViolation(
+                    f"frame {fn:#x} already belongs to template {prior!r}")
+            if fn in self.confined_owner:
+                raise PolicyViolation(
+                    f"frame {fn:#x} still confined to sandbox "
+                    f"{self.confined_owner[fn]}; release before sealing")
+            self.template_frames[fn] = name
+            self.phys.frame(fn).owner = f"template:{name}"
+
+    def release_template(self, name: str) -> list[int]:
+        """Drop a template's frames from the registry; returns them."""
+        frames = [fn for fn, t in self.template_frames.items() if t == name]
+        for fn in frames:
+            del self.template_frames[fn]
         return frames
 
     def create_common_region(self, name: str, frames: list[int],
@@ -156,6 +196,11 @@ class NestedMmu:
         elif executable and not user and writable:
             raise PolicyViolation(
                 f"W^X: writable+executable supervisor mapping of {fn:#x} refused")
+
+        if fn in self.template_frames and writable:
+            raise PolicyViolation(
+                f"template frame {fn:#x} ({self.template_frames[fn]!r}) is "
+                f"a sealed fork image; writable mapping refused")
 
         owner_sandbox = self.confined_owner.get(fn)
         if owner_sandbox is not None:

@@ -21,7 +21,16 @@ from typing import TYPE_CHECKING
 from ..hw import regs
 from ..hw.cycles import Cost
 from ..hw.memory import PAGE_SHIFT, PAGE_SIZE, pages_for
-from ..kernel.process import PROT_READ, PROT_WRITE, PinnedBacking, SharedBacking, Task, Vma
+from ..hw.paging import PTE_NX, PTE_P, PTE_U, PTE_W, make_pte
+from ..kernel.process import (
+    CowBacking,
+    PinnedBacking,
+    PROT_READ,
+    PROT_WRITE,
+    SharedBacking,
+    Task,
+    Vma,
+)
 from .policy import PolicyViolation
 
 if TYPE_CHECKING:
@@ -78,6 +87,10 @@ class Sandbox:
     def dead(self) -> bool:
         return self.state == "dead"
 
+    @property
+    def is_template(self) -> bool:
+        return self.state == "template"
+
     def note_masked_entry(self) -> None:
         self._masked_depth += 1
 
@@ -104,6 +117,9 @@ class Sandbox:
             self.secure_paging = True
         if self.dead:
             raise PolicyViolation(f"sandbox {self.sandbox_id} is dead")
+        if self.is_template:
+            raise PolicyViolation(
+                f"sandbox {self.sandbox_id} is a sealed template")
         if self.locked:
             raise PolicyViolation(
                 "confined memory must be declared before client data arrives")
@@ -160,6 +176,75 @@ class Sandbox:
         self.common_names.append(name)
         return vma
 
+    def adopt_cow_vma(self, template_frames: list[int], template: str,
+                      *, io: bool = False) -> Vma:
+        """Map a template's confined region copy-on-write (§9.2 forking).
+
+        No frames are taken and no page table is populated here: every
+        page lazily maps the shared template frame read-only on first
+        read, and is duplicated into a fresh private confined frame on
+        first write — both resolved inside the monitor (self-paging), so
+        the OS never learns which pages diverged from the template.
+        """
+        if self.dead:
+            raise PolicyViolation(f"sandbox {self.sandbox_id} is dead")
+        if self.locked:
+            raise PolicyViolation(
+                "confined memory must be declared before client data arrives")
+        nbytes = len(template_frames) * PAGE_SIZE
+        if self.confined_bytes + nbytes > self.confined_budget:
+            raise PolicyViolation(
+                f"confined budget exceeded: {self.confined_bytes + nbytes} "
+                f"> {self.confined_budget}")
+        self.monitor.charge_emc(Cost.VALIDATE_MMU, kind="mmu")
+        vma = self.monitor.kernel.mmap(
+            self.task, nbytes, PROT_READ | PROT_WRITE,
+            backing=CowBacking(list(template_frames), template),
+            kind="confined")
+        self.confined_vmas.append(vma)
+        self.confined_bytes += nbytes
+        if io:
+            self.io_vma = vma
+        self.state = "ready"
+        return vma
+
+    def resolve_cow_fault(self, vma: Vma, va: int, write: bool) -> bool:
+        """Monitor self-pager for copy-on-write confined memory.
+
+        Reads map the shared template frame read-only; the first write to
+        a page allocates a private CMA frame, copies the template
+        contents, registers it confined (single-mapped, C6) and remaps
+        writable. The kernel only learns that *a* fault occurred.
+        """
+        monitor = self.monitor
+        clock = monitor.clock
+        backing = vma.backing
+        page = vma.page_index(va)
+        page_va = va & ~(PAGE_SIZE - 1)
+        clock.charge(Cost.PF_HANDLER_BASE // 2, "secure_pager")
+        fn = backing.private.get(page)
+        if fn is None and write:
+            [fn] = monitor.take_cma_frames(1, f"sandbox:{self.sandbox_id}")
+            src = monitor.phys.frame(backing.template_frames[page])
+            if src.data is not None:
+                monitor.phys.write(fn << PAGE_SHIFT, bytes(src.data))
+            clock.charge(Cost.COPY_PER_PAGE_NATIVE, "cow_copy")
+            monitor.vmmu.declare_confined(self.sandbox_id, [fn])
+            self.confined_frames.append(fn)
+            # retire the read-only template mapping before the private one
+            if self.task.aspace.get_pte(page_va) & PTE_P:
+                monitor.vmmu.write_pte(self.task.aspace, page_va, 0)
+            backing.private[page] = fn
+            clock.count("cow_break")
+            clock.metrics.inc("erebor_cow_breaks_total",
+                              sandbox=str(self.sandbox_id))
+        target = fn if fn is not None else backing.template_frames[page]
+        flags = PTE_P | PTE_U | PTE_NX | (PTE_W if fn is not None else 0)
+        monitor.vmmu.write_pte(self.task.aspace, page_va,
+                               make_pte(target, flags, vma.pkey))
+        clock.count("secure_fault")
+        return True
+
     def spawn_thread(self) -> Task:
         """Pre-create a worker thread (clone before lock, §6.2)."""
         if self.locked:
@@ -187,6 +272,10 @@ class Sandbox:
             return
         if self.dead:
             raise PolicyViolation(f"sandbox {self.sandbox_id} is dead")
+        if self.is_template:
+            raise PolicyViolation(
+                f"sandbox {self.sandbox_id} is a sealed template; "
+                "fork it instead of locking it")
         monitor = self.monitor
         # disable user-mode interrupt sending from this sandbox
         monitor.clock.charge(Cost.WRMSR_SLOW_NATIVE, "msr_op")
@@ -245,10 +334,36 @@ class Sandbox:
         if self.dead:
             raise PolicyViolation(
                 f"sandbox {self.sandbox_id} is dead; create a new one")
+        if self.is_template:
+            raise PolicyViolation(
+                f"sandbox {self.sandbox_id} is a sealed template")
         monitor = self.monitor
-        # zero every confined frame (contents only; mappings stay pinned)
+        # scrub cost is proportional to the pages that held client state:
+        # all confined frames, which for a forked sandbox are exactly the
+        # privately-copied (dirtied) pages
         pages = len(self.confined_frames)
         monitor.clock.charge(pages * Cost.COPY_PER_PAGE_NATIVE, "scrub")
+        # forked sandboxes: drop every private copy and fall back to the
+        # golden template view — the next client refaults read-only and
+        # re-copies on write, so reuse also *restores* the pre-init state
+        dropped: list[int] = []
+        for vma in self.confined_vmas:
+            backing = vma.backing
+            if not isinstance(backing, CowBacking):
+                continue
+            for page, fn in sorted(backing.private.items()):
+                va = vma.start + (page << PAGE_SHIFT)
+                if self.task.aspace.get_pte(va) & PTE_P:
+                    monitor.vmmu.write_pte(self.task.aspace, va, 0)
+                dropped.append(fn)
+            backing.private.clear()
+        if dropped:
+            monitor.vmmu.release_confined_frames(dropped)
+            drop_set = set(dropped)
+            self.confined_frames = [fn for fn in self.confined_frames
+                                    if fn not in drop_set]
+            monitor.return_cma_frames(dropped)   # zeroes on return
+        # zero the remaining (pinned-in-place) confined frames
         for fn in self.confined_frames:
             monitor.phys.zero_frame(fn)
         self.input_queue.clear()
@@ -259,6 +374,8 @@ class Sandbox:
         monitor.clock.count("sandbox_warm_reset")
         monitor.clock.tracer.event("sandbox:warm_reset", cat="sandbox",
                                    sandbox=self.sandbox_id)
+        monitor.clock.metrics.inc("erebor_sandbox_reuse_total",
+                                  sandbox=str(self.sandbox_id))
 
     def _scrub(self) -> None:
         kernel = self.monitor.kernel
@@ -278,16 +395,36 @@ class Sandbox:
     # channel-side data movement (called by SecureChannel / EreborDevice)
     # ------------------------------------------------------------------ #
 
+    def _io_frames(self, npages: int) -> list[int]:
+        """Confined frames backing the first ``npages`` of the I/O buffer.
+
+        On a forked sandbox the I/O buffer starts as shared template
+        pages; the monitor breaks CoW on the needed pages first, so
+        client plaintext only ever lands in private confined frames.
+        """
+        backing = self.io_vma.backing
+        if isinstance(backing, CowBacking):
+            npages = min(npages, len(backing.template_frames))
+            for page in range(npages):
+                va = self.io_vma.start + (page << PAGE_SHIFT)
+                self.resolve_cow_fault(self.io_vma, va, True)
+            return [backing.private[page] for page in range(npages)]
+        return backing.frames
+
     def install_input(self, plaintext: bytes) -> None:
         """Monitor writes decrypted client data into confined memory."""
         if self.dead:
             raise PolicyViolation(f"sandbox {self.sandbox_id} is dead")
+        if self.is_template:
+            raise PolicyViolation(
+                f"sandbox {self.sandbox_id} is a sealed template; "
+                "client data must go to a fork")
         monitor = self.monitor
         pages = max(pages_for(len(plaintext)), 1)
         monitor.clock.charge(pages * Cost.USER_COPY_PER_PAGE, "channel_copy")
         if self.io_vma is not None and plaintext:
             # really place the bytes in the confined I/O frames
-            frames = self.io_vma.backing.frames
+            frames = self._io_frames(pages_for(len(plaintext)))
             offset = 0
             for fn in frames:
                 if offset >= len(plaintext):

@@ -1,0 +1,100 @@
+"""``python -m repro.fleet`` — run a deterministic fleet and report it.
+
+Examples::
+
+    python -m repro.fleet --clients 4 --requests 8
+    python -m repro.fleet --workload llama.cpp --pool 3 --export bundle
+    python -m repro.fleet --clients 6 --requests 2 -o fleet.json
+
+The default export is the :class:`~repro.fleet.loadgen.FleetReport`
+JSON; ``--export bundle`` wraps the run in the full ``repro.obs`` export
+(meta + trace + metrics + profile, schema-checked — the payload the CI
+``fleet-smoke`` job validates), with the fleet report attached under
+``meta.fleet``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+from .loadgen import run_fleet
+
+EXPORTS = ("report", "bundle")
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.fleet",
+        description="Drive N attested clients through a warm pool of "
+                    "forked sandboxes; export the fleet report.")
+    parser.add_argument("--workload", default="llama.cpp")
+    parser.add_argument("--clients", type=int, default=4)
+    parser.add_argument("--requests", type=int, default=2,
+                        help="requests per client session")
+    parser.add_argument("--pool", type=int, default=2,
+                        help="warm pool size (concurrent sandboxes)")
+    parser.add_argument("--tenants", type=int, default=2)
+    parser.add_argument("--seed", type=int, default=2025)
+    parser.add_argument("--scale", type=float, default=0.1)
+    parser.add_argument("--export", default="report", choices=EXPORTS,
+                        dest="export_format",
+                        help="'report' = fleet JSON; 'bundle' = full obs "
+                             "export (schema-checked)")
+    parser.add_argument("--out", "-o", default=None,
+                        help="output file (default: stdout)")
+    args = parser.parse_args(argv)
+
+    for knob in ("clients", "requests", "pool", "tenants"):
+        if getattr(args, knob) <= 0:
+            parser.error(f"--{knob} must be positive")
+
+    if args.export_format == "bundle":
+        from ..obs import install
+        from ..obs.harness import ObservedRun, export_bundle
+        from ..obs.schema import check_export
+
+        state: dict = {}
+
+        def instrument(machine) -> None:
+            tracer, registry = install(machine.clock)
+            tracer.span("run:fleet", cat="run",
+                        workload=args.workload).__enter__()
+            state.update(tracer=tracer, registry=registry,
+                         clock=machine.clock)
+
+        report, _system = run_fleet(
+            workload=args.workload, clients=args.clients,
+            requests=args.requests, pool_size=args.pool,
+            tenants=args.tenants, seed=args.seed, scale=args.scale,
+            instrument=instrument)
+        state["tracer"].finish()
+        run = ObservedRun(args.workload, "fleet", state["tracer"],
+                          state["registry"], None, state["clock"])
+        bundle = export_bundle(run)
+        bundle["meta"]["fleet"] = report.to_dict()
+        check_export(bundle)                    # self-validate before emit
+        text = json.dumps(bundle, indent=2)
+    else:
+        report, _system = run_fleet(
+            workload=args.workload, clients=args.clients,
+            requests=args.requests, pool_size=args.pool,
+            tenants=args.tenants, seed=args.seed, scale=args.scale)
+        text = report.to_json()
+
+    if args.out:
+        with open(args.out, "w") as fh:
+            fh.write(text if text.endswith("\n") else text + "\n")
+        summary = (f"fleet/{args.workload}: {report.requests_served} "
+                   f"requests, {report.counts.get('admit', 0)} admitted, "
+                   f"fork speedup {report.fork_speedup():.1f}x, "
+                   f"digest {report.digest()[:16]} -> {args.out}")
+        print(summary, file=sys.stderr)
+    else:
+        sys.stdout.write(text if text.endswith("\n") else text + "\n")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

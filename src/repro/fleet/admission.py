@@ -1,0 +1,80 @@
+"""Admission control: who gets a sandbox, who waits, who is turned away.
+
+Every client session is routed through one deterministic decision before
+it touches a pool slot:
+
+* **admit** — a slot is free and the tenant is inside its quotas,
+* **queue** — the tenant is over quota or the pool is exhausted, but the
+  bounded wait queue has room,
+* **reject** — the queue itself is full (``backpressure``) or the request
+  can never be satisfied (asking for more confined memory than the
+  tenant's ceiling).
+
+Quotas are per tenant: concurrent sessions, total confined bytes, and an
+EMC-cycle allowance per request (enforced post-hoc by the scheduler —
+a session that burns past it is *evicted*, the fleet-scale analogue of
+the single-sandbox kill-on-violation policy).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+MIB = 1024 * 1024
+
+
+@dataclass(frozen=True)
+class TenantQuota:
+    max_active_sessions: int = 2
+    max_confined_bytes: int = 64 * MIB
+    #: EMC gate invocations one request may trigger before eviction
+    max_emc_per_request: int = 10_000
+
+
+@dataclass
+class AdmissionConfig:
+    queue_depth: int = 8
+    default_quota: TenantQuota = field(default_factory=TenantQuota)
+    quotas: dict[str, TenantQuota] = field(default_factory=dict)
+
+
+@dataclass(frozen=True)
+class Decision:
+    action: str            # "admit" | "queue" | "reject"
+    reason: str = ""
+
+
+class AdmissionController:
+    """Pure, deterministic policy: same inputs, same decision, always."""
+
+    def __init__(self, config: AdmissionConfig | None = None):
+        self.config = config or AdmissionConfig()
+
+    def quota_for(self, tenant: str) -> TenantQuota:
+        return self.config.quotas.get(tenant, self.config.default_quota)
+
+    def decide(self, tenant: str, *, requested_bytes: int,
+               active: dict[str, tuple[int, int]], queued: int,
+               free_slots: int) -> Decision:
+        """One admission decision.
+
+        ``active`` maps tenant -> (live sessions, confined bytes in use);
+        ``queued`` is the current wait-queue depth; ``free_slots`` the
+        number of idle pool slots.
+        """
+        quota = self.quota_for(tenant)
+        if requested_bytes > quota.max_confined_bytes:
+            return Decision("reject", "memory-quota")
+        sessions, in_use = active.get(tenant, (0, 0))
+        if sessions >= quota.max_active_sessions:
+            return self._backpressure(queued, "tenant-quota")
+        if in_use + requested_bytes > quota.max_confined_bytes:
+            return self._backpressure(queued, "memory-quota")
+        if free_slots <= 0:
+            return self._backpressure(queued, "pool-exhausted")
+        return Decision("admit")
+
+    def _backpressure(self, queued: int, why: str) -> Decision:
+        if queued < self.config.queue_depth:
+            return Decision("queue", why)
+        return Decision("reject", "backpressure")

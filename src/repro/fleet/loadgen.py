@@ -1,0 +1,229 @@
+"""Deterministic load generator and the top-level fleet driver.
+
+:class:`LoadGenerator` derives every client identity, key seed, and
+request payload from one integer seed (no wall-clock, no ambient RNG), so
+two runs with the same parameters produce byte-identical
+:class:`FleetReport` JSON — the property the determinism tests and the CI
+smoke job pin with a digest comparison.
+
+:func:`run_fleet` is the whole §9.2 story in one call: boot a CVM, cold
+boot + seal a template, stand up a warm pool, push N attested clients ×
+M requests through admission and the scheduler, and account cold vs fork
+vs warm start cycles and per-client marginal memory against the
+unikernel-per-client baseline.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import random
+from dataclasses import dataclass, field
+
+from ..apps.base import workload as make_workload
+from ..baselines.unikernel import UNIKERNEL_BASE_BYTES, unikernel_footprint
+from ..core.boot import erebor_boot
+from ..hw.cycles import CPU_FREQ_HZ
+from ..vm import CvmMachine, MachineConfig, MIB
+from .admission import AdmissionConfig, AdmissionController
+from .pool import PoolConfig, WarmPool
+from .scheduler import ClientSession, FleetScheduler
+from .template import SandboxTemplate
+
+
+class LoadGenerator:
+    """Seeded client population: identities, payloads, per-client secrets."""
+
+    def __init__(self, *, clients: int, requests: int, seed: int = 2025,
+                 tenants: int = 2, filler_bytes: int = 24):
+        self.clients = clients
+        self.requests = requests
+        self.seed = seed
+        self.tenants = max(tenants, 1)
+        self.filler_bytes = filler_bytes
+
+    def sessions(self) -> list[ClientSession]:
+        rng = random.Random(self.seed)
+        out: list[ClientSession] = []
+        for i in range(self.clients):
+            secret = (f"client-{i}-secret-"
+                      f"{rng.getrandbits(64):016x}").encode()
+            payloads = [
+                secret + b"|req-%d|" % j
+                + bytes(rng.randrange(256) for _ in range(self.filler_bytes))
+                for j in range(self.requests)
+            ]
+            out.append(ClientSession(
+                name=f"client-{i}", tenant=f"tenant-{i % self.tenants}",
+                seed=rng.randrange(1 << 30), payloads=payloads,
+                secret=secret))
+        return out
+
+
+@dataclass
+class FleetReport:
+    """Everything one fleet run produced, JSON-able and seed-stable."""
+
+    workload: str
+    clients: int
+    requests_per_client: int
+    pool_size: int
+    tenants: int
+    seed: int
+    scale: float
+    cold_start_cycles: int
+    fork_start_cycles: list[int]
+    warm_start_cycles: list[int]
+    counts: dict[str, int]
+    outcomes: dict[str, int]
+    requests_served: int
+    serve_cycles: int
+    total_cycles: int
+    cow_breaks: int
+    scrub_verifications: int
+    template_bytes: int
+    common_bytes: int
+    marginal_bytes_mean: int
+    marginal_bytes_max: int
+    fleet_bytes: int
+    unikernel_bytes: int
+    sessions: list[dict] = field(default_factory=list)
+
+    @property
+    def throughput_rps(self) -> float:
+        if self.serve_cycles <= 0:
+            return 0.0
+        return self.requests_served / (self.serve_cycles / CPU_FREQ_HZ)
+
+    @property
+    def memory_reduction(self) -> float:
+        """Fraction of memory the fleet saves vs unikernel-per-client."""
+        return 1.0 - self.fleet_bytes / self.unikernel_bytes
+
+    def fork_speedup(self) -> float:
+        """Cold boot+init cycles over the mean fork cost."""
+        if not self.fork_start_cycles:
+            return 0.0
+        mean = sum(self.fork_start_cycles) / len(self.fork_start_cycles)
+        return self.cold_start_cycles / mean
+
+    def warm_speedup(self) -> float:
+        if not self.warm_start_cycles:
+            return 0.0
+        mean = sum(self.warm_start_cycles) / len(self.warm_start_cycles)
+        return self.cold_start_cycles / mean
+
+    def to_dict(self) -> dict:
+        return {
+            "workload": self.workload, "clients": self.clients,
+            "requests_per_client": self.requests_per_client,
+            "pool_size": self.pool_size, "tenants": self.tenants,
+            "seed": self.seed, "scale": self.scale,
+            "cold_start_cycles": self.cold_start_cycles,
+            "fork_start_cycles": self.fork_start_cycles,
+            "warm_start_cycles": self.warm_start_cycles,
+            "counts": dict(self.counts), "outcomes": dict(self.outcomes),
+            "requests_served": self.requests_served,
+            "serve_cycles": self.serve_cycles,
+            "total_cycles": self.total_cycles,
+            "throughput_rps": round(self.throughput_rps, 6),
+            "cow_breaks": self.cow_breaks,
+            "scrub_verifications": self.scrub_verifications,
+            "template_bytes": self.template_bytes,
+            "common_bytes": self.common_bytes,
+            "marginal_bytes_mean": self.marginal_bytes_mean,
+            "marginal_bytes_max": self.marginal_bytes_max,
+            "fleet_bytes": self.fleet_bytes,
+            "unikernel_bytes": self.unikernel_bytes,
+            "memory_reduction": round(self.memory_reduction, 6),
+            "sessions": self.sessions,
+        }
+
+    def to_json(self) -> str:
+        return json.dumps(self.to_dict(), indent=2, sort_keys=True)
+
+    def digest(self) -> str:
+        """Stable fingerprint: identical seeds must produce identical runs."""
+        canonical = json.dumps(self.to_dict(), sort_keys=True,
+                               separators=(",", ":"))
+        return hashlib.sha256(canonical.encode()).hexdigest()
+
+
+def run_fleet(*, workload: str = "llama.cpp", clients: int = 4,
+              requests: int = 2, pool_size: int = 2, low_watermark: int = 1,
+              tenants: int = 2, seed: int = 2025, scale: float = 0.1,
+              queue_depth: int | None = None,
+              admission: AdmissionConfig | None = None,
+              memory_bytes: int = 768 * MIB, cma_bytes: int = 256 * MIB,
+              instrument=None, system=None) -> tuple[FleetReport, object]:
+    """Run one multi-tenant fleet; returns ``(report, system)``.
+
+    ``instrument`` is called with the freshly built machine before any
+    cycle is charged (the ``repro.obs`` attach point); pass ``system`` to
+    reuse an already-booted CVM instead.
+    """
+    import repro.apps  # noqa: F401  (populates the workload registry)
+
+    if system is None:
+        machine = CvmMachine(MachineConfig(memory_bytes=memory_bytes,
+                                           seed=seed))
+        if instrument is not None:
+            instrument(machine)
+        if not machine.clock.metrics.enabled:
+            from ..obs.metrics import MetricsRegistry
+            machine.clock.metrics = MetricsRegistry()
+        system = erebor_boot(machine, cma_bytes=cma_bytes)
+    clock = system.machine.clock
+
+    work = make_workload(workload, seed=seed, scale=scale)
+    template = SandboxTemplate.capture(system, work)
+    pool = WarmPool(system, template,
+                    PoolConfig(size=pool_size, low_watermark=low_watermark))
+    config = admission or AdmissionConfig(
+        queue_depth=queue_depth if queue_depth is not None else clients)
+    scheduler = FleetScheduler(system, pool, work,
+                               AdmissionController(config))
+    sessions = LoadGenerator(clients=clients, requests=requests,
+                             seed=seed, tenants=tenants).sessions()
+
+    serve_t0 = clock.cycles
+    finished = scheduler.run(sessions)
+    serve_cycles = clock.cycles - serve_t0
+
+    usage = system.monitor.phys.usage_by_owner()
+    template_bytes = sum(v for k, v in usage.items()
+                         if k.startswith("template:"))
+    common_bytes = sum(v for k, v in usage.items()
+                       if k.startswith("common:"))
+    peaks = [s.private_bytes_peak for s in finished
+             if s.outcome == "completed"]
+    marginal_mean = int(sum(peaks) / len(peaks)) if peaks else 0
+    marginal_max = max(peaks, default=0)
+    # steady-state fleet: one shared guest image, one template, one common
+    # copy, plus a private delta per concurrently-live instance
+    fleet_bytes = (UNIKERNEL_BASE_BYTES + template_bytes + common_bytes
+                   + pool_size * marginal_mean)
+    unikernel_bytes = unikernel_footprint(pool_size,
+                                          template.confined_bytes,
+                                          common_bytes)
+
+    outcomes: dict[str, int] = {}
+    for s in finished:
+        outcomes[s.outcome] = outcomes.get(s.outcome, 0) + 1
+    report = FleetReport(
+        workload=workload, clients=clients, requests_per_client=requests,
+        pool_size=pool_size, tenants=tenants, seed=seed, scale=scale,
+        cold_start_cycles=template.cold_start_cycles,
+        fork_start_cycles=list(pool.fork_cycles),
+        warm_start_cycles=list(pool.warm_reset_cycles),
+        counts=dict(scheduler.counts), outcomes=outcomes,
+        requests_served=scheduler.requests_served,
+        serve_cycles=serve_cycles, total_cycles=clock.cycles,
+        cow_breaks=clock.events.get("cow_break", 0),
+        scrub_verifications=pool.scrub_verifications,
+        template_bytes=template_bytes, common_bytes=common_bytes,
+        marginal_bytes_mean=marginal_mean, marginal_bytes_max=marginal_max,
+        fleet_bytes=fleet_bytes, unikernel_bytes=unikernel_bytes,
+        sessions=[s.summary() for s in finished],
+    )
+    return report, system

@@ -1,0 +1,173 @@
+"""Warm pool: pre-forked sandboxes recycled between attested clients.
+
+The pool keeps ``size`` forked instances standing. A session acquires a
+free slot, runs, and releases it; release scrubs the slot back to the
+golden template view via :meth:`Sandbox.reset_for_reuse` and — when
+``scrub_verify`` is on — *proves* the scrub by scanning every frame the
+previous client could have written for that client's plaintext (the C8
+no-state-leak claim, enforced per reuse rather than assumed). Slots whose
+sandbox died (kill, eviction) are replaced by fresh forks when the free
+count drops below the low watermark.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..kernel.process import CowBacking
+from .template import FleetInstance, SandboxTemplate
+
+
+class ScrubVerificationError(AssertionError):
+    """A reused slot still held a previous client's plaintext (C8 broken)."""
+
+
+@dataclass
+class PoolConfig:
+    size: int = 2
+    #: refill forks are triggered when free slots drop below this
+    low_watermark: int = 1
+    #: scan frames for the previous client's plaintext on every release
+    scrub_verify: bool = True
+
+
+@dataclass
+class PoolSlot:
+    index: int
+    instance: FleetInstance
+    busy: bool = False
+    sessions_served: int = 0
+
+
+class WarmPool:
+    """A fixed-size pool of forked sandboxes with verified recycling."""
+
+    def __init__(self, system, template: SandboxTemplate,
+                 config: PoolConfig | None = None):
+        self.system = system
+        self.template = template
+        self.config = config or PoolConfig()
+        self.clock = system.machine.clock
+        self.slots: list[PoolSlot] = []
+        self._next_index = 0
+        self.warm_reset_cycles: list[int] = []
+        self.fork_cycles: list[int] = []
+        self.scrub_verifications = 0
+        while len(self.slots) < self.config.size:
+            self._fork_slot()
+        self._gauges()
+
+    # ------------------------------------------------------------------ #
+    # bookkeeping
+    # ------------------------------------------------------------------ #
+
+    def free_slots(self) -> list[PoolSlot]:
+        return [s for s in self.slots if not s.busy]
+
+    def _gauges(self) -> None:
+        metrics = self.clock.metrics
+        metrics.set_gauge("erebor_fleet_pool_size", len(self.slots))
+        metrics.set_gauge("erebor_fleet_pool_free", len(self.free_slots()))
+
+    def _fork_slot(self) -> PoolSlot:
+        instance = self.template.fork()
+        slot = PoolSlot(index=self._next_index, instance=instance)
+        self._next_index += 1
+        self.slots.append(slot)
+        self.fork_cycles.append(instance.start_cycles)
+        return slot
+
+    def refill(self) -> int:
+        """Replace dead slots until the free count clears the watermark."""
+        forked = 0
+        while (len(self.slots) < self.config.size
+               and len(self.free_slots()) < max(self.config.low_watermark, 1)):
+            self._fork_slot()
+            forked += 1
+        self._gauges()
+        return forked
+
+    # ------------------------------------------------------------------ #
+    # acquire / release
+    # ------------------------------------------------------------------ #
+
+    def acquire(self) -> PoolSlot | None:
+        """Lowest-index free slot, or None (caller queues); deterministic."""
+        slot = self._first_free()
+        if slot is None:
+            # lost capacity (dead slots) is restored on demand
+            self.refill()
+            slot = self._first_free()
+        if slot is not None:
+            slot.busy = True
+            self._gauges()
+        return slot
+
+    def _first_free(self) -> PoolSlot | None:
+        for slot in self.slots:
+            if not slot.busy and not slot.instance.sandbox.dead:
+                return slot
+        return None
+
+    def release(self, slot: PoolSlot,
+                patterns: list[bytes] | None = None) -> None:
+        """Recycle a slot: scrub, verify the scrub, restock the pool.
+
+        ``patterns`` is the released client's plaintext (requests and
+        responses); with ``scrub_verify`` every frame the client could
+        have dirtied — its private CoW copies (now back in the CMA), its
+        remaining confined frames, and the shared template image — is
+        scanned for them after the reset.
+        """
+        sandbox = slot.instance.sandbox
+        if sandbox.dead:
+            # killed/evicted mid-session: the kill path already scrubbed
+            self.slots.remove(slot)
+            self.refill()
+            return
+        frames_before = list(sandbox.confined_frames)
+        t0 = self.clock.cycles
+        with self.clock.tracer.span("fleet:warm_reset", cat="fleet",
+                                    sandbox=sandbox.sandbox_id):
+            sandbox.reset_for_reuse()
+            slot.instance.libos.end_session()
+        cycles = self.clock.cycles - t0
+        self.warm_reset_cycles.append(cycles)
+        slot.instance.start_kind = "warm"
+        slot.instance.start_cycles = cycles
+        if self.config.scrub_verify:
+            self.verify_scrub(slot, frames_before, patterns or [])
+        slot.busy = False
+        slot.sessions_served += 1
+        self.clock.metrics.observe("erebor_fleet_start_cycles", cycles,
+                                   kind="warm")
+        self.refill()
+
+    # ------------------------------------------------------------------ #
+    # C8 scrub verification
+    # ------------------------------------------------------------------ #
+
+    def verify_scrub(self, slot: PoolSlot, frames_before: list[int],
+                     patterns: list[bytes]) -> None:
+        """Assert no client-keyed bytes survived the reset (C8 at scale)."""
+        sandbox = slot.instance.sandbox
+        scan = set(frames_before) | set(sandbox.confined_frames)
+        for vma in sandbox.confined_vmas:
+            if isinstance(vma.backing, CowBacking):
+                scan.update(vma.backing.template_frames)
+        phys = self.system.monitor.phys
+        for fn in sorted(scan):
+            data = phys.frame(fn).data
+            if data is None:
+                continue
+            for pattern in patterns:
+                if pattern and pattern in bytes(data):
+                    raise ScrubVerificationError(
+                        f"frame {fn:#x} still holds client plaintext after "
+                        f"reuse of sandbox {sandbox.sandbox_id}")
+        self.scrub_verifications += 1
+        self.clock.metrics.inc("erebor_fleet_scrub_verified_total",
+                               sandbox=str(sandbox.sandbox_id))
+        self.clock.tracer.event("fleet:scrub_verified", cat="fleet",
+                                sandbox=sandbox.sandbox_id,
+                                frames=len(scan))

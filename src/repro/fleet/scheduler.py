@@ -1,0 +1,267 @@
+"""Fleet scheduler: attested sessions, round-robin over warm pool slots.
+
+Each admitted session is a *real* Erebor session — ephemeral-DH
+handshake, quote verification against the published measurement, sealed
+records through the untrusted proxy — bound to one pool slot. Sessions
+advance one request per scheduling round, so pool occupancy, queueing
+and backpressure are genuine concurrent behaviour, not sequential
+bookkeeping; ordering is fully deterministic (submission order within a
+round, FIFO queue drain on release).
+
+Quota enforcement has two halves: admission (pre-slot, in
+:mod:`repro.fleet.admission`) and the post-hoc EMC allowance — a request
+that drives more EMC gate invocations than its tenant's
+``max_emc_per_request`` gets the session *evicted*: the sandbox is
+killed (which scrubs it), the slot replaced by a fresh fork.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..client import RemoteClient
+from ..core.boot import published_measurement
+from ..core.channel import SecureChannel, UntrustedProxy
+from .admission import AdmissionController, Decision
+from .pool import PoolSlot, WarmPool
+
+
+@dataclass
+class ClientSession:
+    """One client's workload: identity, secrets, and progress."""
+
+    name: str
+    tenant: str
+    seed: int
+    payloads: list[bytes]
+    #: distinctive plaintext the scrub verifier scans frames for
+    secret: bytes = b""
+    outcome: str | None = None    # completed | rejected | evicted
+    reason: str = ""
+    served: int = 0
+    start_kind: str = ""
+    start_cycles: int = 0
+    session_cycles: int = 0
+    emc_used: int = 0
+    private_bytes_peak: int = 0
+    responses: list[bytes] = field(default_factory=list)
+    slot: PoolSlot | None = None
+    channel: SecureChannel | None = None
+    client: RemoteClient | None = None
+    _t0: int = 0
+
+    def summary(self) -> dict:
+        return {
+            "name": self.name, "tenant": self.tenant,
+            "outcome": self.outcome, "reason": self.reason,
+            "served": self.served, "start_kind": self.start_kind,
+            "start_cycles": self.start_cycles,
+            "session_cycles": self.session_cycles,
+            "emc_used": self.emc_used,
+            "private_bytes_peak": self.private_bytes_peak,
+        }
+
+
+class FleetScheduler:
+    """Drives N sessions through M pool slots, one request per round."""
+
+    def __init__(self, system, pool: WarmPool, work,
+                 controller: AdmissionController | None = None):
+        self.system = system
+        self.monitor = system.monitor
+        self.kernel = system.kernel
+        self.clock = system.machine.clock
+        self.pool = pool
+        self.work = work
+        self.controller = controller or AdmissionController()
+        self.proxy = UntrustedProxy(self.monitor)
+        self.queue: list[ClientSession] = []
+        self.active: list[ClientSession] = []
+        self.finished: list[ClientSession] = []
+        self.requests_served = 0
+        self.counts = {"admit": 0, "queue": 0, "reject": 0, "evict": 0}
+
+    # ------------------------------------------------------------------ #
+    # admission
+    # ------------------------------------------------------------------ #
+
+    def _active_by_tenant(self) -> dict[str, tuple[int, int]]:
+        per: dict[str, tuple[int, int]] = {}
+        bytes_per_slot = self.pool.template.confined_bytes
+        for s in self.active:
+            n, b = per.get(s.tenant, (0, 0))
+            per[s.tenant] = (n + 1, b + bytes_per_slot)
+        return per
+
+    def submit(self, session: ClientSession) -> Decision:
+        """Route one session: admit to a slot, queue it, or turn it away."""
+        with self.clock.tracer.span("fleet:admit", cat="fleet",
+                                    session=session.name,
+                                    tenant=session.tenant):
+            decision = self.controller.decide(
+                session.tenant,
+                requested_bytes=self.pool.template.confined_bytes,
+                active=self._active_by_tenant(),
+                queued=len(self.queue),
+                free_slots=len(self.pool.free_slots()))
+        self.counts[decision.action] = self.counts.get(decision.action, 0) + 1
+        metrics = self.clock.metrics
+        metrics.inc("erebor_fleet_admissions_total",
+                    action=decision.action, tenant=session.tenant)
+        self.clock.tracer.event(f"fleet:{decision.action}", cat="fleet",
+                                session=session.name, tenant=session.tenant,
+                                reason=decision.reason)
+        if decision.action == "admit":
+            self._start(session)
+        elif decision.action == "queue":
+            session.reason = decision.reason
+            self.queue.append(session)
+            metrics.set_gauge("erebor_fleet_queue_depth", len(self.queue))
+        else:
+            self._reject(session, decision.reason)
+        return decision
+
+    def _reject(self, session: ClientSession, reason: str) -> None:
+        session.outcome = "rejected"
+        session.reason = reason
+        self.finished.append(session)
+        self.clock.metrics.inc("erebor_fleet_sessions_total",
+                               tenant=session.tenant, outcome="rejected")
+        self.clock.metrics.inc("erebor_fleet_rejections_total",
+                               tenant=session.tenant, reason=reason)
+
+    def _start(self, session: ClientSession) -> None:
+        slot = self.pool.acquire()
+        assert slot is not None, "admission admitted with no free slot"
+        session.slot = slot
+        session.start_kind = slot.instance.start_kind
+        session.start_cycles = slot.instance.start_cycles
+        session._t0 = self.clock.cycles
+        channel = SecureChannel(self.monitor, slot.instance.sandbox)
+        client = RemoteClient(self.system.machine.authority,
+                              published_measurement(), seed=session.seed)
+        client.connect(self.proxy, channel)
+        session.channel, session.client = channel, client
+        self.active.append(session)
+        self.clock.tracer.event("fleet:session_start", cat="fleet",
+                                session=session.name,
+                                sandbox=slot.instance.sandbox.sandbox_id,
+                                start_kind=session.start_kind)
+
+    # ------------------------------------------------------------------ #
+    # the request rounds
+    # ------------------------------------------------------------------ #
+
+    def step(self) -> None:
+        """One scheduling round: every active session serves one request."""
+        for session in list(self.active):
+            self._step_session(session)
+
+    def _step_session(self, session: ClientSession) -> None:
+        instance = session.slot.instance
+        payload = session.payloads[session.served]
+        emc0 = self.clock.events.get("emc", 0)
+        with self.clock.tracer.span("fleet:request", cat="fleet",
+                                    session=session.name,
+                                    tenant=session.tenant,
+                                    index=session.served):
+            session.client.request(self.proxy, session.channel, payload)
+            self.kernel.current = instance.libos.task
+            request = instance.runtime.recv_input()
+            output = self.work.serve(instance.runtime, request)
+            blob = session.client.fetch_result(self.proxy, session.channel)
+        if blob != output:
+            raise RuntimeError(f"response mismatch for {session.name}")
+        session.responses.append(output)
+        session.served += 1
+        self.requests_served += 1
+        request_emc = self.clock.events.get("emc", 0) - emc0
+        session.emc_used += request_emc
+        self.clock.metrics.inc("erebor_fleet_requests_total",
+                               tenant=session.tenant)
+        quota = self.controller.quota_for(session.tenant)
+        if request_emc > quota.max_emc_per_request:
+            self._evict(session, request_emc)
+        elif session.served == len(session.payloads):
+            self._finish(session, "completed")
+
+    # ------------------------------------------------------------------ #
+    # completion paths
+    # ------------------------------------------------------------------ #
+
+    def _finalize(self, session: ClientSession, outcome: str) -> None:
+        session.outcome = outcome
+        session.session_cycles = self.clock.cycles - session._t0
+        session.private_bytes_peak = session.slot.instance.private_bytes
+        self.active.remove(session)
+        self.finished.append(session)
+        self.clock.metrics.inc("erebor_fleet_sessions_total",
+                               tenant=session.tenant, outcome=outcome)
+        self.clock.metrics.observe("erebor_fleet_session_cycles",
+                                   session.session_cycles, outcome=outcome)
+
+    def _evict(self, session: ClientSession, request_emc: int) -> None:
+        """Post-hoc EMC-rate enforcement: kill the sandbox, drop the slot."""
+        self.counts["evict"] += 1
+        session.reason = "emc-quota"
+        sandbox = session.slot.instance.sandbox
+        self._finalize(session, "evicted")
+        self.clock.tracer.event("fleet:evict", cat="fleet",
+                                session=session.name, tenant=session.tenant,
+                                emc=request_emc)
+        self.clock.metrics.inc("erebor_fleet_evictions_total",
+                               tenant=session.tenant)
+        sandbox.kill(f"tenant {session.tenant} exceeded EMC allowance "
+                     f"({request_emc} per request)")
+        self.pool.release(session.slot)     # dead slot: replaced by a fork
+        self._drain_queue()
+
+    def _finish(self, session: ClientSession, outcome: str) -> None:
+        self._finalize(session, outcome)
+        self.clock.tracer.event("fleet:session_end", cat="fleet",
+                                session=session.name, outcome=outcome)
+        self.pool.release(session.slot,
+                          patterns=[session.secret, *session.payloads,
+                                    *session.responses])
+        self._drain_queue()
+
+    def _drain_queue(self) -> None:
+        """FIFO re-admission after a slot frees up; deterministic order."""
+        while self.queue and self.pool.free_slots():
+            started = False
+            for session in list(self.queue):
+                decision = self.controller.decide(
+                    session.tenant,
+                    requested_bytes=self.pool.template.confined_bytes,
+                    active=self._active_by_tenant(),
+                    queued=0,                 # already queued: re-admission
+                    free_slots=len(self.pool.free_slots()))
+                if decision.action == "admit":
+                    self.queue.remove(session)
+                    self.clock.tracer.event("fleet:dequeue", cat="fleet",
+                                            session=session.name)
+                    self._start(session)
+                    started = True
+                    break
+            if not started:
+                break
+        self.clock.metrics.set_gauge("erebor_fleet_queue_depth",
+                                     len(self.queue))
+
+    # ------------------------------------------------------------------ #
+    # top-level drive
+    # ------------------------------------------------------------------ #
+
+    def run(self, sessions: list[ClientSession]) -> list[ClientSession]:
+        """Submit everything, then round-robin until the fleet drains."""
+        for session in sessions:
+            self.submit(session)
+        while self.active:
+            self.step()
+        # anything still queued can never be unblocked (no session left
+        # to release a slot): reject deterministically rather than hang
+        for session in list(self.queue):
+            self.queue.remove(session)
+            self._reject(session, "starved")
+        self.clock.metrics.set_gauge("erebor_fleet_queue_depth", 0)
+        return self.finished

@@ -1,0 +1,166 @@
+"""Template capture and copy-on-write sandbox forking (§9.2 at fleet scale).
+
+One sandbox is booted the expensive way — LibOS load, confined prefault,
+common-region population, program init compute — and then *sealed* as a
+golden template: its confined frames become immutable fork images that
+any number of client sandboxes map copy-on-write. A fork pays only for
+sandbox creation plus the CoW mappings; pages it never writes stay
+physically shared with the template, pages it does write are duplicated
+into fresh confined frames by the monitor's self-pager (so the guest OS
+never learns which pages diverged).
+
+The capture deliberately measures the cold path *before* sealing: the
+``cold_start_cycles`` it reports is an honest full boot+init, the number
+every fork and warm start is compared against.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
+
+from ..apps.base import Workload
+from ..apps.runtime import LibOsRuntime
+from ..hw.memory import PAGE_SIZE
+from ..kernel.process import PROT_WRITE
+from ..libos.libos import LibOs, Manifest
+
+if TYPE_CHECKING:
+    from ..core.boot import EreborSystem
+    from ..core.sandbox import Sandbox
+
+MIB = 1024 * 1024
+
+
+@dataclass
+class TemplateVma:
+    """One confined region of the sealed image, in declaration order."""
+
+    label: str
+    frames: list[int]
+    is_io: bool
+
+
+@dataclass
+class FleetInstance:
+    """One runnable forked (or template-derived) sandbox + its LibOS."""
+
+    sandbox: "Sandbox"
+    libos: LibOs
+    runtime: LibOsRuntime
+    template: "SandboxTemplate"
+    start_kind: str            # "fork" at birth; "warm" after a reuse
+    start_cycles: int          # cycles the current start path cost
+
+    @property
+    def private_bytes(self) -> int:
+        """Marginal physical memory: frames this instance owns itself."""
+        return len(self.sandbox.confined_frames) * PAGE_SIZE
+
+
+class SandboxTemplate:
+    """A sealed golden sandbox image that clients fork copy-on-write."""
+
+    def __init__(self, system: "EreborSystem", work: Workload,
+                 manifest: Manifest, *, name: str, layout: list[TemplateVma],
+                 confined_bytes: int, cold_start_cycles: int,
+                 capture_cycles: int):
+        self.system = system
+        self.work = work
+        self.manifest = manifest
+        self.name = name
+        self.layout = layout
+        self.confined_bytes = confined_bytes
+        self.cold_start_cycles = cold_start_cycles
+        self.capture_cycles = capture_cycles
+        self.forks = 0
+
+    # ------------------------------------------------------------------ #
+    # capture
+    # ------------------------------------------------------------------ #
+
+    @classmethod
+    def capture(cls, system: "EreborSystem", work: Workload, *,
+                name: str | None = None,
+                init_compute: bool = True) -> "SandboxTemplate":
+        """Boot one sandbox cold, run its init, seal it as a template.
+
+        The boot+init portion is timed before :meth:`seal_as_template`
+        flips the image immutable, so ``cold_start_cycles`` is exactly
+        what a non-forking deployment pays per client.
+        """
+        clock = system.machine.clock
+        manifest = work.manifest()
+        name = name or f"{manifest.name}-template"
+        t0 = clock.cycles
+        with clock.tracer.span("fleet:capture", cat="fleet", template=name):
+            libos = LibOs.boot_sandboxed(
+                system, manifest,
+                confined_budget=manifest.heap_bytes + 2 * MIB)
+            rt = LibOsRuntime(libos)
+            kernel = system.kernel
+            for spec in manifest.common:
+                vma = libos.common_vmas[spec.name]
+                kernel.touch_pages(rt.task, vma.start, vma.length,
+                                   write=bool(vma.prot & PROT_WRITE))
+            if init_compute:
+                rt.compute(work.profile.init_compute_cycles)
+            cold_cycles = clock.cycles - t0
+            sandbox = libos.sandbox
+            layout = [
+                TemplateVma("io" if vma is sandbox.io_vma else "heap",
+                            list(vma.backing.frames),
+                            vma is sandbox.io_vma)
+                for vma in sandbox.confined_vmas
+            ]
+            confined_bytes = sandbox.confined_bytes
+            system.monitor.seal_as_template(sandbox, name)
+        clock.metrics.observe("erebor_fleet_start_cycles", cold_cycles,
+                              kind="cold")
+        return cls(system, work, manifest, name=name, layout=layout,
+                   confined_bytes=confined_bytes,
+                   cold_start_cycles=cold_cycles,
+                   capture_cycles=clock.cycles - t0)
+
+    # ------------------------------------------------------------------ #
+    # fork
+    # ------------------------------------------------------------------ #
+
+    def fork(self, name: str | None = None) -> FleetInstance:
+        """Spin up a new client sandbox sharing this template's image.
+
+        No frames are copied and no page table is populated: the child
+        maps every template region copy-on-write, re-attaches the common
+        regions, and wires a LibOS onto the existing memory. First reads
+        map shared frames; first writes duplicate pages lazily.
+        """
+        system = self.system
+        clock = system.machine.clock
+        self.forks += 1
+        name = name or f"{self.name}-fork{self.forks}"
+        t0 = clock.cycles
+        with clock.tracer.span("fleet:fork", cat="fleet",
+                               template=self.name, child=name):
+            sandbox = system.monitor.create_sandbox(
+                name, confined_budget=self.confined_bytes,
+                threads=self.manifest.threads)
+            heap_vma = None
+            for tvma in self.layout:
+                vma = sandbox.adopt_cow_vma(tvma.frames, self.name,
+                                            io=tvma.is_io)
+                if not tvma.is_io and heap_vma is None:
+                    heap_vma = vma
+            common_vmas = {
+                spec.name: sandbox.attach_common(spec.name, spec.size)
+                for spec in self.manifest.common
+            }
+            libos = LibOs.attach_forked(system, self.manifest, sandbox,
+                                        heap_vma=heap_vma,
+                                        common_vmas=common_vmas)
+        cycles = clock.cycles - t0
+        clock.metrics.inc("erebor_fleet_forks_total", template=self.name)
+        clock.metrics.observe("erebor_fleet_start_cycles", cycles,
+                              kind="fork")
+        return FleetInstance(sandbox=sandbox, libos=libos,
+                             runtime=LibOsRuntime(libos), template=self,
+                             start_kind="fork", start_cycles=cycles)

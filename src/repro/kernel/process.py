@@ -95,6 +95,30 @@ class SharedBacking(Backing):
         return self.frames[page_index]
 
 
+class CowBacking(Backing):
+    """Copy-on-write confined memory forked from a sandbox template.
+
+    Pages resolve to the (read-only, shared) template frame until the
+    sandbox first writes them; the monitor then breaks the share into a
+    private confined frame recorded in :attr:`private`. Faults on these
+    VMAs are never resolved by the OS — the monitor self-pages them, so
+    the template/private split (and the access pattern) stays invisible
+    to the kernel.
+    """
+
+    pinned = True
+
+    def __init__(self, template_frames: list[int], template: str):
+        self.template_frames = template_frames
+        self.template = template
+        #: page index -> private confined frame (populated on first write)
+        self.private: dict[int, int] = {}
+
+    def frame_for(self, page_index, phys, owner):
+        fn = self.private.get(page_index)
+        return fn if fn is not None else self.template_frames[page_index]
+
+
 @dataclass
 class Vma:
     """One contiguous virtual memory area."""

@@ -109,6 +109,30 @@ class LibOs:
         return libos
 
     @classmethod
+    def attach_forked(cls, system: "EreborSystem", manifest: Manifest,
+                      sandbox: "Sandbox", *, heap_vma,
+                      common_vmas: dict[str, object]) -> "LibOs":
+        """Wire a LibOS onto a forked sandbox whose memory already exists.
+
+        The fork engine (``repro.fleet``) maps the template's confined
+        image copy-on-write and re-attaches the common regions before
+        calling this; what remains of :meth:`boot_sandboxed` is the
+        per-instance state — device fd, worker threads, preloaded files —
+        none of which touches the expensive prefault/declare path.
+        """
+        from ..core.channel import DEVICE_PATH
+        libos = cls(system.kernel, sandbox.task, manifest, sandbox=sandbox)
+        libos.heap_vma = heap_vma
+        libos.common_vmas = dict(common_vmas)
+        libos.device_fd = system.kernel.syscall(sandbox.task, "open",
+                                                DEVICE_PATH)
+        for _ in range(manifest.threads - 1):
+            sandbox.spawn_thread()
+        for pf in manifest.preload:
+            libos.fs.preload(pf.path, pf.data, synthetic_size=pf.synthetic_size)
+        return libos
+
+    @classmethod
     def boot_plain(cls, kernel: "GuestKernel", manifest: Manifest) -> "LibOs":
         """LibOS-only setting: same emulation, native kernel, no monitor."""
         task = kernel.spawn(manifest.name)

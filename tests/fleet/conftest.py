@@ -1,0 +1,30 @@
+"""Shared fixtures for the fleet tests: a booted CVM + a sealed template.
+
+``helloworld`` (1 MiB heap, no common region) keeps captures cheap; the
+llama-shaped sharing numbers are pinned in ``benchmarks/bench_fleet.py``.
+"""
+
+import pytest
+
+from repro.apps.base import workload as make_workload
+from repro.core.boot import erebor_boot
+from repro.fleet import SandboxTemplate
+from repro.obs.metrics import MetricsRegistry
+from repro.vm import CvmMachine, MachineConfig, MIB
+
+
+def build_system(memory_bytes=512 * MIB, cma_bytes=128 * MIB, seed=2025):
+    machine = CvmMachine(MachineConfig(memory_bytes=memory_bytes, seed=seed))
+    machine.clock.metrics = MetricsRegistry()
+    return erebor_boot(machine, cma_bytes=cma_bytes)
+
+
+@pytest.fixture
+def system():
+    return build_system()
+
+
+@pytest.fixture
+def template(system):
+    work = make_workload("helloworld", seed=3)
+    return SandboxTemplate.capture(system, work)

@@ -1,0 +1,57 @@
+"""Cross-session channel hygiene at fleet scale.
+
+A sandbox recycled between clients detaches its channel; a surviving
+channel object from the previous session must refuse to move data in
+either direction (cross-session confusion would route client B's
+plaintext through client A's keys, or vice versa).
+"""
+
+import pytest
+
+from repro.client import RemoteClient
+from repro.core.boot import published_measurement
+from repro.core.channel import SecureChannel, UntrustedProxy
+from repro.core.policy import PolicyViolation
+from repro.vm import MIB
+
+
+def connected_session(system, sandbox, seed):
+    proxy = UntrustedProxy(system.monitor)
+    channel = SecureChannel(system.monitor, sandbox)
+    client = RemoteClient(system.machine.authority, published_measurement(),
+                          seed=seed)
+    client.connect(proxy, channel)
+    return proxy, channel, client
+
+
+def test_stale_channel_refuses_after_reset(system):
+    sandbox = system.monitor.create_sandbox("reused", confined_budget=4 * MIB)
+    sandbox.declare_confined(1 * MIB)
+    proxy, old_channel, old_client = connected_session(system, sandbox, 21)
+    old_client.request(proxy, old_channel, b"first-client-data")
+    assert sandbox.take_input() == b"first-client-data"
+
+    sandbox.reset_for_reuse()
+    # the old endpoint is detached: both directions must refuse
+    record = old_client.tx.seal(b"late-write-into-next-session")
+    with pytest.raises(PolicyViolation, match="stale channel"):
+        old_channel.deliver_request(record)
+    with pytest.raises(PolicyViolation, match="stale channel"):
+        old_channel.fetch_response()
+
+    # the next client binds a fresh channel and works normally
+    proxy2, new_channel, new_client = connected_session(system, sandbox, 22)
+    new_client.request(proxy2, new_channel, b"second-client-data")
+    assert sandbox.take_input() == b"second-client-data"
+    sandbox.push_output(b"ok")
+    assert new_client.fetch_result(proxy2, new_channel) == b"ok"
+
+
+def test_rebinding_supersedes_previous_channel(system):
+    sandbox = system.monitor.create_sandbox("rebound", confined_budget=4 * MIB)
+    sandbox.declare_confined(1 * MIB)
+    proxy, first, client1 = connected_session(system, sandbox, 31)
+    _proxy2, _second, _client2 = connected_session(system, sandbox, 32)
+    record = client1.tx.seal(b"through-superseded-endpoint")
+    with pytest.raises(PolicyViolation, match="stale channel"):
+        first.deliver_request(record)

@@ -1,0 +1,102 @@
+"""Fleet observability: every orchestration event is visible in obs.
+
+Pins the ``erebor_fleet_*`` metric surface, the fleet span/event names in
+the trace, and the schema-validity of the ``python -m repro.fleet``
+bundle export (the CI ``fleet-smoke`` contract, without a subprocess).
+"""
+
+import json
+
+import pytest
+
+from repro.fleet import run_fleet
+from repro.fleet.__main__ import main as fleet_main
+from repro.obs import install
+from repro.obs.harness import ObservedRun, export_bundle
+from repro.obs.schema import check_export
+
+
+@pytest.fixture(scope="module")
+def observed_fleet():
+    """One traced helloworld fleet: 3 clients over 1 slot (forces reuse)."""
+    state: dict = {}
+
+    def instrument(machine):
+        tracer, registry = install(machine.clock)
+        tracer.span("run:fleet", cat="run", workload="helloworld").__enter__()
+        state.update(tracer=tracer, registry=registry, clock=machine.clock)
+
+    report, _system = run_fleet(workload="helloworld", clients=3, requests=2,
+                                pool_size=1, tenants=3, seed=11, scale=1.0,
+                                instrument=instrument)
+    state["tracer"].finish()
+    return report, state["tracer"], state["registry"], state["clock"]
+
+
+def counters(registry):
+    return registry.snapshot()["counters"]
+
+
+def test_fleet_metrics_surface(observed_fleet):
+    report, _tracer, registry, _clock = observed_fleet
+    c = counters(registry)
+    assert c["erebor_templates_sealed_total"] == {
+        "template=helloworld-template": 1}
+    assert c["erebor_fleet_forks_total"] == {
+        "template=helloworld-template": 1}
+    assert sum(c["erebor_fleet_admissions_total"].values()) == 3
+    assert sum(c["erebor_fleet_requests_total"].values()) == 6
+    assert (sum(c["erebor_fleet_sessions_total"].values())
+            == len(report.sessions) == 3)
+    # the reused slot: 3 resets, each one counted and scrub-verified
+    assert sum(c["erebor_sandbox_reuse_total"].values()) == 3
+    assert sum(c["erebor_fleet_scrub_verified_total"].values()) == 3
+
+
+def test_fleet_histograms_and_gauges(observed_fleet):
+    _report, _tracer, registry, _clock = observed_fleet
+    snap = registry.snapshot()
+    start = snap["histograms"]["erebor_fleet_start_cycles"]
+    kinds = {k for k in start}
+    assert kinds == {"kind=cold", "kind=fork", "kind=warm"}
+    assert "erebor_fleet_session_cycles" in snap["histograms"]
+    assert snap["gauges"]["erebor_fleet_pool_size"] == {"": 1}
+    assert snap["gauges"]["erebor_fleet_queue_depth"] == {"": 0}
+
+
+def test_fleet_trace_spans_and_events(observed_fleet):
+    _report, tracer, _registry, _clock = observed_fleet
+    names = {e.name for e in tracer.events}
+    for wanted in ("fleet:capture", "fleet:fork", "fleet:admit",
+                   "fleet:request", "fleet:warm_reset", "fleet:queue",
+                   "fleet:dequeue", "fleet:session_start",
+                   "fleet:session_end", "fleet:scrub_verified"):
+        assert wanted in names, f"missing trace name {wanted}"
+
+
+def test_fleet_bundle_is_schema_valid(observed_fleet):
+    report, tracer, registry, clock = observed_fleet
+    run = ObservedRun("helloworld", "fleet", tracer, registry, None, clock)
+    bundle = export_bundle(run)
+    bundle["meta"]["fleet"] = report.to_dict()
+    check_export(bundle)
+    assert bundle["meta"]["setting"] == "fleet"
+    assert bundle["meta"]["fleet"]["requests_served"] == 6
+
+
+def test_fleet_cli_report_and_bundle(tmp_path, capsys):
+    out = tmp_path / "fleet.json"
+    assert fleet_main(["--workload", "helloworld", "--clients", "2",
+                       "--requests", "1", "--tenants", "2",
+                       "--scale", "1.0", "-o", str(out)]) == 0
+    report = json.loads(out.read_text())
+    assert report["requests_served"] == 2
+    assert report["outcomes"] == {"completed": 2}
+
+    bundle_out = tmp_path / "bundle.json"
+    assert fleet_main(["--workload", "helloworld", "--clients", "2",
+                       "--requests", "1", "--tenants", "2", "--scale", "1.0",
+                       "--export", "bundle", "-o", str(bundle_out)]) == 0
+    bundle = json.loads(bundle_out.read_text())
+    check_export(bundle)
+    assert bundle["meta"]["fleet"]["requests_served"] == 2

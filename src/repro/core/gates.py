@@ -38,14 +38,15 @@ PKRS_KERNEL = regs.pkrs_value(
 
 #: per-CPU monitor data layout: each core's GS base points at its own
 #: 4 KiB page inside the monitor data area (page = MONITOR_DATA_VA +
-#: cpu_id * 0x1000); the gates address these slots gs-relative, so the
-#: same gate code serves every core with its own secure stack.
+#: cpu_id * PERCPU_STRIDE); the gates address these slots gs-relative, so
+#: the same gate code serves every core with its own secure stack.
+PERCPU_STRIDE = 0x1000         # one page of monitor data per logical CPU
 PERCPU_STACK_OFFSET = 0        # per-CPU secure stack pointer
 PERCPU_PKRS_OFFSET = 8         # #INT gate PKRS spill slot
 
 
 def percpu_base(cpu_id: int) -> int:
-    return MONITOR_DATA_VA + cpu_id * 0x1000
+    return MONITOR_DATA_VA + cpu_id * PERCPU_STRIDE
 
 
 #: CPU 0's slots by absolute VA (legacy names used by tests/rigs)

@@ -145,12 +145,16 @@ class GateRig:
         self.machine.load_code(caller_va, stub)
         cpu.mode = "kernel"
         cpu.rip = caller_va
-        # execute the register set-up, then snapshot before the icall
-        for _ in range(5):
-            cpu.step()
+        # execute the register set-up on the chosen core, then snapshot
+        # before the icall; the whole gate path lands on that core's
+        # cycle counter (cpu.run scopes itself), so concurrent EMCs on
+        # different cores overlap on the wall clock
+        with self.clock.on_cpu(cpu.cpu_id):
+            for _ in range(5):
+                cpu.step()
         before = self.clock.cycles
         with self.clock.tracer.span("gate:micro", cat="gate",
-                                    call=call_number):
+                                    call=call_number, cpu=cpu.cpu_id):
             cpu.run(max_steps=10_000)
         after = self.clock.cycles
         # the final hlt costs 1 cycle; exclude it

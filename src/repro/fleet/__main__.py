@@ -5,6 +5,8 @@ Examples::
     python -m repro.fleet --clients 4 --requests 8
     python -m repro.fleet --workload llama.cpp --pool 3 --export bundle
     python -m repro.fleet --clients 6 --requests 2 -o fleet.json
+    python -m repro.fleet --clients 8 --cores 4             # SMP scheduling
+    python -m repro.fleet --pool 1 --autoscale --pool-max 4 # demand-driven
 
 The default export is the :class:`~repro.fleet.loadgen.FleetReport`
 JSON; ``--export bundle`` wraps the run in the full ``repro.obs`` export
@@ -35,6 +37,15 @@ def main(argv: list[str] | None = None) -> int:
                         help="requests per client session")
     parser.add_argument("--pool", type=int, default=2,
                         help="warm pool size (concurrent sandboxes)")
+    parser.add_argument("--cores", type=int, default=1,
+                        help="simulated CPUs the scheduler interleaves "
+                             "sessions across (deterministic per count)")
+    parser.add_argument("--autoscale", action="store_true",
+                        help="demand-driven pool grow/shrink")
+    parser.add_argument("--pool-min", type=int, default=None,
+                        help="autoscale floor (default: --pool)")
+    parser.add_argument("--pool-max", type=int, default=None,
+                        help="autoscale ceiling (default: 2x --pool)")
     parser.add_argument("--tenants", type=int, default=2)
     parser.add_argument("--seed", type=int, default=2025)
     parser.add_argument("--scale", type=float, default=0.1)
@@ -46,9 +57,23 @@ def main(argv: list[str] | None = None) -> int:
                         help="output file (default: stdout)")
     args = parser.parse_args(argv)
 
-    for knob in ("clients", "requests", "pool", "tenants"):
+    for knob in ("clients", "requests", "pool", "tenants", "cores"):
         if getattr(args, knob) <= 0:
             parser.error(f"--{knob} must be positive")
+
+    pool_config = None
+    if args.autoscale:
+        from .pool import PoolConfig
+        pool_config = PoolConfig(
+            size=args.pool, autoscale=True,
+            min_size=args.pool_min if args.pool_min is not None else args.pool,
+            max_size=(args.pool_max if args.pool_max is not None
+                      else 2 * args.pool))
+    run_kwargs = dict(
+        workload=args.workload, clients=args.clients,
+        requests=args.requests, pool_size=args.pool, tenants=args.tenants,
+        seed=args.seed, scale=args.scale, n_cpus=args.cores,
+        pool_config=pool_config)
 
     if args.export_format == "bundle":
         from ..obs import install
@@ -64,11 +89,7 @@ def main(argv: list[str] | None = None) -> int:
             state.update(tracer=tracer, registry=registry,
                          clock=machine.clock)
 
-        report, _system = run_fleet(
-            workload=args.workload, clients=args.clients,
-            requests=args.requests, pool_size=args.pool,
-            tenants=args.tenants, seed=args.seed, scale=args.scale,
-            instrument=instrument)
+        report, _system = run_fleet(instrument=instrument, **run_kwargs)
         state["tracer"].finish()
         run = ObservedRun(args.workload, "fleet", state["tracer"],
                           state["registry"], None, state["clock"])
@@ -77,17 +98,15 @@ def main(argv: list[str] | None = None) -> int:
         check_export(bundle)                    # self-validate before emit
         text = json.dumps(bundle, indent=2)
     else:
-        report, _system = run_fleet(
-            workload=args.workload, clients=args.clients,
-            requests=args.requests, pool_size=args.pool,
-            tenants=args.tenants, seed=args.seed, scale=args.scale)
+        report, _system = run_fleet(**run_kwargs)
         text = report.to_json()
 
     if args.out:
         with open(args.out, "w") as fh:
             fh.write(text if text.endswith("\n") else text + "\n")
         summary = (f"fleet/{args.workload}: {report.requests_served} "
-                   f"requests, {report.counts.get('admit', 0)} admitted, "
+                   f"requests on {report.n_cpus} core(s), "
+                   f"{report.counts.get('admit', 0)} admitted, "
                    f"fork speedup {report.fork_speedup():.1f}x, "
                    f"digest {report.digest()[:16]} -> {args.out}")
         print(summary, file=sys.stderr)

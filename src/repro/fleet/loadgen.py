@@ -88,12 +88,30 @@ class FleetReport:
     fleet_bytes: int
     unikernel_bytes: int
     sessions: list[dict] = field(default_factory=list)
+    n_cpus: int = 1
+    #: wall-clock cycles of the serve phase (max over cores); with one
+    #: core this equals ``serve_cycles``, the serial total
+    serve_wall_cycles: int = 0
+    #: cycles each core spent executing fleet work during the run
+    core_busy_cycles: list[int] = field(default_factory=list)
+    #: autoscale outcome: grown / retired / peak / final slot counts
+    pool_scaling: dict = field(default_factory=dict)
 
     @property
     def throughput_rps(self) -> float:
-        if self.serve_cycles <= 0:
+        """Requests per simulated wall-clock second (SMP-aware)."""
+        wall = self.serve_wall_cycles or self.serve_cycles
+        if wall <= 0:
             return 0.0
-        return self.requests_served / (self.serve_cycles / CPU_FREQ_HZ)
+        return self.requests_served / (wall / CPU_FREQ_HZ)
+
+    @property
+    def requests_per_wall_kcycle(self) -> float:
+        """Throughput in requests per 1000 wall cycles (scaling metric)."""
+        wall = self.serve_wall_cycles or self.serve_cycles
+        if wall <= 0:
+            return 0.0
+        return 1000.0 * self.requests_served / wall
 
     @property
     def memory_reduction(self) -> float:
@@ -136,6 +154,10 @@ class FleetReport:
             "fleet_bytes": self.fleet_bytes,
             "unikernel_bytes": self.unikernel_bytes,
             "memory_reduction": round(self.memory_reduction, 6),
+            "n_cpus": self.n_cpus,
+            "serve_wall_cycles": self.serve_wall_cycles,
+            "core_busy_cycles": list(self.core_busy_cycles),
+            "pool_scaling": dict(self.pool_scaling),
             "sessions": self.sessions,
         }
 
@@ -152,15 +174,18 @@ class FleetReport:
 def run_fleet(*, workload: str = "llama.cpp", clients: int = 4,
               requests: int = 2, pool_size: int = 2, low_watermark: int = 1,
               tenants: int = 2, seed: int = 2025, scale: float = 0.1,
-              queue_depth: int | None = None,
+              n_cpus: int = 1, queue_depth: int | None = None,
               admission: AdmissionConfig | None = None,
+              pool_config: PoolConfig | None = None,
               memory_bytes: int = 768 * MIB, cma_bytes: int = 256 * MIB,
               instrument=None, system=None) -> tuple[FleetReport, object]:
     """Run one multi-tenant fleet; returns ``(report, system)``.
 
     ``instrument`` is called with the freshly built machine before any
     cycle is charged (the ``repro.obs`` attach point); pass ``system`` to
-    reuse an already-booted CVM instead.
+    reuse an already-booted CVM instead. ``n_cpus`` spreads sessions over
+    that many simulated cores (deterministic at any count); pass a full
+    ``pool_config`` to turn on demand-driven pool autoscaling.
     """
     import repro.apps  # noqa: F401  (populates the workload registry)
 
@@ -178,17 +203,24 @@ def run_fleet(*, workload: str = "llama.cpp", clients: int = 4,
     work = make_workload(workload, seed=seed, scale=scale)
     template = SandboxTemplate.capture(system, work)
     pool = WarmPool(system, template,
-                    PoolConfig(size=pool_size, low_watermark=low_watermark))
+                    pool_config or PoolConfig(size=pool_size,
+                                              low_watermark=low_watermark))
+    pool_size = len(pool.slots)
     config = admission or AdmissionConfig(
         queue_depth=queue_depth if queue_depth is not None else clients)
     scheduler = FleetScheduler(system, pool, work,
-                               AdmissionController(config))
+                               AdmissionController(config), n_cpus=n_cpus)
     sessions = LoadGenerator(clients=clients, requests=requests,
                              seed=seed, tenants=tenants).sessions()
 
     serve_t0 = clock.cycles
+    wall_t0 = clock.wall_cycles
+    busy_t0 = [clock.cpu_busy(c) for c in range(scheduler.n_cpus)]
     finished = scheduler.run(sessions)
     serve_cycles = clock.cycles - serve_t0
+    serve_wall_cycles = clock.wall_cycles - wall_t0
+    core_busy = [clock.cpu_busy(c) - busy_t0[c]
+                 for c in range(scheduler.n_cpus)]
 
     usage = system.monitor.phys.usage_by_owner()
     template_bytes = sum(v for k, v in usage.items()
@@ -225,5 +257,9 @@ def run_fleet(*, workload: str = "llama.cpp", clients: int = 4,
         marginal_bytes_mean=marginal_mean, marginal_bytes_max=marginal_max,
         fleet_bytes=fleet_bytes, unikernel_bytes=unikernel_bytes,
         sessions=[s.summary() for s in finished],
+        n_cpus=scheduler.n_cpus, serve_wall_cycles=serve_wall_cycles,
+        core_busy_cycles=core_busy,
+        pool_scaling={"grown": pool.grown, "retired": pool.retired,
+                      "peak": pool.peak_size, "final": len(pool.slots)},
     )
     return report, system

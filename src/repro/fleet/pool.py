@@ -8,6 +8,15 @@ previous client could have written for that client's plaintext (the C8
 no-state-leak claim, enforced per reuse rather than assumed). Slots whose
 sandbox died (kill, eviction) are replaced by fresh forks when the free
 count drops below the low watermark.
+
+With ``autoscale`` on, the pool additionally tracks offered load instead
+of staying fixed-size: queue pressure forks new slots *ahead* of demand
+(up to ``max_size``), and a pool that has been idle — more free slots
+than ``idle_watermark`` with an empty queue — for ``shrink_patience``
+consecutive scheduling rounds retires one free slot per round back down
+to ``min_size``, scrubbing it and returning its CMA frames to the
+monitor. The patience counter is the hysteresis: a single idle round
+between bursts never flaps the pool.
 """
 
 from __future__ import annotations
@@ -29,6 +38,16 @@ class PoolConfig:
     low_watermark: int = 1
     #: scan frames for the previous client's plaintext on every release
     scrub_verify: bool = True
+    #: demand-driven grow/shrink (off: fixed-size, the historical shape)
+    autoscale: bool = False
+    #: autoscale floor (defaults to ``size``)
+    min_size: int | None = None
+    #: autoscale ceiling (defaults to ``size``; raise it to allow growth)
+    max_size: int | None = None
+    #: shrink only when free slots exceed this with an empty queue
+    idle_watermark: int = 1
+    #: consecutive idle rounds before one slot is retired (hysteresis)
+    shrink_patience: int = 3
 
 
 @dataclass
@@ -53,9 +72,23 @@ class WarmPool:
         self.warm_reset_cycles: list[int] = []
         self.fork_cycles: list[int] = []
         self.scrub_verifications = 0
+        self.grown = 0                 # autoscale forks beyond the base size
+        self.retired = 0               # idle slots scrubbed back to the CMA
+        self.peak_size = 0
+        self._idle_rounds = 0
         while len(self.slots) < self.config.size:
             self._fork_slot()
         self._gauges()
+
+    @property
+    def min_size(self) -> int:
+        return (self.config.min_size if self.config.min_size is not None
+                else self.config.size)
+
+    @property
+    def max_size(self) -> int:
+        return (self.config.max_size if self.config.max_size is not None
+                else self.config.size)
 
     # ------------------------------------------------------------------ #
     # bookkeeping
@@ -65,6 +98,7 @@ class WarmPool:
         return [s for s in self.slots if not s.busy]
 
     def _gauges(self) -> None:
+        self.peak_size = max(self.peak_size, len(self.slots))
         metrics = self.clock.metrics
         metrics.set_gauge("erebor_fleet_pool_size", len(self.slots))
         metrics.set_gauge("erebor_fleet_pool_free", len(self.free_slots()))
@@ -86,6 +120,62 @@ class WarmPool:
             forked += 1
         self._gauges()
         return forked
+
+    # ------------------------------------------------------------------ #
+    # demand-driven autoscaling
+    # ------------------------------------------------------------------ #
+
+    def autoscale(self, queue_depth: int) -> int:
+        """Track offered load: fork ahead of the queue, retire idle slots.
+
+        Called once per scheduling round with the current wait-queue
+        depth. Returns the number of slots forked (so the caller knows to
+        re-drain its queue). Growth is immediate — every queued session
+        is demand the pool can absorb up to ``max_size``; shrink waits
+        out ``shrink_patience`` idle rounds and then retires one slot per
+        round, so a burst arriving mid-drain still finds warm capacity.
+        """
+        if not self.config.autoscale:
+            return 0
+        free = len(self.free_slots())
+        if queue_depth > free and len(self.slots) < self.max_size:
+            want = min(queue_depth - free, self.max_size - len(self.slots))
+            for _ in range(want):
+                self._fork_slot()
+            self.grown += want
+            self._idle_rounds = 0
+            self.clock.metrics.inc("erebor_fleet_pool_autoscale_total",
+                                   want, direction="grow")
+            self.clock.tracer.event("fleet:pool_grow", cat="fleet",
+                                    forked=want, size=len(self.slots))
+            self._gauges()
+            return want
+        if queue_depth == 0 and free > self.config.idle_watermark:
+            self._idle_rounds += 1
+            if (self._idle_rounds >= self.config.shrink_patience
+                    and len(self.slots) > self.min_size):
+                self._retire_one()
+                self._idle_rounds = 0
+        else:
+            self._idle_rounds = 0
+        return 0
+
+    def _retire_one(self) -> None:
+        """Scrub the youngest idle slot and hand its CMA frames back."""
+        for slot in reversed(self.slots):
+            if not slot.busy and not slot.instance.sandbox.dead:
+                break
+        else:
+            return
+        self.slots.remove(slot)
+        self.retired += 1
+        # graceful teardown: munmap + confined release + CMA return
+        slot.instance.sandbox.cleanup()
+        self.clock.metrics.inc("erebor_fleet_pool_autoscale_total",
+                               direction="shrink")
+        self.clock.tracer.event("fleet:pool_shrink", cat="fleet",
+                                slot=slot.index, size=len(self.slots))
+        self._gauges()
 
     # ------------------------------------------------------------------ #
     # acquire / release

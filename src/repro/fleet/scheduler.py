@@ -1,22 +1,31 @@
-"""Fleet scheduler: attested sessions, round-robin over warm pool slots.
+"""Fleet scheduler: attested sessions interleaved across N simulated cores.
 
 Each admitted session is a *real* Erebor session — ephemeral-DH
 handshake, quote verification against the published measurement, sealed
-records through the untrusted proxy — bound to one pool slot. Sessions
-advance one request per scheduling round, so pool occupancy, queueing
-and backpressure are genuine concurrent behaviour, not sequential
-bookkeeping; ordering is fully deterministic (submission order within a
-round, FIFO queue drain on release).
+records through the untrusted proxy — bound to one pool slot and placed
+on one logical CPU by a least-loaded policy. Every scheduling round
+interleaves one request per active session, core by core: all the work a
+request triggers (gate transitions, EMC validation, CoW faults, channel
+crypto, scrub-on-release) is charged to the executing core's cycle
+counter, so sessions on different cores overlap on the machine's wall
+clock and fleet throughput scales with ``n_cpus``. Commit order is
+core-ordered (core 0's sessions first, then core 1's, ...), which keeps
+seeded runs byte-identical at any core count; ordering within a core is
+placement order, and the wait queue drains FIFO.
 
 Quota enforcement has two halves: admission (pre-slot, in
-:mod:`repro.fleet.admission`) and the post-hoc EMC allowance — a request
-that drives more EMC gate invocations than its tenant's
-``max_emc_per_request`` gets the session *evicted*: the sandbox is
-killed (which scrubs it), the slot replaced by a fresh fork.
+:mod:`repro.fleet.admission`, charged against each tenant's *actual*
+private CoW footprint, not the template's virtual size) and the post-hoc
+EMC allowance — a request that drives more EMC gate invocations than its
+tenant's ``max_emc_per_request`` gets the session *evicted*: the sandbox
+is killed (which scrubs it), the slot replaced by a fresh fork. EMC use
+is metered from the executing core's private event ledger, so concurrent
+sessions never race on a shared counter.
 """
 
 from __future__ import annotations
 
+from collections import deque
 from dataclasses import dataclass, field
 
 from ..client import RemoteClient
@@ -44,6 +53,7 @@ class ClientSession:
     session_cycles: int = 0
     emc_used: int = 0
     private_bytes_peak: int = 0
+    core: int = -1                # logical CPU the session is placed on
     responses: list[bytes] = field(default_factory=list)
     slot: PoolSlot | None = None
     channel: SecureChannel | None = None
@@ -59,14 +69,16 @@ class ClientSession:
             "session_cycles": self.session_cycles,
             "emc_used": self.emc_used,
             "private_bytes_peak": self.private_bytes_peak,
+            "core": self.core,
         }
 
 
 class FleetScheduler:
-    """Drives N sessions through M pool slots, one request per round."""
+    """Drives N sessions through M pool slots over ``n_cpus`` cores."""
 
     def __init__(self, system, pool: WarmPool, work,
-                 controller: AdmissionController | None = None):
+                 controller: AdmissionController | None = None,
+                 *, n_cpus: int = 1):
         self.system = system
         self.monitor = system.monitor
         self.kernel = system.kernel
@@ -75,10 +87,19 @@ class FleetScheduler:
         self.work = work
         self.controller = controller or AdmissionController()
         self.proxy = UntrustedProxy(self.monitor)
-        self.queue: list[ClientSession] = []
+        self.n_cpus = max(1, n_cpus)
+        self.clock.ensure_cpus(self.n_cpus)
+        self.clock.metrics.describe(
+            "erebor_fleet_core_busy_cycles",
+            "Cycles each logical CPU spent executing fleet work")
+        self.queue: deque[ClientSession] = deque()
         self.active: list[ClientSession] = []
+        #: placement: sessions currently running on each logical CPU
+        self.cores: list[list[ClientSession]] = [
+            [] for _ in range(self.n_cpus)]
         self.finished: list[ClientSession] = []
         self.requests_served = 0
+        self.rounds = 0
         self.counts = {"admit": 0, "queue": 0, "reject": 0, "evict": 0}
 
     # ------------------------------------------------------------------ #
@@ -86,11 +107,17 @@ class FleetScheduler:
     # ------------------------------------------------------------------ #
 
     def _active_by_tenant(self) -> dict[str, tuple[int, int]]:
+        """Tenant -> (live sessions, *actual* private bytes in use).
+
+        Memory quotas charge what a slot really holds — the CoW pages the
+        session dirtied (plus pinned confined frames) — not the
+        template's full virtual image, so a read-mostly tenant is not
+        billed for pages it physically shares with the template.
+        """
         per: dict[str, tuple[int, int]] = {}
-        bytes_per_slot = self.pool.template.confined_bytes
         for s in self.active:
             n, b = per.get(s.tenant, (0, 0))
-            per[s.tenant] = (n + 1, b + bytes_per_slot)
+            per[s.tenant] = (n + 1, b + s.slot.instance.private_bytes)
         return per
 
     def submit(self, session: ClientSession) -> Decision:
@@ -130,52 +157,87 @@ class FleetScheduler:
         self.clock.metrics.inc("erebor_fleet_rejections_total",
                                tenant=session.tenant, reason=reason)
 
+    def _place(self) -> int:
+        """Least-loaded core: fewest live sessions, then the core whose
+        cycle counter trails, then lowest id (deterministic tie-break)."""
+        return min(
+            range(self.n_cpus),
+            key=lambda c: (len(self.cores[c]), self.clock.cpu_cycles(c), c))
+
     def _start(self, session: ClientSession) -> None:
         slot = self.pool.acquire()
         assert slot is not None, "admission admitted with no free slot"
+        core = self._place()
         session.slot = slot
+        session.core = core
         session.start_kind = slot.instance.start_kind
         session.start_cycles = slot.instance.start_cycles
         session._t0 = self.clock.cycles
-        channel = SecureChannel(self.monitor, slot.instance.sandbox)
-        client = RemoteClient(self.system.machine.authority,
-                              published_measurement(), seed=session.seed)
-        client.connect(self.proxy, channel)
+        # causality: this session only became runnable *now* (its slot
+        # freed / the admission round happened at the current wall), so
+        # a trailing core idles forward before doing the bring-up —
+        # otherwise queued work would start in the placed core's past
+        # and the wall clock would undercount queue waits
+        self.clock.fast_forward(core)
+        # session bring-up (channel handshake, quote verification) runs
+        # on the placed core, concurrent with other cores' traffic
+        with self.clock.on_cpu(core):
+            channel = SecureChannel(self.monitor, slot.instance.sandbox)
+            client = RemoteClient(self.system.machine.authority,
+                                  published_measurement(), seed=session.seed)
+            client.connect(self.proxy, channel)
         session.channel, session.client = channel, client
         self.active.append(session)
+        self.cores[core].append(session)
         self.clock.tracer.event("fleet:session_start", cat="fleet",
                                 session=session.name,
                                 sandbox=slot.instance.sandbox.sandbox_id,
-                                start_kind=session.start_kind)
+                                start_kind=session.start_kind, core=core)
 
     # ------------------------------------------------------------------ #
     # the request rounds
     # ------------------------------------------------------------------ #
 
     def step(self) -> None:
-        """One scheduling round: every active session serves one request."""
-        for session in list(self.active):
-            self._step_session(session)
+        """One scheduling round: every active session serves one request.
+
+        Cores commit in id order and each core serves its sessions in
+        placement order — a fixed interleaving, so seeded runs stay
+        byte-identical no matter how the wall clock advances.
+        """
+        self.rounds += 1
+        for core in range(self.n_cpus):
+            for session in list(self.cores[core]):
+                self._step_session(session)
+        if self.pool.config.autoscale:
+            grown = self.pool.autoscale(len(self.queue))
+            if grown:
+                self._drain_queue()
 
     def _step_session(self, session: ClientSession) -> None:
         instance = session.slot.instance
         payload = session.payloads[session.served]
-        emc0 = self.clock.events.get("emc", 0)
+        core = session.core
+        emc0 = self.clock.cpu_events(core).get("emc", 0)
         with self.clock.tracer.span("fleet:request", cat="fleet",
                                     session=session.name,
                                     tenant=session.tenant,
-                                    index=session.served):
-            session.client.request(self.proxy, session.channel, payload)
-            self.kernel.current = instance.libos.task
-            request = instance.runtime.recv_input()
-            output = self.work.serve(instance.runtime, request)
-            blob = session.client.fetch_result(self.proxy, session.channel)
+                                    index=session.served, core=core):
+            with self.clock.on_cpu(core):
+                session.client.request(self.proxy, session.channel, payload)
+                self.kernel.current = instance.libos.task
+                request = instance.runtime.recv_input()
+                output = self.work.serve(instance.runtime, request)
+                blob = session.client.fetch_result(self.proxy,
+                                                   session.channel)
         if blob != output:
             raise RuntimeError(f"response mismatch for {session.name}")
         session.responses.append(output)
         session.served += 1
         self.requests_served += 1
-        request_emc = self.clock.events.get("emc", 0) - emc0
+        # EMC metering reads the executing core's private event ledger,
+        # so concurrent cores never contend on one shared counter
+        request_emc = self.clock.cpu_events(core).get("emc", 0) - emc0
         session.emc_used += request_emc
         self.clock.metrics.inc("erebor_fleet_requests_total",
                                tenant=session.tenant)
@@ -194,6 +256,7 @@ class FleetScheduler:
         session.session_cycles = self.clock.cycles - session._t0
         session.private_bytes_peak = session.slot.instance.private_bytes
         self.active.remove(session)
+        self.cores[session.core].remove(session)
         self.finished.append(session)
         self.clock.metrics.inc("erebor_fleet_sessions_total",
                                tenant=session.tenant, outcome=outcome)
@@ -211,25 +274,39 @@ class FleetScheduler:
                                 emc=request_emc)
         self.clock.metrics.inc("erebor_fleet_evictions_total",
                                tenant=session.tenant)
-        sandbox.kill(f"tenant {session.tenant} exceeded EMC allowance "
-                     f"({request_emc} per request)")
-        self.pool.release(session.slot)     # dead slot: replaced by a fork
+        with self.clock.on_cpu(session.core):
+            sandbox.kill(f"tenant {session.tenant} exceeded EMC allowance "
+                         f"({request_emc} per request)")
+            self.pool.release(session.slot)  # dead slot: replaced by a fork
         self._drain_queue()
 
     def _finish(self, session: ClientSession, outcome: str) -> None:
         self._finalize(session, outcome)
         self.clock.tracer.event("fleet:session_end", cat="fleet",
                                 session=session.name, outcome=outcome)
-        self.pool.release(session.slot,
-                          patterns=[session.secret, *session.payloads,
-                                    *session.responses])
+        # the scrub + verify on release is the departing session's cost:
+        # it runs on the core that served it
+        with self.clock.on_cpu(session.core):
+            self.pool.release(session.slot,
+                              patterns=[session.secret, *session.payloads,
+                                        *session.responses])
         self._drain_queue()
 
     def _drain_queue(self) -> None:
-        """FIFO re-admission after a slot frees up; deterministic order."""
-        while self.queue and self.pool.free_slots():
-            started = False
-            for session in list(self.queue):
+        """FIFO re-admission after slots free up: one single-pass sweep.
+
+        Each waiting session is popped once, re-decided, and either
+        started or parked on the survivors list (order preserved). The
+        sweep visits every session at most once per drain — O(queue) —
+        instead of rescanning the whole list after every admission.
+        """
+        if self.queue and self.pool.free_slots():
+            survivors: deque[ClientSession] = deque()
+            while self.queue:
+                session = self.queue.popleft()
+                if not self.pool.free_slots():
+                    survivors.append(session)
+                    continue
                 decision = self.controller.decide(
                     session.tenant,
                     requested_bytes=self.pool.template.confined_bytes,
@@ -237,14 +314,12 @@ class FleetScheduler:
                     queued=0,                 # already queued: re-admission
                     free_slots=len(self.pool.free_slots()))
                 if decision.action == "admit":
-                    self.queue.remove(session)
                     self.clock.tracer.event("fleet:dequeue", cat="fleet",
                                             session=session.name)
                     self._start(session)
-                    started = True
-                    break
-            if not started:
-                break
+                else:
+                    survivors.append(session)
+            self.queue = survivors
         self.clock.metrics.set_gauge("erebor_fleet_queue_depth",
                                      len(self.queue))
 
@@ -252,16 +327,22 @@ class FleetScheduler:
     # top-level drive
     # ------------------------------------------------------------------ #
 
+    def _core_gauges(self) -> None:
+        for core in range(self.n_cpus):
+            self.clock.metrics.set_gauge("erebor_fleet_core_busy_cycles",
+                                         self.clock.cpu_busy(core),
+                                         core=str(core))
+
     def run(self, sessions: list[ClientSession]) -> list[ClientSession]:
-        """Submit everything, then round-robin until the fleet drains."""
+        """Submit everything, then run rounds until the fleet drains."""
         for session in sessions:
             self.submit(session)
         while self.active:
             self.step()
         # anything still queued can never be unblocked (no session left
         # to release a slot): reject deterministically rather than hang
-        for session in list(self.queue):
-            self.queue.remove(session)
-            self._reject(session, "starved")
+        while self.queue:
+            self._reject(self.queue.popleft(), "starved")
         self.clock.metrics.set_gauge("erebor_fleet_queue_depth", 0)
+        self._core_gauges()
         return self.finished

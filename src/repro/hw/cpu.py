@@ -114,6 +114,7 @@ class Cpu:
         self.cpu_id = cpu_id
         self.phys = phys
         self.clock = clock
+        clock.ensure_cpus(cpu_id + 1)   # each core owns a cycle counter
         self.mmu = Mmu(phys, clock)
         self.env = env or CpuEnv()
 
@@ -226,25 +227,34 @@ class Cpu:
     def run(self, max_steps: int = 100_000, *, deliver_faults: bool = True) -> int:
         """Run until ``hlt``; optionally vector faults through the IDT.
 
-        Returns the number of instructions retired.
+        Returns the number of instructions retired. Everything executed
+        here — instructions, MMU walks, exception delivery — is charged
+        to *this* core's cycle counter, so concurrent cores advance the
+        machine's wall clock independently.
         """
         steps = 0
         self._halted = False
-        while not self._halted and steps < max_steps:
-            start_rip = self.rip
-            try:
-                self.step()
-            except CpuHalt:
-                self._halted = True
-            except HardwareFault as fault:
-                if not deliver_faults:
-                    raise
-                self.rip = start_rip  # fault rip points at the faulting instr
-                self.deliver(fault.vector, fault=fault)
-            steps += 1
+        with self.clock.on_cpu(self.cpu_id):
+            while not self._halted and steps < max_steps:
+                start_rip = self.rip
+                try:
+                    self.step()
+                except CpuHalt:
+                    self._halted = True
+                except HardwareFault as fault:
+                    if not deliver_faults:
+                        raise
+                    self.rip = start_rip  # fault rip points at the faulting instr
+                    self.deliver(fault.vector, fault=fault)
+                steps += 1
         if steps >= max_steps and not self._halted:
             raise SimulatorError(f"run() exceeded {max_steps} steps (livelock?)")
         return steps
+
+    @property
+    def cycle_position(self) -> int:
+        """This core's wall position on the shared machine clock."""
+        return self.clock.cpu_cycles(self.cpu_id)
 
     # ------------------------------------------------------------------ #
     # interrupt / exception delivery

@@ -17,6 +17,17 @@ explicit cycle ledger:
 
 The clock also keeps per-tag cycle counters and event counters so the
 benchmark harness can regenerate Table 6's exit/EMC rate columns.
+
+**SMP accounting.** One machine has one clock, but every logical CPU
+carries its own position on it. Work charged inside an :meth:`~CycleClock.on_cpu`
+scope advances only that core's counter (and its private event ledger);
+work charged outside any scope is a *serial section* — it behaves like a
+barrier, synchronizing every core to the current wall position and
+advancing them together. Simulated wall-clock time is therefore the
+**max** over per-CPU clocks (:attr:`~CycleClock.wall_cycles`), not the
+serial sum (:attr:`~CycleClock.cycles`, which keeps its historical
+meaning of total work performed). With one CPU the two are identical, so
+every calibrated single-core number is unchanged.
 """
 
 from __future__ import annotations
@@ -142,6 +153,24 @@ class Cost:
     EREBOR_GHCI = EMC_ROUND_TRIP + VALIDATE_GHCI + TDREPORT_NATIVE       # 128081
 
 
+class _CpuScope:
+    """Reusable ``with clock.on_cpu(i):`` guard (nesting-safe)."""
+
+    __slots__ = ("_clock", "_cpu")
+
+    def __init__(self, clock: "CycleClock", cpu: int):
+        self._clock = clock
+        self._cpu = cpu
+
+    def __enter__(self) -> "_CpuScope":
+        self._clock._cpu_stack.append(self._cpu)
+        return self
+
+    def __exit__(self, *exc) -> bool:
+        self._clock._cpu_stack.pop()
+        return False
+
+
 @dataclass
 class CycleClock:
     """Monotonic simulated cycle counter with tagged sub-ledgers.
@@ -156,6 +185,11 @@ class CycleClock:
     no-op singletons, and neither ever charges the clock — observability
     reads time, it never spends it — so the calibrated cycle model is
     byte-identical whether or not :func:`repro.obs.install` has run.
+
+    Per-CPU positions live in :attr:`per_cpu`; :meth:`on_cpu` selects the
+    executing core for a region of work, and :attr:`wall_cycles` is the
+    SMP wall clock (max over cores). See the module docstring for the
+    serial-section barrier semantics.
     """
 
     cycles: int = 0
@@ -163,6 +197,35 @@ class CycleClock:
     events: Counter = field(default_factory=Counter)
     tracer: object = NULL_TRACER
     metrics: object = NULL_METRICS
+    #: wall position of each logical CPU (index = cpu_id)
+    per_cpu: list[int] = field(default_factory=lambda: [0])
+    #: cycles charged while each CPU was the executing core (busy work;
+    #: serial sections are excluded — they belong to no single core)
+    busy_by_cpu: Counter = field(default_factory=Counter)
+    #: per-CPU event ledgers (only events counted inside an on_cpu scope)
+    events_by_cpu: dict = field(default_factory=dict)
+    _cpu_stack: list = field(default_factory=list, repr=False)
+
+    def ensure_cpus(self, n: int) -> None:
+        """Grow the per-CPU ledger to ``n`` cores.
+
+        Late-joining cores start at the current wall position: they were
+        idle, not absent, for everything charged so far.
+        """
+        if n <= len(self.per_cpu):
+            return
+        wall = max(self.per_cpu)
+        self.per_cpu.extend(wall for _ in range(n - len(self.per_cpu)))
+
+    def on_cpu(self, cpu_id: int) -> _CpuScope:
+        """Scope all charges/events inside the ``with`` to one core."""
+        self.ensure_cpus(cpu_id + 1)
+        return _CpuScope(self, cpu_id)
+
+    @property
+    def current_cpu(self) -> int | None:
+        """The executing core, or ``None`` inside a serial section."""
+        return self._cpu_stack[-1] if self._cpu_stack else None
 
     def charge(self, n: int, tag: str | None = None) -> None:
         """Advance the clock by ``n`` cycles, attributing them to ``tag``."""
@@ -171,15 +234,75 @@ class CycleClock:
         self.cycles += n
         if tag is not None:
             self.by_tag[tag] += n
+        per = self.per_cpu
+        if self._cpu_stack:
+            cpu = self._cpu_stack[-1]
+            per[cpu] += n
+            self.busy_by_cpu[cpu] += n
+        elif len(per) == 1:
+            per[0] += n
+        else:
+            # serial section: barrier-sync every core, advance together
+            wall = max(per) + n
+            for i in range(len(per)):
+                per[i] = wall
+
+    def fast_forward(self, cpu_id: int) -> int:
+        """Advance one core's clock to the current wall; returns the wait.
+
+        Models a core picking up work that only became *available* now —
+        e.g. a queued session admitted when another (further-ahead) core
+        released its slot. The skipped span is idle waiting, so nothing
+        is charged: the serial total and the core's busy ledger do not
+        move. Without this, work handed to a trailing core would start
+        in that core's past and wall-clock time would undercount queues.
+        """
+        self.ensure_cpus(cpu_id + 1)
+        waited = max(self.per_cpu) - self.per_cpu[cpu_id]
+        if waited > 0:
+            self.per_cpu[cpu_id] += waited
+        return max(waited, 0)
 
     def count(self, event: str, n: int = 1) -> None:
         """Record ``n`` occurrences of a named event (no time charged)."""
         self.events[event] += n
+        if self._cpu_stack:
+            cpu = self._cpu_stack[-1]
+            ledger = self.events_by_cpu.get(cpu)
+            if ledger is None:
+                ledger = self.events_by_cpu[cpu] = Counter()
+            ledger[event] += n
+
+    # -- per-CPU reads --------------------------------------------------- #
+
+    def cpu_cycles(self, cpu_id: int) -> int:
+        """Wall position of one core (0 if it never existed)."""
+        if cpu_id < len(self.per_cpu):
+            return self.per_cpu[cpu_id]
+        return 0
+
+    def cpu_busy(self, cpu_id: int) -> int:
+        """Cycles charged while ``cpu_id`` was the executing core."""
+        return self.busy_by_cpu.get(cpu_id, 0)
+
+    def cpu_events(self, cpu_id: int) -> Counter:
+        """Event ledger of one core (empty Counter if untouched)."""
+        return self.events_by_cpu.get(cpu_id) or Counter()
+
+    @property
+    def wall_cycles(self) -> int:
+        """SMP wall clock: the furthest-ahead core's position."""
+        return max(self.per_cpu)
 
     @property
     def seconds(self) -> float:
-        """Simulated wall-clock time at the modelled core frequency."""
+        """Simulated serial time at the modelled core frequency."""
         return self.cycles / CPU_FREQ_HZ
+
+    @property
+    def wall_seconds(self) -> float:
+        """Simulated wall-clock time (max over cores) in seconds."""
+        return self.wall_cycles / CPU_FREQ_HZ
 
     def rate_per_second(self, event: str) -> float:
         """Occurrences of ``event`` per simulated second so far."""
@@ -189,7 +312,8 @@ class CycleClock:
 
     def snapshot(self) -> "ClockSnapshot":
         """Capture the current ledger for later interval deltas."""
-        return ClockSnapshot(self.cycles, Counter(self.by_tag), Counter(self.events))
+        return ClockSnapshot(self.cycles, Counter(self.by_tag),
+                             Counter(self.events), self.wall_cycles)
 
     def since(self, snap: "ClockSnapshot") -> "ClockSnapshot":
         """Return the delta ledger accumulated since ``snap``."""
@@ -197,6 +321,7 @@ class CycleClock:
             self.cycles - snap.cycles,
             self.by_tag - snap.by_tag,
             self.events - snap.events,
+            self.wall_cycles - snap.wall_cycles,
         )
 
 
@@ -207,6 +332,7 @@ class ClockSnapshot:
     cycles: int
     by_tag: Counter
     events: Counter
+    wall_cycles: int = 0
 
     @property
     def seconds(self) -> float:

@@ -85,6 +85,12 @@ def export_bundle(run: ObservedRun) -> dict:
             "setting": run.setting,
             "cycles": run.clock.cycles,
             "seconds": run.clock.seconds,
+            # SMP view: wall clock = furthest-ahead core; per-CPU
+            # positions and busy (executing-core) cycles for each core
+            "wall_cycles": run.clock.wall_cycles,
+            "per_cpu_cycles": list(run.clock.per_cpu),
+            "per_cpu_busy": [run.clock.cpu_busy(c)
+                             for c in range(len(run.clock.per_cpu))],
             "dropped": trace["dropped"],
         },
         "trace": trace,

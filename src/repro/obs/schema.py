@@ -37,6 +37,12 @@ def validate_export(obj) -> list[str]:
         need(meta, "setting", str, "meta")
         need(meta, "cycles", int, "meta")
         need(meta, "seconds", (int, float), "meta")
+        wall = need(meta, "wall_cycles", int, "meta")
+        per_cpu = need(meta, "per_cpu_cycles", list, "meta")
+        if wall is not None and per_cpu:
+            if wall != max(per_cpu):
+                errors.append("meta.wall_cycles: not the max over "
+                              "meta.per_cpu_cycles")
 
     trace = need(obj, "trace", dict, "top")
     if trace is not None:

@@ -117,6 +117,60 @@ def test_fork_and_warm_starts_beat_cold_by_5x():
     assert report.warm_speedup() >= 5
 
 
+def test_large_queue_drains_in_fifo_order():
+    # 24 clients against one slot: the deque-based queue admits exactly
+    # one up front, parks 23, and re-admits them strictly FIFO as the
+    # slot recycles — nobody is starved, reordered, or double-visited
+    report = fleet(clients=24, requests=1, tenants=24, pool_size=1,
+                   seed=9, queue_depth=24)
+    assert report.counts["admit"] == 1
+    assert report.counts["queue"] == 23
+    assert report.counts["reject"] == 0
+    assert report.outcomes == {"completed": 24}
+    names = [s["name"] for s in report.sessions]
+    assert names == [f"client-{i}" for i in range(24)]
+
+
+def test_memory_quota_charges_actual_private_bytes(system, template):
+    """CoW-aware quotas: tenants are billed for pages they dirtied.
+
+    The tenant ceiling leaves 64 KiB of headroom beyond one template
+    image. Under the old accounting — every active session billed the
+    template's full virtual size — a second session could never admit;
+    charging the actual private CoW footprint (a few dirtied pages)
+    admits it.
+    """
+    from repro.fleet.pool import PoolConfig, WarmPool
+    from repro.fleet.scheduler import ClientSession, FleetScheduler
+
+    quota = template.confined_bytes + 64 * 1024
+    ctl = AdmissionController(AdmissionConfig(
+        quotas={"t0": TenantQuota(max_confined_bytes=quota)}))
+    pool = WarmPool(system, template, PoolConfig(size=2))
+    sched = FleetScheduler(system, pool, template.work, ctl)
+
+    first = ClientSession(name="c0", tenant="t0", seed=1,
+                          payloads=[b"req-a", b"req-b"], secret=b"s0")
+    assert sched.submit(first).action == "admit"
+    sched.step()                    # serve one request: dirties CoW pages
+    used = sched._active_by_tenant()["t0"][1]
+    assert 0 < used <= 64 * 1024    # a handful of pages, not the image
+
+    # template-sized accounting would bust the ceiling and queue...
+    stale = ctl.decide("t0", requested_bytes=template.confined_bytes,
+                       active={"t0": (1, template.confined_bytes)},
+                       queued=0, free_slots=1)
+    assert stale.action == "queue"
+    # ...actual-footprint accounting admits the second session
+    second = ClientSession(name="c1", tenant="t0", seed=2,
+                           payloads=[b"req-c"], secret=b"s1")
+    assert sched.submit(second).action == "admit"
+
+    while sched.active:
+        sched.step()
+    assert all(s.outcome == "completed" for s in sched.finished)
+
+
 def test_two_seeded_repeats_are_byte_identical():
     r1 = fleet(seed=77)
     r2 = fleet(seed=77)

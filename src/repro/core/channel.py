@@ -167,7 +167,7 @@ class SecureChannel:
         padded = pad_to_fixed(data, bucket)
         self._charge_crypto(len(padded))
         if self.monitor.mitigations is not None:
-            self.monitor.mitigations.on_output_release()
+            self.monitor.mitigations.on_output_release(self.sandbox)
         return self.tx.seal(padded)
 
 

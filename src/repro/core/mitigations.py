@@ -80,12 +80,14 @@ class SideChannelMitigations:
     # channel-side hooks (called from SecureChannel)
     # ------------------------------------------------------------------ #
 
-    def on_output_release(self) -> int:
+    def on_output_release(self, sandbox: "Sandbox" | None = None) -> int:
         """Gate an output release; returns the release cycle timestamp.
 
         With quantization on, the release is delayed to the next interval
         boundary, so the observable completion time carries log2(1) bits
-        of the data-dependent processing time.
+        of the data-dependent processing time. ``sandbox`` is accepted
+        (and ignored) so callers can pass it uniformly whether the armed
+        engine is fleet-wide or a per-tenant router.
         """
         interval = self.config.quantize_output_cycles
         if self.config.noise_injection_max_cycles:
@@ -99,3 +101,64 @@ class SideChannelMitigations:
                 self.stats["quantized_waits"] += 1
                 self.clock.count("mitigation_quantize")
         return self.clock.cycles
+
+
+class TenantMitigationRouter:
+    """Per-tenant §12 routing: noisy tenants pay their own mitigation cost.
+
+    The ROADMAP's side-channel-budget item: instead of fleet-wide arming
+    (every sandbox flushed/throttled because one tenant misbehaved), the
+    router keeps one :class:`SideChannelMitigations` engine per tenant —
+    typically armed by the fleet's anomaly detectors — plus an optional
+    ``default`` engine applied to everyone else. Mitigation cycles are
+    charged on whatever core is executing the offending tenant's exit,
+    so other tenants' cycle accounting is untouched (test-enforced).
+    """
+
+    def __init__(self, clock: CycleClock,
+                 default: "SideChannelMitigations | None" = None):
+        self.clock = clock
+        self.default = default
+        self.engines: dict[str, SideChannelMitigations] = {}
+        self.armed_at: dict[str, int] = {}   # tenant → arming cycle
+
+    def arm(self, tenant: str, config: MitigationConfig) -> SideChannelMitigations:
+        """Arm (or replace) one tenant's engine; returns it."""
+        engine = SideChannelMitigations(self.clock, config)
+        self.engines[tenant] = engine
+        self.armed_at.setdefault(tenant, self.clock.cycles)
+        return engine
+
+    def engine_for(self, sandbox) -> "SideChannelMitigations | None":
+        tenant = getattr(sandbox, "tenant", "") if sandbox is not None else ""
+        return self.engines.get(tenant, self.default)
+
+    # the monitor-facing surface mirrors SideChannelMitigations, so the
+    # exit path and the secure channel call either interchangeably
+
+    def on_sandbox_exit(self, sandbox) -> None:
+        engine = self.engine_for(sandbox)
+        if engine is not None:
+            engine.on_sandbox_exit(sandbox)
+
+    def on_output_release(self, sandbox=None) -> int:
+        engine = self.engine_for(sandbox)
+        if engine is not None:
+            return engine.on_output_release(sandbox)
+        return self.clock.cycles
+
+    @property
+    def stats(self) -> dict:
+        """Aggregate engine stats (tenant-tagged under ``per_tenant``)."""
+        total = {"flushes": 0, "throttles": 0, "quantized_waits": 0,
+                 "noise_ops": 0}
+        per_tenant = {}
+        engines = dict(self.engines)
+        if self.default is not None:
+            engines["*default*"] = self.default
+        for tenant, engine in engines.items():
+            per_tenant[tenant] = dict(engine.stats)
+            for k in total:
+                total[k] += engine.stats.get(k, 0)
+        total["per_tenant"] = per_tenant
+        return total

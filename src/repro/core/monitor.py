@@ -16,6 +16,7 @@ via the monitor instance held here.
 
 from __future__ import annotations
 
+import hashlib
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING
 
@@ -100,16 +101,89 @@ class MonitorStats:
         return f"MonitorStats({body})"
 
 
+#: the fixed root of every monitor's audit chain (event 0 links to this)
+AUDIT_GENESIS = hashlib.sha256(b"erebor-audit-genesis").hexdigest()
+
+
+def audit_chain_digest(prev: str, seq: int, cycle: int, kind: str,
+                       detail: str) -> str:
+    """The sha256 link binding one audit event to its predecessor."""
+    material = f"{prev}|{seq}|{cycle}|{kind}|{detail}"
+    return hashlib.sha256(material.encode()).hexdigest()
+
+
 @dataclass
 class AuditEvent:
-    """One security-relevant monitor decision, for operator forensics."""
+    """One security-relevant monitor decision, for operator forensics.
+
+    Events form a hash chain: ``digest`` commits to the event's own
+    fields *and* to ``prev`` (the predecessor's digest, or
+    :data:`AUDIT_GENESIS` for event 0), so an untrusted host that can
+    read — or tamper with — an exported log cannot mutate, reorder, or
+    truncate it without :func:`verify_audit_chain` localizing the break.
+    """
 
     cycle: int
     kind: str            # deny | verify | attest | sandbox | kill | boot
     detail: str
+    seq: int = 0         # position in the chain (monotonic, never reused)
+    prev: str = ""       # predecessor's digest (AUDIT_GENESIS for seq 0)
+    digest: str = ""     # this event's chain link
 
     def __str__(self) -> str:
         return f"[{self.cycle}] {self.kind}: {self.detail}"
+
+
+@dataclass
+class ChainVerdict:
+    """Outcome of :func:`verify_audit_chain`."""
+
+    ok: bool
+    checked: int                   # events verified before stopping
+    head: str                      # last good digest seen
+    error: str = ""                # mutated | broken-link | bad-head | ...
+    first_bad_seq: int | None = None
+
+    def __bool__(self) -> bool:
+        return self.ok
+
+
+def verify_audit_chain(events, head: str | None = None) -> ChainVerdict:
+    """Re-derive the hash chain over ``events``; localize the first break.
+
+    ``events`` is any iterable of :class:`AuditEvent` (the monitor's ring,
+    or a deserialized export). Because the audit ring drops its *oldest*
+    entries, the chain is allowed to start mid-stream: the first event's
+    ``prev`` is taken on trust and only its self-digest is checked; every
+    later event must recompute exactly and link to its predecessor.
+    Passing the independently-published ``head`` digest additionally
+    detects tail truncation (a host dropping the newest — most
+    incriminating — events).
+    """
+    prev_digest: str | None = None
+    prev_seq: int | None = None
+    checked = 0
+    for event in events:
+        expect_prev = event.prev if prev_digest is None else prev_digest
+        if prev_digest is not None and event.prev != prev_digest:
+            return ChainVerdict(False, checked, prev_digest,
+                                "broken-link", event.seq)
+        if prev_seq is not None and event.seq != prev_seq + 1:
+            return ChainVerdict(False, checked, prev_digest or "",
+                                "reordered", event.seq)
+        recomputed = audit_chain_digest(expect_prev, event.seq, event.cycle,
+                                        event.kind, event.detail)
+        if recomputed != event.digest:
+            return ChainVerdict(False, checked, prev_digest or "",
+                                "mutated", event.seq)
+        prev_digest = event.digest
+        prev_seq = event.seq
+        checked += 1
+    final = prev_digest if prev_digest is not None else AUDIT_GENESIS
+    if head is not None and final != head:
+        return ChainVerdict(False, checked, final, "truncated",
+                            prev_seq + 1 if prev_seq is not None else 0)
+    return ChainVerdict(True, checked, final)
 
 
 class EreborMonitor:
@@ -143,6 +217,11 @@ class EreborMonitor:
         #: ``audit_log.dropped`` counts what was lost.
         self.audit_log: RingBuffer[AuditEvent] = RingBuffer(
             self.AUDIT_LOG_CAPACITY)
+        #: tamper-evident chain state: head digest + next sequence number.
+        #: The head is mirrored onto ``clock.audit_head`` so fleet reports
+        #: and obs bundles can carry it without a monitor reference.
+        self.audit_head: str = AUDIT_GENESIS
+        self.audit_seq: int = 0
         self.kernel: GuestKernel | None = None
         self.kernel_syscall_entry: int | None = None
         self.sandboxes: dict[int, "Sandbox"] = {}
@@ -193,6 +272,8 @@ class EreborMonitor:
         if hits:
             offset, op = hits[0]
             self.audit("verify", f"REJECTED {what}: {op} at {offset:#x}")
+            self.clock.tracer.trigger("verify_reject",
+                                      f"{what}: {op} at {offset:#x}")
             raise BootVerificationError(
                 f"{what}: sensitive instruction {op!r} at byte offset "
                 f"{offset:#x} (+{len(hits) - 1} more)")
@@ -249,13 +330,25 @@ class EreborMonitor:
 
     def audit(self, kind: str, detail: str) -> None:
         cycle = self.clock.cycles
-        self.audit_log.append(AuditEvent(cycle, kind, detail))
+        seq = self.audit_seq
+        digest = audit_chain_digest(self.audit_head, seq, cycle, kind,
+                                    detail)
+        self.audit_log.append(AuditEvent(cycle, kind, detail, seq,
+                                         self.audit_head, digest))
+        self.audit_head = digest
+        self.audit_seq = seq + 1
+        self.clock.audit_head = digest
         self.clock.tracer.audit(kind, detail, cycle=cycle)
+
+    def verify_audit_chain(self) -> ChainVerdict:
+        """Verify the live ring against the monitor's own head digest."""
+        return verify_audit_chain(self.audit_log, head=self.audit_head)
 
     def _deny(self, exc: PolicyViolation) -> PolicyViolation:
         self.clock.count("policy_denial")
         self.clock.metrics.inc("erebor_policy_denials_total")
         self.audit("deny", str(exc))
+        self.clock.tracer.trigger("policy_deny", str(exc))
         return exc
 
     # ------------------------------------------------------------------ #
@@ -283,6 +376,20 @@ class EreborMonitor:
         """Enable the optional side-channel mitigation engine (§12)."""
         from .mitigations import SideChannelMitigations
         self.mitigations = SideChannelMitigations(self.clock, config)
+
+    def mitigation_router(self):
+        """The per-tenant §12 router, installing one on first use.
+
+        An already-armed fleet-wide engine (``arm_mitigations``) is kept
+        as the router's default, so upgrading to per-tenant routing never
+        weakens an existing policy.
+        """
+        from .mitigations import TenantMitigationRouter
+        if not isinstance(self.mitigations, TenantMitigationRouter):
+            router = TenantMitigationRouter(self.clock,
+                                            default=self.mitigations)
+            self.mitigations = router
+        return self.mitigations
 
     def emulated_cpuid(self) -> tuple:
         """Serve cpuid from the monitor's host-filled cache (§6.2)."""

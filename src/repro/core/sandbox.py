@@ -57,6 +57,9 @@ class Sandbox:
         monitor.vmmu.register_sandbox(sandbox_id, self.task.aspace)
 
         self.state = "created"
+        #: owning fleet tenant ("" outside fleet runs); routes per-tenant
+        #: §12 mitigations without the monitor consulting the scheduler
+        self.tenant = ""
         self.confined_bytes = 0
         self.confined_frames: list[int] = []
         self.confined_vmas: list[Vma] = []
@@ -311,6 +314,8 @@ class Sandbox:
                            sandbox=self.sandbox_id, why=why)
         clock.metrics.inc("erebor_sandboxes_killed_total")
         self.monitor.audit("kill", f"sandbox #{self.sandbox_id}: {why}")
+        clock.tracer.trigger("sandbox_kill",
+                             f"sandbox #{self.sandbox_id}: {why}")
         self._scrub()
         self.state = "dead"
 

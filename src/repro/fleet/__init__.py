@@ -31,12 +31,21 @@ from .admission import (
 )
 from .loadgen import FleetReport, LoadGenerator, run_fleet
 from .pool import PoolConfig, PoolSlot, ScrubVerificationError, WarmPool
-from .scheduler import ClientSession, FleetScheduler
+from .scheduler import (
+    AnomalyConfig,
+    AnomalyMonitor,
+    ClientSession,
+    FleetScheduler,
+    SloConfig,
+    SloMonitor,
+)
 from .template import FleetInstance, SandboxTemplate, TemplateVma
 
 __all__ = [
     "AdmissionConfig",
     "AdmissionController",
+    "AnomalyConfig",
+    "AnomalyMonitor",
     "ClientSession",
     "Decision",
     "FleetInstance",
@@ -47,6 +56,8 @@ __all__ = [
     "PoolSlot",
     "SandboxTemplate",
     "ScrubVerificationError",
+    "SloConfig",
+    "SloMonitor",
     "TemplateVma",
     "TenantQuota",
     "WarmPool",

@@ -7,6 +7,8 @@ Examples::
     python -m repro.fleet --clients 6 --requests 2 -o fleet.json
     python -m repro.fleet --clients 8 --cores 4             # SMP scheduling
     python -m repro.fleet --pool 1 --autoscale --pool-max 4 # demand-driven
+    python -m repro.fleet --slo --flight-dump flight.json   # SLO + black box
+    python -m repro.fleet --violate --flight-dump flight.json
 
 The default export is the :class:`~repro.fleet.loadgen.FleetReport`
 JSON; ``--export bundle`` wraps the run in the full ``repro.obs`` export
@@ -24,6 +26,28 @@ import sys
 from .loadgen import run_fleet
 
 EXPORTS = ("report", "bundle")
+
+
+def _write_flight(args, recorder) -> None:
+    """Write the flight recorder's dump file (``--flight-dump PATH``).
+
+    A run with no trigger still produces a useful black box: the recorder
+    is asked for one end-of-run dump so the file always exists.
+    """
+    if not args.flight_dump:
+        return
+    if getattr(recorder, "dumps", None) is None:   # bundle without flight
+        return
+    if not recorder.dumps:
+        recorder.trigger("manual", "end-of-run flight dump")
+    payload = {"triggers": recorder.triggers,
+               "dumps": [d.to_dict() for d in recorder.dumps]}
+    with open(args.flight_dump, "w") as fh:
+        json.dump(payload, fh, indent=2)
+        fh.write("\n")
+    reasons = ",".join(d.reason for d in recorder.dumps)
+    print(f"flight: {len(recorder.dumps)} dump(s) [{reasons}] "
+          f"-> {args.flight_dump}", file=sys.stderr)
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -49,6 +73,24 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--tenants", type=int, default=2)
     parser.add_argument("--seed", type=int, default=2025)
     parser.add_argument("--scale", type=float, default=0.1)
+    parser.add_argument("--slo", action="store_true",
+                        help="arm per-tenant latency SLO monitoring "
+                             "(defaults below; any --slo-* flag implies it)")
+    parser.add_argument("--slo-queue-p95", type=int, default=None,
+                        help="queue-wait p95 objective in cycles")
+    parser.add_argument("--slo-service-p95", type=int, default=None,
+                        help="per-request service p95 objective in cycles")
+    parser.add_argument("--slo-e2e-p99", type=int, default=None,
+                        help="submit-to-finish p99 objective in cycles")
+    parser.add_argument("--anomaly", action="store_true",
+                        help="arm per-tenant EWMA exit/EMC anomaly "
+                             "detection (alerts arm §12 mitigations)")
+    parser.add_argument("--flight-dump", default=None, metavar="PATH",
+                        help="install the flight recorder and write its "
+                             "black-box dump(s) to PATH after the run")
+    parser.add_argument("--violate", action="store_true",
+                        help="force a tenant-0 EMC-quota violation "
+                             "(eviction) to exercise the trigger path")
     parser.add_argument("--export", default="report", choices=EXPORTS,
                         dest="export_format",
                         help="'report' = fleet JSON; 'bundle' = full obs "
@@ -69,11 +111,34 @@ def main(argv: list[str] | None = None) -> int:
             min_size=args.pool_min if args.pool_min is not None else args.pool,
             max_size=(args.pool_max if args.pool_max is not None
                       else 2 * args.pool))
+    slo = None
+    if (args.slo or args.slo_queue_p95 is not None
+            or args.slo_service_p95 is not None
+            or args.slo_e2e_p99 is not None):
+        from .scheduler import SloConfig
+        slo = SloConfig(
+            queue_wait_p95=(args.slo_queue_p95
+                            if args.slo_queue_p95 is not None else 5_000_000),
+            service_p95=(args.slo_service_p95
+                         if args.slo_service_p95 is not None else 20_000_000),
+            e2e_p99=(args.slo_e2e_p99
+                     if args.slo_e2e_p99 is not None else 60_000_000))
+    anomaly = None
+    if args.anomaly:
+        from .scheduler import AnomalyConfig
+        anomaly = AnomalyConfig()
+    admission = None
+    if args.violate:
+        from .admission import AdmissionConfig, TenantQuota
+        admission = AdmissionConfig(
+            queue_depth=args.clients,
+            quotas={"tenant-0": TenantQuota(max_emc_per_request=1)})
     run_kwargs = dict(
         workload=args.workload, clients=args.clients,
         requests=args.requests, pool_size=args.pool, tenants=args.tenants,
         seed=args.seed, scale=args.scale, n_cpus=args.cores,
-        pool_config=pool_config)
+        pool_config=pool_config, admission=admission,
+        slo=slo, anomaly=anomaly, flight=bool(args.flight_dump))
 
     if args.export_format == "bundle":
         from ..obs import install
@@ -83,7 +148,8 @@ def main(argv: list[str] | None = None) -> int:
         state: dict = {}
 
         def instrument(machine) -> None:
-            tracer, registry = install(machine.clock)
+            tracer, registry = install(machine.clock,
+                                       flight=bool(args.flight_dump))
             tracer.span("run:fleet", cat="run",
                         workload=args.workload).__enter__()
             state.update(tracer=tracer, registry=registry,
@@ -91,6 +157,7 @@ def main(argv: list[str] | None = None) -> int:
 
         report, _system = run_fleet(instrument=instrument, **run_kwargs)
         state["tracer"].finish()
+        _write_flight(args, state["clock"].tracer)
         run = ObservedRun(args.workload, "fleet", state["tracer"],
                           state["registry"], None, state["clock"])
         bundle = export_bundle(run)
@@ -99,6 +166,7 @@ def main(argv: list[str] | None = None) -> int:
         text = json.dumps(bundle, indent=2)
     else:
         report, _system = run_fleet(**run_kwargs)
+        _write_flight(args, _system.machine.clock.tracer)
         text = report.to_json()
 
     if args.out:

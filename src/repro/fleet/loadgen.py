@@ -96,6 +96,13 @@ class FleetReport:
     core_busy_cycles: list[int] = field(default_factory=list)
     #: autoscale outcome: grown / retired / peak / final slot counts
     pool_scaling: dict = field(default_factory=dict)
+    #: tamper-evident audit chain head + length (see core.monitor)
+    audit_head: str = ""
+    audit_events: int = 0
+    #: SLO / anomaly / flight-recorder summaries (empty = feature off)
+    slo: dict = field(default_factory=dict)
+    anomaly: dict = field(default_factory=dict)
+    flight: dict = field(default_factory=dict)
 
     @property
     def throughput_rps(self) -> float:
@@ -132,6 +139,19 @@ class FleetReport:
         return self.cold_start_cycles / mean
 
     def to_dict(self) -> dict:
+        out = self._base_dict()
+        out["audit"] = {"head": self.audit_head, "events": self.audit_events}
+        # observability planes appear only when enabled, so reports from
+        # plain runs are byte-identical to pre-SLO-era ones
+        if self.slo:
+            out["slo"] = dict(self.slo)
+        if self.anomaly:
+            out["anomaly"] = dict(self.anomaly)
+        if self.flight:
+            out["flight"] = dict(self.flight)
+        return out
+
+    def _base_dict(self) -> dict:
         return {
             "workload": self.workload, "clients": self.clients,
             "requests_per_client": self.requests_per_client,
@@ -165,8 +185,14 @@ class FleetReport:
         return json.dumps(self.to_dict(), indent=2, sort_keys=True)
 
     def digest(self) -> str:
-        """Stable fingerprint: identical seeds must produce identical runs."""
-        canonical = json.dumps(self.to_dict(), sort_keys=True,
+        """Stable fingerprint: identical seeds must produce identical runs.
+
+        Hashes the execution-shaped sections only — the audit head is
+        itself a fingerprint of the same run (chained over every audited
+        decision), so it rides in ``to_dict()`` for verification but is
+        excluded here to keep historical pinned digests valid.
+        """
+        canonical = json.dumps(self._base_dict(), sort_keys=True,
                                separators=(",", ":"))
         return hashlib.sha256(canonical.encode()).hexdigest()
 
@@ -178,7 +204,8 @@ def run_fleet(*, workload: str = "llama.cpp", clients: int = 4,
               admission: AdmissionConfig | None = None,
               pool_config: PoolConfig | None = None,
               memory_bytes: int = 768 * MIB, cma_bytes: int = 256 * MIB,
-              instrument=None, system=None) -> tuple[FleetReport, object]:
+              instrument=None, system=None, slo=None, anomaly=None,
+              flight=None) -> tuple[FleetReport, object]:
     """Run one multi-tenant fleet; returns ``(report, system)``.
 
     ``instrument`` is called with the freshly built machine before any
@@ -186,6 +213,14 @@ def run_fleet(*, workload: str = "llama.cpp", clients: int = 4,
     reuse an already-booted CVM instead. ``n_cpus`` spreads sessions over
     that many simulated cores (deterministic at any count); pass a full
     ``pool_config`` to turn on demand-driven pool autoscaling.
+
+    ``slo`` (:class:`~repro.fleet.scheduler.SloConfig`) arms per-tenant
+    latency objectives, ``anomaly``
+    (:class:`~repro.fleet.scheduler.AnomalyConfig`) the EWMA exit/EMC
+    detectors, and ``flight`` (:class:`~repro.obs.flight.FlightConfig`
+    or ``True``) installs an always-on flight recorder that freezes a
+    black-box dump on any trigger. All three read the cycle clock but
+    never charge it, so enabling them cannot move a seeded digest.
     """
     import repro.apps  # noqa: F401  (populates the workload registry)
 
@@ -197,6 +232,10 @@ def run_fleet(*, workload: str = "llama.cpp", clients: int = 4,
         if not machine.clock.metrics.enabled:
             from ..obs.metrics import MetricsRegistry
             machine.clock.metrics = MetricsRegistry()
+        if flight and not machine.clock.tracer.enabled:
+            from ..obs.flight import FlightConfig, FlightRecorder
+            cfg = flight if isinstance(flight, FlightConfig) else None
+            machine.clock.tracer = FlightRecorder(machine.clock, cfg)
         system = erebor_boot(machine, cma_bytes=cma_bytes)
     clock = system.machine.clock
 
@@ -209,7 +248,8 @@ def run_fleet(*, workload: str = "llama.cpp", clients: int = 4,
     config = admission or AdmissionConfig(
         queue_depth=queue_depth if queue_depth is not None else clients)
     scheduler = FleetScheduler(system, pool, work,
-                               AdmissionController(config), n_cpus=n_cpus)
+                               AdmissionController(config), n_cpus=n_cpus,
+                               slo=slo, anomaly=anomaly)
     sessions = LoadGenerator(clients=clients, requests=requests,
                              seed=seed, tenants=tenants).sessions()
 
@@ -261,5 +301,13 @@ def run_fleet(*, workload: str = "llama.cpp", clients: int = 4,
         core_busy_cycles=core_busy,
         pool_scaling={"grown": pool.grown, "retired": pool.retired,
                       "peak": pool.peak_size, "final": len(pool.slots)},
+        audit_head=system.monitor.audit_head,
+        audit_events=system.monitor.audit_seq,
+        slo=scheduler.slo.summary() if scheduler.slo else {},
+        anomaly=scheduler.anomaly.summary() if scheduler.anomaly else {},
     )
+    recorder = clock.tracer
+    if getattr(recorder, "dumps", None) is not None:
+        report.flight = {"triggers": recorder.triggers,
+                         "dumps": len(recorder.dumps)}
     return report, system

@@ -252,6 +252,9 @@ class WarmPool:
                 continue
             for pattern in patterns:
                 if pattern and pattern in bytes(data):
+                    self.clock.tracer.trigger(
+                        "scrub_leak",
+                        f"frame {fn:#x} of sandbox {sandbox.sandbox_id}")
                     raise ScrubVerificationError(
                         f"frame {fn:#x} still holds client plaintext after "
                         f"reuse of sandbox {sandbox.sandbox_id}")

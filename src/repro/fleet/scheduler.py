@@ -31,6 +31,8 @@ from dataclasses import dataclass, field
 from ..client import RemoteClient
 from ..core.boot import published_measurement
 from ..core.channel import SecureChannel, UntrustedProxy
+from ..core.mitigations import MitigationConfig
+from ..obs.metrics import EwmaDetector, WindowedHistogram
 from .admission import AdmissionController, Decision
 from .pool import PoolSlot, WarmPool
 
@@ -59,6 +61,8 @@ class ClientSession:
     channel: SecureChannel | None = None
     client: RemoteClient | None = None
     _t0: int = 0
+    #: serial-clock cycle the session was submitted (SLO queue-wait base)
+    submit_cycle: int = 0
 
     def summary(self) -> dict:
         return {
@@ -73,12 +77,177 @@ class ClientSession:
         }
 
 
+@dataclass
+class SloConfig:
+    """Per-tenant latency objectives in simulated cycles (None = no SLO).
+
+    ``queue_wait`` and ``service`` are judged at p95, ``e2e`` (submit to
+    finish, queue included) at p99, each over a cycle-time sliding
+    window, so a transient spike inside one window can breach while a
+    long-gone cold start cannot.
+    """
+
+    queue_wait_p95: int | None = None
+    service_p95: int | None = None
+    e2e_p99: int | None = None
+    window_cycles: int = 2_000_000
+    windows: int = 4
+    #: quantiles are meaningless over a couple of samples; hold fire
+    min_samples: int = 4
+
+
+class SloMonitor:
+    """Watches per-tenant latency percentiles; emits breach events.
+
+    Keeps its own deterministic :class:`WindowedHistogram` per
+    ``(tenant, metric)`` (and mirrors every sample into the metrics
+    registry's windowed series for export). The first breach of each
+    ``(tenant, metric)`` pair raises a trace event, bumps the breach
+    counter, and fires the flight-recorder trigger; later samples keep
+    counting but don't re-dump.
+    """
+
+    #: metric → (config attribute, quantile, label)
+    RULES = {
+        "queue_wait": ("queue_wait_p95", 0.95, "p95"),
+        "service": ("service_p95", 0.95, "p95"),
+        "e2e": ("e2e_p99", 0.99, "p99"),
+    }
+
+    def __init__(self, clock, config: SloConfig):
+        self.clock = clock
+        self.config = config
+        self.hists: dict[tuple[str, str], WindowedHistogram] = {}
+        self.breaches: list[dict] = []
+        self._breached: set[tuple[str, str]] = set()
+        self.samples = 0
+        clock.metrics.describe_window(
+            "erebor_fleet_latency_cycles",
+            "Per-tenant fleet latency (windowed, cycles)",
+            window_cycles=config.window_cycles, windows=config.windows)
+
+    def observe(self, tenant: str, metric: str, value: int) -> None:
+        cycle = self.clock.cycles
+        self.samples += 1
+        key = (tenant, metric)
+        hist = self.hists.get(key)
+        if hist is None:
+            hist = self.hists[key] = WindowedHistogram(
+                self.config.window_cycles, self.config.windows)
+        hist.observe(value, cycle)
+        self.clock.metrics.observe_window(
+            "erebor_fleet_latency_cycles", value, cycle,
+            tenant=tenant, metric=metric)
+        attr, q, label = self.RULES[metric]
+        threshold = getattr(self.config, attr)
+        if threshold is None or hist.count < self.config.min_samples:
+            return
+        observed = hist.quantile(q, cycle)
+        if observed is None or observed <= threshold:
+            return
+        self.clock.metrics.inc("erebor_fleet_slo_breaches_total",
+                               tenant=tenant, metric=metric)
+        if key in self._breached:
+            return
+        self._breached.add(key)
+        breach = {"tenant": tenant, "metric": metric, "quantile": label,
+                  "observed": observed, "threshold": threshold,
+                  "cycle": cycle}
+        self.breaches.append(breach)
+        self.clock.tracer.event("slo:breach", cat="slo", tenant=tenant,
+                                metric=metric, quantile=label,
+                                observed=observed, threshold=threshold)
+        self.clock.tracer.trigger(
+            "slo_breach",
+            f"{tenant}/{metric} {label}={observed} > {threshold}")
+
+    def summary(self) -> dict:
+        return {"samples": self.samples,
+                "breaches": [dict(b) for b in self.breaches]}
+
+
+@dataclass
+class AnomalyConfig:
+    """EWMA anomaly detection over per-request exit/EMC rates."""
+
+    alpha: float = 0.3
+    threshold: float = 3.0
+    min_samples: int = 4
+    #: arm the offending tenant's §12 knobs on its first alert
+    arm: bool = True
+    #: the knobs armed (per tenant, via the monitor's mitigation router)
+    mitigation: MitigationConfig = field(
+        default_factory=lambda: MitigationConfig(
+            flush_on_exit=True, exit_rate_limit_per_sec=2000))
+
+
+class AnomalyMonitor:
+    """Per-tenant EWMA baselines over exit and EMC rates.
+
+    Every served request feeds two detectors keyed by tenant — sandbox
+    exits per request and EMCs per request. A sample far above a
+    tenant's own baseline raises an alert and (when configured) arms
+    that tenant's §12 mitigation knobs through the monitor's
+    :class:`~repro.core.mitigations.TenantMitigationRouter` — the
+    ROADMAP side-channel-budget item's sensing layer. Other tenants keep
+    the default (usually absent) engine, so their cycle accounting never
+    pays for a noisy neighbour.
+    """
+
+    METRICS = ("exit_rate", "emc_rate")
+
+    def __init__(self, clock, monitor, config: AnomalyConfig):
+        self.clock = clock
+        self.monitor = monitor
+        self.config = config
+        self.detectors: dict[tuple[str, str], EwmaDetector] = {}
+        self.alerts: list[dict] = []
+        self.armed: list[str] = []
+
+    def observe_request(self, tenant: str, *, exits: int, emc: int) -> None:
+        for metric, value in (("exit_rate", exits), ("emc_rate", emc)):
+            key = (tenant, metric)
+            det = self.detectors.get(key)
+            if det is None:
+                det = self.detectors[key] = EwmaDetector(
+                    self.config.alpha, self.config.threshold,
+                    self.config.min_samples)
+            if det.update(value):
+                self._alert(tenant, metric, value, det)
+
+    def _alert(self, tenant: str, metric: str, value: int,
+               det: EwmaDetector) -> None:
+        self.alerts.append({"tenant": tenant, "metric": metric,
+                            "value": value,
+                            "baseline": round(det.mean, 6),
+                            "cycle": self.clock.cycles})
+        self.clock.tracer.event("anomaly:alert", cat="anomaly",
+                                tenant=tenant, metric=metric, value=value,
+                                baseline=round(det.mean, 6))
+        self.clock.metrics.inc("erebor_fleet_anomalies_total",
+                               tenant=tenant, metric=metric)
+        if self.config.arm and tenant not in self.armed:
+            router = self.monitor.mitigation_router()
+            router.arm(tenant, self.config.mitigation)
+            self.armed.append(tenant)
+            self.clock.tracer.event("anomaly:arm", cat="anomaly",
+                                    tenant=tenant, metric=metric)
+            self.monitor.audit(
+                "anomaly", f"armed §12 mitigations for tenant {tenant} "
+                f"({metric}={value} vs baseline {det.mean:.1f})")
+
+    def summary(self) -> dict:
+        return {"alerts": [dict(a) for a in self.alerts],
+                "armed": list(self.armed)}
+
+
 class FleetScheduler:
     """Drives N sessions through M pool slots over ``n_cpus`` cores."""
 
     def __init__(self, system, pool: WarmPool, work,
                  controller: AdmissionController | None = None,
-                 *, n_cpus: int = 1):
+                 *, n_cpus: int = 1, slo: SloConfig | None = None,
+                 anomaly: AnomalyConfig | None = None):
         self.system = system
         self.monitor = system.monitor
         self.kernel = system.kernel
@@ -101,6 +270,11 @@ class FleetScheduler:
         self.requests_served = 0
         self.rounds = 0
         self.counts = {"admit": 0, "queue": 0, "reject": 0, "evict": 0}
+        #: per-tenant SLO / anomaly planes (None = feature off: no
+        #: histograms allocated, no extra metrics series, digests frozen)
+        self.slo = SloMonitor(self.clock, slo) if slo else None
+        self.anomaly = (AnomalyMonitor(self.clock, self.monitor, anomaly)
+                        if anomaly else None)
 
     # ------------------------------------------------------------------ #
     # admission
@@ -122,6 +296,7 @@ class FleetScheduler:
 
     def submit(self, session: ClientSession) -> Decision:
         """Route one session: admit to a slot, queue it, or turn it away."""
+        session.submit_cycle = self.clock.cycles
         with self.clock.tracer.span("fleet:admit", cat="fleet",
                                     session=session.name,
                                     tenant=session.tenant):
@@ -173,6 +348,12 @@ class FleetScheduler:
         session.start_kind = slot.instance.start_kind
         session.start_cycles = slot.instance.start_cycles
         session._t0 = self.clock.cycles
+        # the sandbox carries its tenant so per-tenant mitigation routing
+        # (and any future tenant-keyed policy) can see it on the exit path
+        slot.instance.sandbox.tenant = session.tenant
+        if self.slo is not None:
+            self.slo.observe(session.tenant, "queue_wait",
+                             self.clock.cycles - session.submit_cycle)
         # causality: this session only became runnable *now* (its slot
         # freed / the admission round happened at the current wall), so
         # a trailing core idles forward before doing the bring-up —
@@ -218,7 +399,9 @@ class FleetScheduler:
         instance = session.slot.instance
         payload = session.payloads[session.served]
         core = session.core
+        t0 = self.clock.cycles
         emc0 = self.clock.cpu_events(core).get("emc", 0)
+        exits0 = self.clock.cpu_events(core).get("sandbox_exit", 0)
         with self.clock.tracer.span("fleet:request", cat="fleet",
                                     session=session.name,
                                     tenant=session.tenant,
@@ -238,9 +421,18 @@ class FleetScheduler:
         # EMC metering reads the executing core's private event ledger,
         # so concurrent cores never contend on one shared counter
         request_emc = self.clock.cpu_events(core).get("emc", 0) - emc0
+        request_exits = (self.clock.cpu_events(core).get("sandbox_exit", 0)
+                         - exits0)
         session.emc_used += request_emc
         self.clock.metrics.inc("erebor_fleet_requests_total",
                                tenant=session.tenant)
+        if self.slo is not None:
+            self.slo.observe(session.tenant, "service",
+                             self.clock.cycles - t0)
+        if self.anomaly is not None:
+            self.anomaly.observe_request(session.tenant,
+                                         exits=request_exits,
+                                         emc=request_emc)
         quota = self.controller.quota_for(session.tenant)
         if request_emc > quota.max_emc_per_request:
             self._evict(session, request_emc)
@@ -255,6 +447,9 @@ class FleetScheduler:
         session.outcome = outcome
         session.session_cycles = self.clock.cycles - session._t0
         session.private_bytes_peak = session.slot.instance.private_bytes
+        if self.slo is not None:
+            self.slo.observe(session.tenant, "e2e",
+                             self.clock.cycles - session.submit_cycle)
         self.active.remove(session)
         self.cores[session.core].remove(session)
         self.finished.append(session)

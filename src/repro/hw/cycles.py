@@ -204,6 +204,10 @@ class CycleClock:
     busy_by_cpu: Counter = field(default_factory=Counter)
     #: per-CPU event ledgers (only events counted inside an on_cpu scope)
     events_by_cpu: dict = field(default_factory=dict)
+    #: mirror of the monitor's audit-chain head digest (the monitor is
+    #: authoritative; this copy lets obs bundles carry the head without
+    #: a monitor reference). Empty until the first audited decision.
+    audit_head: str = ""
     _cpu_stack: list = field(default_factory=list, repr=False)
 
     def ensure_cpus(self, n: int) -> None:

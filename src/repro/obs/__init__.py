@@ -41,9 +41,11 @@ from __future__ import annotations
 
 from .metrics import (
     DEFAULT_BUCKETS,
+    EwmaDetector,
     MetricsRegistry,
     NULL_METRICS,
     NullMetrics,
+    WindowedHistogram,
     label_key,
     parse_label_key,
     sandbox_label,
@@ -63,14 +65,17 @@ from .trace import (
 )
 
 __all__ = [
-    "AUDIT", "DEFAULT_BUCKETS", "DEFAULT_CAPACITY", "INSTANT",
+    "AUDIT", "DEFAULT_BUCKETS", "DEFAULT_CAPACITY", "EwmaDetector",
+    "FlightConfig", "FlightDump", "FlightRecorder", "INSTANT",
     "MetricsRegistry", "NULL_METRICS", "NULL_TRACER", "NullMetrics",
     "NullTracer", "RingBuffer", "SPAN", "TraceEvent", "Tracer",
-    "chrome_trace", "check_chrome_trace", "check_export",
-    "collapsed_stacks", "hotspots", "install", "label_key",
-    "parse_label_key", "profile_report", "prometheus_text", "run_observed",
-    "sandbox_label", "snapshot_counter_total", "snapshot_delta",
-    "total_attributed", "trace_json", "uninstall", "write_chrome_trace",
+    "WindowedHistogram", "chrome_trace", "check_chrome_trace",
+    "check_export", "check_flight_dump", "collapsed_stacks", "hotspots",
+    "install", "label_key", "parse_label_key", "profile_report",
+    "prometheus_text", "run_observed", "sandbox_label",
+    "snapshot_counter_total", "snapshot_delta", "total_attributed",
+    "trace_json", "uninstall", "utilization_timeline",
+    "write_chrome_trace",
 ]
 
 #: lazy re-exports → (module, attribute); avoids import cycles with hw/bench
@@ -85,7 +90,12 @@ _LAZY = {
     "profile_report": ("profile", "profile_report"),
     "check_export": ("schema", "check_export"),
     "check_chrome_trace": ("schema", "check_chrome_trace"),
+    "check_flight_dump": ("schema", "check_flight_dump"),
     "run_observed": ("harness", "run_observed"),
+    "FlightConfig": ("flight", "FlightConfig"),
+    "FlightDump": ("flight", "FlightDump"),
+    "FlightRecorder": ("flight", "FlightRecorder"),
+    "utilization_timeline": ("flight", "utilization_timeline"),
 }
 
 
@@ -102,14 +112,23 @@ def __getattr__(name: str):
 
 
 def install(clock, *, trace: bool = True, metrics: bool = True,
-            capacity: int = DEFAULT_CAPACITY):
+            capacity: int = DEFAULT_CAPACITY, flight=False):
     """Attach observability to a clock; returns ``(tracer, registry)``.
 
     With ``trace=False`` (or ``metrics=False``) the corresponding no-op
     sink is left in place and returned, so callers can always use the
-    return values unconditionally.
+    return values unconditionally. ``flight`` swaps the plain tracer for
+    a :class:`~repro.obs.flight.FlightRecorder` (pass a
+    :class:`~repro.obs.flight.FlightConfig` to tune it) — a drop-in
+    Tracer that additionally keeps per-CPU black-box rings and freezes a
+    dump on every trigger.
     """
-    tracer = Tracer(clock, capacity=capacity) if trace else clock.tracer
+    if flight and trace:
+        from .flight import FlightConfig, FlightRecorder
+        cfg = flight if isinstance(flight, FlightConfig) else None
+        tracer = FlightRecorder(clock, cfg, capacity=capacity)
+    else:
+        tracer = Tracer(clock, capacity=capacity) if trace else clock.tracer
     registry = MetricsRegistry() if metrics else clock.metrics
     clock.tracer = tracer
     clock.metrics = registry

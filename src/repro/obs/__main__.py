@@ -6,6 +6,7 @@ Examples::
     python -m repro.obs --workload unicorn --export chrome -o trace.json
     python -m repro.obs --workload helloworld --export prometheus
     python -m repro.obs --workload helloworld --export collapsed
+    python -m repro.obs flight --workload helloworld -o flight.json
     python -m repro.obs --list
 
 The ``json`` export is the full bundle (meta + trace + metrics + profile)
@@ -42,6 +43,10 @@ def main(argv: list[str] | None = None) -> int:
         prog="python -m repro.obs",
         description="Run a workload under full observability and export "
                     "traces, metrics, and cycle profiles.")
+    parser.add_argument("mode", nargs="?", default=None,
+                        choices=("flight",),
+                        help="'flight': run under the flight recorder and "
+                             "emit its black-box dump(s)")
     parser.add_argument("--workload", default="helloworld",
                         help="workload name (see --list)")
     parser.add_argument("--setting", default="erebor", choices=SETTINGS,
@@ -73,9 +78,21 @@ def main(argv: list[str] | None = None) -> int:
                      f"pick from {', '.join(names)}")
 
     run = run_observed(args.workload, args.setting, scale=args.scale,
-                       seed=args.seed, capacity=args.capacity)
+                       seed=args.seed, capacity=args.capacity,
+                       flight=args.mode == "flight")
 
-    if args.export_format == "json":
+    if args.mode == "flight":
+        from .schema import check_flight_dump
+
+        recorder = run.tracer
+        if not recorder.dumps:
+            recorder.trigger("manual", "end-of-run flight dump")
+        dumps = [d.to_dict() for d in recorder.dumps]
+        for dump in dumps:
+            check_flight_dump(dump)             # self-validate before emit
+        text = json.dumps({"triggers": recorder.triggers, "dumps": dumps},
+                          indent=2)
+    elif args.export_format == "json":
         bundle = export_bundle(run)
         check_export(bundle)                    # self-validate before emit
         text = json.dumps(bundle, indent=2)

@@ -32,11 +32,21 @@ def cycles_to_us(cycles: int) -> float:
 
 def chrome_trace(tracer: Tracer, *, pid: int = 1, tid: int = 1,
                  process_name: str = "erebor-sim") -> dict:
-    """Render the ring buffer as a Chrome/Perfetto ``trace_event`` dict."""
+    """Render the ring buffer as a Chrome/Perfetto ``trace_event`` dict.
+
+    Events recorded while a logical CPU was executing (``TraceEvent.cpu``
+    set) land on their own thread lane (``tid = cpu + 1 + tid``), so an
+    SMP run renders one swim-lane per core; serial-section events stay on
+    the base ``tid``.
+    """
     events: list[dict] = [{
         "name": "process_name", "ph": "M", "pid": pid, "tid": tid,
         "args": {"name": process_name},
     }]
+    cpus = sorted({e.cpu for e in tracer.events if e.cpu is not None})
+    for cpu in cpus:
+        events.append({"name": "thread_name", "ph": "M", "pid": pid,
+                       "tid": tid + cpu + 1, "args": {"name": f"cpu{cpu}"}})
     for e in tracer.events:
         args = dict(e.args)
         args["cycles_begin"] = e.begin
@@ -44,7 +54,7 @@ def chrome_trace(tracer: Tracer, *, pid: int = 1, tid: int = 1,
             "name": e.name,
             "cat": e.cat or "trace",
             "pid": pid,
-            "tid": tid,
+            "tid": tid if e.cpu is None else tid + e.cpu + 1,
             "ts": cycles_to_us(e.begin),
             "args": args,
         }
@@ -112,10 +122,23 @@ def _fmt_value(v: float) -> str:
     return str(int(v)) if float(v).is_integer() else repr(float(v))
 
 
-def prometheus_text(registry: MetricsRegistry) -> str:
-    """Render the registry in the Prometheus text exposition format."""
+def prometheus_text(registry: MetricsRegistry,
+                    tracer: Tracer | None = None) -> str:
+    """Render the registry in the Prometheus text exposition format.
+
+    Pass the live ``tracer`` to additionally expose its ring-buffer
+    health — how many events the bounded ring has discarded — so
+    scrapers can alarm on silent trace loss.
+    """
     lines: list[str] = []
     help_texts = getattr(registry, "_help", {})
+
+    if tracer is not None:
+        lines.append("# HELP erebor_obs_trace_dropped_events_total "
+                     "Events discarded by the bounded trace ring")
+        lines.append("# TYPE erebor_obs_trace_dropped_events_total counter")
+        lines.append(f"erebor_obs_trace_dropped_events_total "
+                     f"{tracer.dropped}")
 
     for name in sorted(registry.counters):
         if name in help_texts:

@@ -38,15 +38,20 @@ class ObservedRun:
 def run_observed(workload: str = "helloworld", setting: str = "erebor", *,
                  scale: float = 0.25, seed: int = 2025,
                  capacity: int = DEFAULT_CAPACITY,
-                 trace: bool = True) -> ObservedRun:
-    """Run one workload with tracing + metrics attached; returns the run."""
+                 trace: bool = True, flight=False) -> ObservedRun:
+    """Run one workload with tracing + metrics attached; returns the run.
+
+    ``flight`` installs a :class:`~repro.obs.flight.FlightRecorder`
+    instead of the plain tracer (pass a
+    :class:`~repro.obs.flight.FlightConfig` to tune its rings).
+    """
     from . import install                      # late: avoid import cycle
 
     state: dict = {}
 
     def instrument(machine) -> None:
         tracer, registry = install(machine.clock, trace=trace,
-                                   capacity=capacity)
+                                   capacity=capacity, flight=flight)
         if tracer.enabled:
             # keep the root span open for the whole run; finish() closes it
             tracer.span(f"run:{workload}", cat="run",
@@ -92,6 +97,9 @@ def export_bundle(run: ObservedRun) -> dict:
             "per_cpu_busy": [run.clock.cpu_busy(c)
                              for c in range(len(run.clock.per_cpu))],
             "dropped": trace["dropped"],
+            # tamper-evident audit chain head at export time (see
+            # core.monitor.verify_audit_chain); "" if nothing audited
+            "audit_head": getattr(run.clock, "audit_head", ""),
         },
         "trace": trace,
         "metrics": run.registry.snapshot(),

@@ -17,10 +17,15 @@ the host side.
 from __future__ import annotations
 
 import copy
+import math
 
 #: default histogram bucket upper bounds (simulated cycles)
 DEFAULT_BUCKETS = (250, 700, 1300, 2500, 5000, 10_000, 30_000,
                    100_000, 1_000_000)
+
+#: default sliding-window geometry for windowed histograms
+DEFAULT_WINDOW_CYCLES = 1_000_000
+DEFAULT_WINDOWS = 4
 
 
 def label_key(labels: dict) -> str:
@@ -53,6 +58,128 @@ def sandbox_label(task) -> str:
     return "kernel"
 
 
+class WindowedHistogram:
+    """Deterministic sliding-window value store keyed by *cycle* time.
+
+    Frames align to absolute window boundaries — frame ``k`` covers
+    simulated cycles ``[k*W, (k+1)*W)`` — so rotation happens at exact
+    cycle boundaries and two seeded runs retain byte-identical windows.
+    Percentiles use the nearest-rank method over the values of the last
+    ``windows`` frames (integer inputs → integer outputs, no
+    interpolation drift).
+    """
+
+    __slots__ = ("window_cycles", "windows", "_frames")
+
+    def __init__(self, window_cycles: int = DEFAULT_WINDOW_CYCLES,
+                 windows: int = DEFAULT_WINDOWS):
+        if window_cycles <= 0 or windows <= 0:
+            raise ValueError("window_cycles and windows must be positive")
+        self.window_cycles = window_cycles
+        self.windows = windows
+        #: frame index → values observed in that frame (insertion-ordered)
+        self._frames: dict[int, list] = {}
+
+    def observe(self, value, cycle: int) -> None:
+        frame = cycle // self.window_cycles
+        values = self._frames.get(frame)
+        if values is None:
+            values = self._frames[frame] = []
+            # drop frames that slid out of the retention window
+            floor = frame - self.windows + 1
+            for old in [f for f in self._frames if f < floor]:
+                del self._frames[old]
+        values.append(value)
+
+    def values(self, cycle: int | None = None) -> list:
+        """Retained values; with ``cycle``, only frames still in-window."""
+        if cycle is None:
+            frames = sorted(self._frames)
+        else:
+            floor = cycle // self.window_cycles - self.windows + 1
+            frames = sorted(f for f in self._frames if f >= floor)
+        out: list = []
+        for f in frames:
+            out.extend(self._frames[f])
+        return out
+
+    @property
+    def count(self) -> int:
+        return sum(len(v) for v in self._frames.values())
+
+    def quantile(self, q: float, cycle: int | None = None):
+        """Nearest-rank quantile of the retained values (None if empty)."""
+        values = sorted(self.values(cycle))
+        if not values:
+            return None
+        rank = min(len(values) - 1, max(0, math.ceil(q * len(values)) - 1))
+        return values[rank]
+
+    def quantiles(self, cycle: int | None = None) -> dict:
+        """The p50/p95/p99 summary the SLO monitors and snapshots use."""
+        values = sorted(self.values(cycle))
+        if not values:
+            return {"count": 0, "p50": None, "p95": None, "p99": None}
+        def rank(q):
+            return values[min(len(values) - 1,
+                              max(0, math.ceil(q * len(values)) - 1))]
+        return {"count": len(values), "p50": rank(0.50),
+                "p95": rank(0.95), "p99": rank(0.99)}
+
+    def __repr__(self) -> str:
+        return (f"WindowedHistogram({self.count} values over "
+                f"{len(self._frames)}/{self.windows} x "
+                f"{self.window_cycles}-cycle frames)")
+
+
+class EwmaDetector:
+    """One-sided EWMA baseline detector: flags samples far above trend.
+
+    Tracks an exponentially-weighted mean and variance; a sample is
+    anomalous when it exceeds ``mean + threshold * spread`` after at
+    least ``min_samples`` baseline observations, where spread is the
+    EWMA standard deviation floored at 5% of the mean (so a perfectly
+    flat baseline still tolerates jitter). Anomalous samples are *not*
+    absorbed into the baseline — an attacker cannot drag the trend up.
+    Pure float arithmetic, no RNG: deterministic across reruns.
+    """
+
+    __slots__ = ("alpha", "threshold", "min_samples", "mean", "var",
+                 "samples")
+
+    def __init__(self, alpha: float = 0.3, threshold: float = 3.0,
+                 min_samples: int = 4):
+        self.alpha = alpha
+        self.threshold = threshold
+        self.min_samples = min_samples
+        self.mean = 0.0
+        self.var = 0.0
+        self.samples = 0
+
+    @property
+    def spread(self) -> float:
+        return max(math.sqrt(self.var), 0.05 * abs(self.mean), 1e-9)
+
+    def update(self, value: float) -> bool:
+        """Feed one sample; returns True when it is anomalous."""
+        if self.samples >= self.min_samples:
+            if value > self.mean + self.threshold * self.spread:
+                return True
+        self.samples += 1
+        if self.samples == 1:
+            self.mean = float(value)
+            self.var = 0.0
+            return False
+        delta = value - self.mean
+        self.mean += self.alpha * delta
+        self.var = (1 - self.alpha) * (self.var + self.alpha * delta * delta)
+        return False
+
+    def __repr__(self) -> str:
+        return (f"EwmaDetector(mean={self.mean:.3f}, "
+                f"spread={self.spread:.3f}, samples={self.samples})")
+
+
 class NullMetrics:
     """No-op registry: the default on every clock (observability off)."""
 
@@ -72,6 +199,19 @@ class NullMetrics:
     def observe(self, name: str, value: float, /, **labels) -> None:
         return None
 
+    def describe_window(self, name: str, help: str = "",
+                        window_cycles: int = DEFAULT_WINDOW_CYCLES,
+                        windows: int = DEFAULT_WINDOWS) -> None:
+        return None
+
+    def observe_window(self, name: str, value: float, cycle: int,
+                       /, **labels) -> None:
+        return None
+
+    def window_quantiles(self, name: str, /, cycle: int | None = None,
+                         **labels) -> dict:
+        return {}
+
     def snapshot(self) -> dict:
         return {"counters": {}, "gauges": {}, "histograms": {}}
 
@@ -84,15 +224,19 @@ class MetricsRegistry(NullMetrics):
     """Live metrics store for one simulated machine."""
 
     enabled = True
-    __slots__ = ("counters", "gauges", "histograms", "_help", "_buckets")
+    __slots__ = ("counters", "gauges", "histograms", "windowed",
+                 "_help", "_buckets", "_window_cfg")
 
     def __init__(self):
         self.counters: dict[str, dict[str, float]] = {}
         self.gauges: dict[str, dict[str, float]] = {}
         #: name → key → {"buckets": [..], "sum": s, "count": n}
         self.histograms: dict[str, dict[str, dict]] = {}
+        #: name → key → WindowedHistogram (cycle-time sliding windows)
+        self.windowed: dict[str, dict[str, WindowedHistogram]] = {}
         self._help: dict[str, str] = {}
         self._buckets: dict[str, tuple] = {}
+        self._window_cfg: dict[str, tuple[int, int]] = {}
 
     # -- registration ---------------------------------------------------- #
 
@@ -103,6 +247,14 @@ class MetricsRegistry(NullMetrics):
             self._help[name] = help
         if buckets is not None:
             self._buckets[name] = tuple(sorted(buckets))
+
+    def describe_window(self, name: str, help: str = "",
+                        window_cycles: int = DEFAULT_WINDOW_CYCLES,
+                        windows: int = DEFAULT_WINDOWS) -> None:
+        """Configure a windowed series' geometry (and optional help)."""
+        if help:
+            self._help[name] = help
+        self._window_cfg[name] = (window_cycles, windows)
 
     # -- writes ---------------------------------------------------------- #
 
@@ -130,7 +282,28 @@ class MetricsRegistry(NullMetrics):
         hist["sum"] += value
         hist["count"] += 1
 
+    def observe_window(self, name: str, value: float, cycle: int,
+                       /, **labels) -> None:
+        """Observe into a cycle-time sliding-window histogram."""
+        series = self.windowed.setdefault(name, {})
+        key = label_key(labels)
+        hist = series.get(key)
+        if hist is None:
+            cfg = self._window_cfg.get(name,
+                                       (DEFAULT_WINDOW_CYCLES,
+                                        DEFAULT_WINDOWS))
+            hist = series[key] = WindowedHistogram(*cfg)
+        hist.observe(value, cycle)
+
     # -- reads ----------------------------------------------------------- #
+
+    def window_quantiles(self, name: str, /, cycle: int | None = None,
+                         **labels) -> dict:
+        """p50/p95/p99 summary of one windowed series ({} if absent)."""
+        hist = self.windowed.get(name, {}).get(label_key(labels))
+        if hist is None:
+            return {}
+        return hist.quantiles(cycle)
 
     def counter_value(self, name: str, /, **labels) -> float:
         return self.counters.get(name, {}).get(label_key(labels), 0)
@@ -142,10 +315,19 @@ class MetricsRegistry(NullMetrics):
 
     def snapshot(self) -> dict:
         """Deep-copied, JSON-able view of every series."""
+        windowed = {}
+        for name, series in self.windowed.items():
+            windowed[name] = {}
+            for key, hist in series.items():
+                summary = hist.quantiles()
+                summary["window_cycles"] = hist.window_cycles
+                summary["windows"] = hist.windows
+                windowed[name][key] = summary
         return {
             "counters": {n: dict(s) for n, s in self.counters.items()},
             "gauges": {n: dict(s) for n, s in self.gauges.items()},
             "histograms": copy.deepcopy(self.histograms),
+            "windowed": windowed,
         }
 
     def delta_since(self, snap: dict) -> dict:

@@ -43,6 +43,11 @@ def validate_export(obj) -> list[str]:
             if wall != max(per_cpu):
                 errors.append("meta.wall_cycles: not the max over "
                               "meta.per_cpu_cycles")
+        # ring-buffer health and the audit-chain head are load-bearing:
+        # a bundle that silently lost events, or that cannot be tied to
+        # the monitor's tamper-evident log, must not validate
+        need(meta, "dropped", int, "meta")
+        need(meta, "audit_head", str, "meta")
 
     trace = need(obj, "trace", dict, "top")
     if trace is not None:
@@ -118,4 +123,52 @@ def check_chrome_trace(obj) -> None:
     errors = validate_chrome_trace(obj)
     if errors:
         raise ValueError("chrome trace failed schema check:\n  "
+                         + "\n  ".join(errors))
+
+
+def validate_flight_dump(obj) -> list[str]:
+    """Structural check of one frozen flight-recorder black box."""
+    errors: list[str] = []
+    if not isinstance(obj, dict):
+        return [f"top level: expected dict, got {type(obj).__name__}"]
+    for key, types in (("reason", str), ("detail", str), ("cycle", int),
+                       ("window", dict), ("audit_head", str),
+                       ("wall_cycles", int), ("per_cpu_cycles", list),
+                       ("per_cpu", dict), ("utilization", dict),
+                       ("traceEvents", list)):
+        if key not in obj:
+            errors.append(f"flight: missing key {key!r}")
+        elif not isinstance(obj[key], types):
+            errors.append(f"flight.{key}: expected {types.__name__}, "
+                          f"got {type(obj[key]).__name__}")
+    window = obj.get("window")
+    if isinstance(window, dict):
+        for key in ("start", "end", "lookback_kcycles"):
+            if not isinstance(window.get(key), int):
+                errors.append(f"flight.window.{key}: missing or not an int")
+        if (isinstance(window.get("start"), int)
+                and isinstance(window.get("end"), int)
+                and window["end"] < window["start"]):
+            errors.append("flight.window: end < start")
+    per_cpu = obj.get("per_cpu")
+    if isinstance(per_cpu, dict):
+        for lane, body in per_cpu.items():
+            if not isinstance(body, dict):
+                errors.append(f"flight.per_cpu[{lane!r}]: not a dict")
+                continue
+            if not isinstance(body.get("events"), list):
+                errors.append(f"flight.per_cpu[{lane!r}].events: not a list")
+            if not isinstance(body.get("dropped"), int):
+                errors.append(f"flight.per_cpu[{lane!r}].dropped: "
+                              "missing or not an int")
+    if isinstance(obj.get("traceEvents"), list):
+        errors.extend(validate_chrome_trace(
+            {"traceEvents": obj["traceEvents"]}))
+    return errors
+
+
+def check_flight_dump(obj) -> None:
+    errors = validate_flight_dump(obj)
+    if errors:
+        raise ValueError("flight dump failed schema check:\n  "
                          + "\n  ".join(errors))

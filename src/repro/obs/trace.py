@@ -48,6 +48,8 @@ class TraceEvent:
     depth: int                      # nesting depth at record time
     path: tuple[str, ...]           # span-stack path, root first
     args: dict = field(default_factory=dict)
+    #: executing logical CPU at record time (None = serial section)
+    cpu: int | None = None
 
     @property
     def duration(self) -> int:
@@ -58,6 +60,7 @@ class TraceEvent:
             "name": self.name, "cat": self.cat, "kind": self.kind,
             "begin": self.begin, "end": self.end, "depth": self.depth,
             "path": list(self.path), "args": dict(self.args),
+            "cpu": self.cpu,
         }
 
 
@@ -94,6 +97,12 @@ class NullTracer:
         return None
 
     def audit(self, kind: str, detail: str, cycle: int | None = None) -> None:
+        return None
+
+    def trigger(self, reason: str, detail: str = "") -> None:
+        """A flight-recorder trigger point (security violation, C-series
+        check failure, SLO breach). No-op unless a
+        :class:`~repro.obs.flight.FlightRecorder` is installed."""
         return None
 
     def finish(self) -> None:
@@ -159,17 +168,23 @@ class Tracer(NullTracer):
         """Record an instant event at the current cycle and depth."""
         now = self.clock.cycles
         path = tuple(f.name for f in self._stack) + (name,)
-        self.events.append(TraceEvent(name, cat, INSTANT, now, now,
-                                      len(self._stack), path, args))
+        self._emit(TraceEvent(name, cat, INSTANT, now, now,
+                              len(self._stack), path, args,
+                              self.clock.current_cpu))
 
     def audit(self, kind: str, detail: str, cycle: int | None = None) -> None:
         """Record a monitor audit decision as a ``kind="audit"`` event."""
         now = self.clock.cycles if cycle is None else cycle
         name = f"audit:{kind}"
         path = tuple(f.name for f in self._stack) + (name,)
-        self.events.append(TraceEvent(name, "audit", AUDIT, now, now,
-                                      len(self._stack), path,
-                                      {"detail": detail}))
+        self._emit(TraceEvent(name, "audit", AUDIT, now, now,
+                              len(self._stack), path, {"detail": detail},
+                              self.clock.current_cpu))
+
+    def trigger(self, reason: str, detail: str = "") -> None:
+        """Record a trigger point as an instant event (see FlightRecorder
+        for the subclass that additionally freezes a black-box dump)."""
+        self.event(f"flight:{reason}", "flight", detail=detail)
 
     def finish(self) -> None:
         """Close every still-open span at the current cycle."""
@@ -186,12 +201,23 @@ class Tracer(NullTracer):
         end = self.clock.cycles
         duration = end - frame.begin
         path = tuple(f.name for f in self._stack) + (frame.name,)
-        self.folded[path] += duration - frame.child_cycles
+        cpu = self.clock.current_cpu
+        if cpu is not None and len(self.clock.per_cpu) > 1:
+            # SMP profile: attribute self-cycles to the executing core so
+            # collapsed stacks from different CPUs never interleave
+            self.folded[(f"cpu{cpu}",) + path] += duration - frame.child_cycles
+        else:
+            self.folded[path] += duration - frame.child_cycles
         if self._stack:
             self._stack[-1].child_cycles += duration
-        self.events.append(TraceEvent(
+        self._emit(TraceEvent(
             frame.name, frame.cat, SPAN, frame.begin, end,
-            len(self._stack), path, frame.args))
+            len(self._stack), path, frame.args, cpu))
+
+    def _emit(self, event: TraceEvent) -> None:
+        """Single sink for every record (FlightRecorder overrides this to
+        additionally mirror events into its per-CPU rings)."""
+        self.events.append(event)
 
     # -- inspection ------------------------------------------------------ #
 

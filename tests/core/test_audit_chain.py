@@ -1,0 +1,160 @@
+"""Tamper-evident audit chain: mutation/reorder/truncation localization.
+
+Every :class:`~repro.core.monitor.AuditEvent` carries a sha256 link over
+its predecessor's digest; :func:`~repro.core.monitor.verify_audit_chain`
+re-derives the chain and names the first bad seq. These tests pin the
+adversary model: an untrusted host that can read or rewrite an exported
+log cannot mutate, reorder, or tail-truncate it undetected — while the
+ring legitimately dropping its *oldest* entries stays verifiable.
+"""
+
+import dataclasses
+
+import pytest
+
+from repro.core import erebor_boot
+from repro.core.monitor import (
+    AUDIT_GENESIS,
+    AuditEvent,
+    audit_chain_digest,
+    verify_audit_chain,
+)
+from repro.vm import CvmMachine, MachineConfig, MIB
+
+
+@pytest.fixture
+def system():
+    return erebor_boot(CvmMachine(MachineConfig(memory_bytes=512 * MIB)),
+                       cma_bytes=32 * MIB)
+
+
+def _audited(system, n=8):
+    for i in range(n):
+        system.monitor.audit("test", f"event {i}")
+    return list(system.monitor.audit_log)
+
+
+# --------------------------------------------------------------------------- #
+# the honest chain
+# --------------------------------------------------------------------------- #
+
+def test_boot_already_seeds_the_chain(system):
+    monitor = system.monitor
+    assert monitor.audit_seq == len(monitor.audit_log) > 0
+    assert monitor.audit_log[0].prev == AUDIT_GENESIS
+    assert monitor.audit_head == monitor.audit_log[-1].digest
+    assert monitor.verify_audit_chain()
+
+
+def test_every_event_links_to_its_predecessor(system):
+    events = _audited(system)
+    for a, b in zip(events, events[1:]):
+        assert b.prev == a.digest
+        assert b.seq == a.seq + 1
+        assert b.digest == audit_chain_digest(b.prev, b.seq, b.cycle,
+                                              b.kind, b.detail)
+    verdict = verify_audit_chain(events, head=system.monitor.audit_head)
+    assert verdict.ok and verdict.checked == len(events)
+    assert verdict.head == system.monitor.audit_head
+
+
+def test_head_is_mirrored_onto_the_clock_for_obs(system):
+    _audited(system, 3)
+    assert system.machine.clock.audit_head == system.monitor.audit_head
+
+
+def test_empty_chain_verifies_against_genesis():
+    verdict = verify_audit_chain([])
+    assert verdict.ok and verdict.checked == 0
+    assert verdict.head == AUDIT_GENESIS
+    assert not verify_audit_chain([], head="feedface")
+
+
+# --------------------------------------------------------------------------- #
+# tampering is localized (satellite: single-event mutation / reorder /
+# truncation each name the first bad link)
+# --------------------------------------------------------------------------- #
+
+def test_single_field_mutation_is_detected_and_localized(system):
+    events = _audited(system)
+    head = system.monitor.audit_head
+    for idx in (0, 3, len(events) - 1):
+        for change in ({"detail": "rewritten"}, {"kind": "attest"},
+                       {"cycle": events[idx].cycle + 1}):
+            tampered = list(events)
+            tampered[idx] = dataclasses.replace(events[idx], **change)
+            verdict = verify_audit_chain(tampered, head=head)
+            assert not verdict.ok
+            assert verdict.error == "mutated"
+            assert verdict.first_bad_seq == events[idx].seq
+            assert verdict.checked == idx
+
+
+def test_swapping_two_events_breaks_the_chain(system):
+    events = _audited(system)
+    tampered = list(events)
+    tampered[2], tampered[3] = tampered[3], tampered[2]
+    verdict = verify_audit_chain(tampered, head=system.monitor.audit_head)
+    assert not verdict.ok
+    assert verdict.error == "broken-link"
+    assert verdict.checked == 2
+
+
+def test_deleting_a_middle_event_is_detected(system):
+    events = _audited(system)
+    tampered = events[:3] + events[4:]
+    verdict = verify_audit_chain(tampered, head=system.monitor.audit_head)
+    assert not verdict.ok
+    assert verdict.error == "broken-link"
+    assert verdict.first_bad_seq == events[4].seq
+
+
+def test_tail_truncation_is_detected_via_published_head(system):
+    events = _audited(system)
+    head = system.monitor.audit_head
+    truncated = events[:-2]
+    # without the head the prefix is self-consistent...
+    assert verify_audit_chain(truncated).ok
+    # ...but the independently-published head convicts it
+    verdict = verify_audit_chain(truncated, head=head)
+    assert not verdict.ok
+    assert verdict.error == "truncated"
+
+
+def test_forged_continuation_fails_without_the_secret_linkage(system):
+    events = _audited(system)
+    last = events[-1]
+    forged = AuditEvent(cycle=last.cycle + 1, kind="test", detail="forged",
+                        seq=last.seq + 1, prev=last.digest,
+                        digest="0" * 64)
+    verdict = verify_audit_chain(events + [forged])
+    assert not verdict.ok and verdict.error == "mutated"
+    assert verdict.first_bad_seq == forged.seq
+
+
+# --------------------------------------------------------------------------- #
+# ring drops stay legitimate; heads are reproducible
+# --------------------------------------------------------------------------- #
+
+def test_front_drops_from_the_ring_remain_verifiable(system):
+    monitor = system.monitor
+    monitor.audit_log.clear()              # simulate heavy drop pressure
+    _audited(system, 6)
+    events = list(monitor.audit_log)[2:]   # oldest entries rotated out
+    verdict = verify_audit_chain(events, head=monitor.audit_head)
+    assert verdict.ok
+    assert verdict.checked == len(events)
+
+
+def test_head_digest_is_byte_identical_across_seeded_reruns():
+    def one_run():
+        system = erebor_boot(
+            CvmMachine(MachineConfig(memory_bytes=512 * MIB, seed=7)),
+            cma_bytes=32 * MIB)
+        for i in range(5):
+            system.monitor.audit("replay", f"decision {i}")
+        return system.monitor.audit_head
+
+    first, second = one_run(), one_run()
+    assert first == second
+    assert len(first) == 64

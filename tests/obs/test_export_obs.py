@@ -71,6 +71,27 @@ def test_schema_rejects_malformed_payloads():
     assert validate_chrome_trace({"traceEvents": [{"name": "x"}]}) != []
 
 
+def test_bundle_meta_pins_dropped_and_audit_head(bundle):
+    """Satellite: ring drop counts and the audit head are schema-required."""
+    assert bundle["meta"]["dropped"] == bundle["trace"]["dropped"]
+    assert isinstance(bundle["meta"]["dropped"], int)
+    assert isinstance(bundle["meta"]["audit_head"], str)
+    assert len(bundle["meta"]["audit_head"]) == 64   # a live sha256 head
+    for key in ("dropped", "audit_head"):
+        broken = {**bundle, "meta": {k: v for k, v in bundle["meta"].items()
+                                     if k != key}}
+        assert any(key in e for e in validate_export(broken))
+
+
+def test_prometheus_surfaces_trace_ring_drops(observed):
+    text = prometheus_text(observed.registry, observed.tracer)
+    assert ("erebor_obs_trace_dropped_events_total "
+            f"{observed.tracer.dropped}") in text
+    # without a tracer the exposition is unchanged (back-compat)
+    assert "erebor_obs_trace_dropped" not in prometheus_text(
+        observed.registry)
+
+
 def test_audit_events_appear_in_chrome_trace(observed):
     trace = chrome_trace(observed.tracer)
     audits = [e for e in trace["traceEvents"]

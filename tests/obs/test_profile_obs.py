@@ -41,3 +41,35 @@ def test_profile_report_renders(observed):
     report = profile_report(observed.tracer, top=3)
     assert "TOTAL" in report
     assert f"{observed.clock.cycles:,}" in report
+
+
+def test_smp_folds_are_prefixed_with_the_executing_cpu():
+    """Satellite: per-CPU work folds under a ``cpu<i>;`` frame."""
+    from repro.hw.cycles import CycleClock
+    from repro.obs.trace import Tracer
+
+    clock = CycleClock()
+    clock.ensure_cpus(2)
+    tracer = Tracer(clock)
+    clock.tracer = tracer
+    with clock.on_cpu(0):
+        with tracer.span("serve", cat="fleet"):
+            clock.charge(300, "work")
+    with clock.on_cpu(1):
+        with tracer.span("serve", cat="fleet"):
+            clock.charge(100, "work")
+    with tracer.span("barrier", cat="fleet"):
+        clock.charge(10, "work")
+    lines = collapsed_stacks(tracer)
+    folds = dict(line.rsplit(" ", 1) for line in lines)
+    assert folds["cpu0;serve"] == "300"
+    assert folds["cpu1;serve"] == "100"
+    assert folds["barrier"] == "10"         # serial work: no cpu frame
+    # the event path itself stays unprefixed — only the fold key changes
+    assert all(e.path and e.path[0] != "cpu0" for e in tracer.events)
+
+
+def test_single_cpu_folds_stay_unprefixed(observed):
+    """One logical CPU: historical single-core profiles don't change."""
+    assert not any(line.startswith("cpu")
+                   for line in collapsed_stacks(observed.tracer))

@@ -1,0 +1,54 @@
+"""repro.analysis — boot-time static verification and simulator lints.
+
+Erebor's verified boot "only performs byte-level scanning of the executable
+sections" (paper §5.1); the security argument, however, rests on stronger
+*structural* properties — a single ``endbr`` landing pad in the monitor,
+instrumentation thunks as the only legal path to the entry gate, W^X
+sections — that the rest of the repo enforces dynamically, one trap at a
+time.  This package makes those properties statically checkable, the way
+related CVM-confinement systems do (Cabin validates untrusted program
+structure before confinement; TME-Box relies on compile-time SFI
+validation):
+
+* **Prong 1 — the binary verifier** (:mod:`repro.analysis.verifier`):
+  disassembles executable SELF sections of the fixed-width ISA, recovers a
+  control-flow graph (:mod:`repro.analysis.cfg`), and runs checks the byte
+  scan cannot express — V0–V7, see :data:`repro.analysis.verifier.CHECKS`.
+  :meth:`repro.core.monitor.EreborMonitor.verify_and_load_kernel` runs it
+  after the byte scan, charges calibrated ``verify:cfg`` cycles, audits
+  the verdict, and folds the report digest into the attestation
+  measurement (RTMR[3]) so remote clients can distinguish scan-only from
+  CFG-verified boots.
+
+* **Prong 2 — the discipline linter** (:mod:`repro.analysis.lint`):
+  AST rules D1–D5 over ``src/repro`` enforcing the invariants the
+  simulator's determinism and calibration depend on (no wall-clock or
+  unseeded randomness, observability read-only on the clock, ordered hash
+  preimages, no blanket excepts, per-CPU cycle charging in fleet code),
+  with a count-based ratchet (:mod:`repro.analysis.ratchet`) for
+  grandfathered findings.
+
+CLI: ``python -m repro.analysis {verify,lint,report}``.
+"""
+
+from __future__ import annotations
+
+from .cfg import BasicBlock, ControlFlowGraph, Edge, build_cfg
+from .lint import LintFinding, RULES, lint_paths, lint_source
+from .ratchet import Ratchet, apply_ratchet, default_ratchet_path
+from .thunks import GateCallSite, parse_gate_call_site, thunk_templates
+from .verifier import (
+    CHECKS,
+    CheckResult,
+    Finding,
+    StaticVerifier,
+    VerifierReport,
+)
+
+__all__ = [
+    "BasicBlock", "ControlFlowGraph", "Edge", "build_cfg",
+    "LintFinding", "RULES", "lint_paths", "lint_source",
+    "Ratchet", "apply_ratchet", "default_ratchet_path",
+    "GateCallSite", "parse_gate_call_site", "thunk_templates",
+    "CHECKS", "CheckResult", "Finding", "StaticVerifier", "VerifierReport",
+]

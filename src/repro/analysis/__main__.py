@@ -1,0 +1,182 @@
+"""CLI: ``python -m repro.analysis {verify,lint,report}``.
+
+``verify``
+    CFG-verify a SELF image (default: the instrumented distribution
+    kernel). ``--self-check`` additionally runs the seeded attack corpus
+    and requires every attack to be rejected with its expected check ID —
+    the CI gate. ``--json`` writes the VerifierReport artifact.
+
+``lint``
+    Run rules D1–D5 over paths (default: the installed ``repro``
+    package), applying the in-tree ratchet. ``--update-ratchet``
+    regenerates the ratchet from current findings (D1/D2 never
+    ratchetable). Exit 1 on any non-waived finding.
+
+``report``
+    One JSON document combining kernel verification, the attack-corpus
+    self-check, and the lint summary.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+from ..hw.isa import scan_for_sensitive
+from ..kernel.image import SelfImage, build_kernel_image
+from ..kernel.instrument import instrument_image
+from .lint import RULES, lint_paths
+from .ratchet import Ratchet, default_ratchet_path
+from .verifier import StaticVerifier
+
+
+def _kernel_image() -> SelfImage:
+    image, _ = instrument_image(build_kernel_image())
+    return image
+
+
+def _verify_payload(args) -> dict:
+    verifier = StaticVerifier()
+    if getattr(args, "image", None):
+        image = SelfImage.deserialize(Path(args.image).read_bytes())
+    else:
+        image = _kernel_image()
+    report = verifier.verify_image(image)
+    payload = {"kernel": report.as_dict(),
+               "kernel_digest": report.digest()}
+    if getattr(args, "self_check", False):
+        from .attacks import attack_corpus
+        attacks = []
+        for attack in attack_corpus():
+            rep = verifier.verify_image(attack.image)
+            scan_clean = not any(
+                scan_for_sensitive(s.data)
+                for s in attack.image.executable_sections())
+            attacks.append({
+                "name": attack.name,
+                "expected_check": attack.expected_check,
+                "failed_checks": rep.failed_checks,
+                "rejected_as_expected":
+                    attack.expected_check in rep.failed_checks,
+                "byte_scan_clean": scan_clean,
+                "byte_scan_as_expected":
+                    scan_clean == attack.passes_byte_scan,
+                "digest": rep.digest(),
+            })
+        payload["attacks"] = attacks
+    return payload
+
+
+def _cmd_verify(args) -> int:
+    payload = _verify_payload(args)
+    kernel = payload["kernel"]
+    ok = kernel["ok"]
+    print(f"kernel {kernel['image']}: "
+          f"{'CLEAN' if ok else 'REJECTED'} "
+          f"({kernel['instructions']} instrs, {kernel['gate_sites']} gate "
+          f"thunks, digest {payload['kernel_digest'][:16]})")
+    for check in kernel["checks"]:
+        mark = "ok" if check["passed"] else f"FAIL x{check['count']}"
+        print(f"  {check['id']} {check['name']:<20} {mark}")
+    for attack in payload.get("attacks", []):
+        good = attack["rejected_as_expected"] and \
+            attack["byte_scan_as_expected"]
+        ok = ok and good
+        verdict = "ok" if good else "UNEXPECTED"
+        print(f"  attack {attack['name']:<28} expected "
+              f"{attack['expected_check']} got "
+              f"{','.join(attack['failed_checks']) or '-'} [{verdict}]")
+    if args.json:
+        Path(args.json).write_text(
+            json.dumps(payload, sort_keys=True, indent=2) + "\n")
+        print(f"report written to {args.json}")
+    return 0 if ok else 1
+
+
+def _cmd_lint(args) -> int:
+    paths = args.paths or [str(Path(__file__).resolve().parents[1])]
+    ratchet_path = Path(args.ratchet) if args.ratchet \
+        else default_ratchet_path()
+    if args.update_ratchet:
+        findings, _ = lint_paths(paths, ratchet=None)
+        ratchet = Ratchet.from_findings(findings)
+        ratchet.save(ratchet_path)
+        unr = [f for f in findings if f.rule in ("D1", "D2")]
+        print(f"ratchet written to {ratchet_path} "
+              f"({len(ratchet.entries)} entries)")
+        for f in unr:
+            print(f"UNRATCHETABLE {f}")
+        return 1 if unr else 0
+    ratchet = Ratchet.load(ratchet_path)
+    kept, waived = lint_paths(paths, ratchet=ratchet)
+    for f in kept:
+        print(f)
+    if waived and args.show_waived:
+        for f in waived:
+            print(f"waived: {f}")
+    print(f"{len(kept)} finding(s), {len(waived)} waived "
+          f"(rules: {', '.join(sorted(RULES))})")
+    return 1 if kept else 0
+
+
+def _cmd_report(args) -> int:
+    class _Args:
+        image = None
+        self_check = True
+    payload = _verify_payload(_Args())
+    ratchet = Ratchet.load(default_ratchet_path())
+    paths = args.paths or [str(Path(__file__).resolve().parents[1])]
+    kept, waived = lint_paths(paths, ratchet=ratchet)
+    payload["lint"] = {
+        "kept": [f.__dict__ for f in kept],
+        "waived": [f.__dict__ for f in waived],
+        "rules": RULES,
+    }
+    blob = json.dumps(payload, sort_keys=True, indent=2) + "\n"
+    if args.out:
+        Path(args.out).write_text(blob)
+        print(f"report written to {args.out}")
+    else:
+        print(blob, end="")
+    ok = payload["kernel"]["ok"] and not kept and all(
+        a["rejected_as_expected"] and a["byte_scan_as_expected"]
+        for a in payload["attacks"])
+    return 0 if ok else 1
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.analysis",
+        description="Erebor static analysis: CFG verifier + lints")
+    sub = parser.add_subparsers(dest="cmd", required=True)
+
+    p = sub.add_parser("verify", help="CFG-verify a SELF image")
+    p.add_argument("--image", help="path to a serialized SELF image "
+                   "(default: the instrumented distribution kernel)")
+    p.add_argument("--self-check", action="store_true", dest="self_check",
+                   help="also run the seeded attack corpus")
+    p.add_argument("--json", help="write the report JSON here")
+    p.set_defaults(fn=_cmd_verify)
+
+    p = sub.add_parser("lint", help="run discipline rules D1-D5")
+    p.add_argument("paths", nargs="*", help="files/dirs "
+                   "(default: the repro package)")
+    p.add_argument("--ratchet", help="ratchet file "
+                   "(default: the in-tree one)")
+    p.add_argument("--update-ratchet", action="store_true")
+    p.add_argument("--show-waived", action="store_true")
+    p.set_defaults(fn=_cmd_lint)
+
+    p = sub.add_parser("report", help="combined verify+lint JSON")
+    p.add_argument("paths", nargs="*")
+    p.add_argument("--out", help="write the JSON here (default: stdout)")
+    p.set_defaults(fn=_cmd_report)
+
+    args = parser.parse_args(argv)
+    return args.fn(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

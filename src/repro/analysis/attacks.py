@@ -1,0 +1,176 @@
+"""Seeded attack images: kernels the byte scan accepts but the CFG rejects.
+
+Each builder packages a small malicious ``.text`` as a SELF image that
+contains *no* sensitive byte sequence — Erebor's §5.1 scan passes it —
+yet violates a structural property only :class:`repro.analysis.verifier.
+StaticVerifier` can see.  One attack per check ID keeps failures
+attributable; the CLI self-check and ``tests/security`` both consume
+:func:`attack_corpus`.
+
+Two extra builders cover the ERIM-style *unaligned* sensitive sequences
+(a ``0xF0 + sub-opcode`` pair hidden inside an immediate, and one
+spanning two adjacent instructions).  Those are caught by the byte scan
+itself — they exist to pin the scan's every-byte-offset property and the
+verifier's V6 reporting of it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..emc_abi import ENTRY_GATE_VA, EmcCall
+from ..hw.isa import INSTR_SIZE, I, assemble
+from ..kernel.image import KERNEL_TEXT_VA, SEC_EXEC, SEC_WRITE, Section, SelfImage
+
+_VA = KERNEL_TEXT_VA
+
+
+@dataclass(frozen=True)
+class AttackImage:
+    """One adversarial kernel image with its expected verdict."""
+
+    name: str
+    image: SelfImage
+    expected_check: str      # the CHECKS id that must reject it
+    passes_byte_scan: bool
+    description: str
+
+
+def _image(name: str, instrs, *, flags: int = SEC_EXEC,
+           entry: int = _VA) -> SelfImage:
+    return SelfImage(name, entry, [
+        Section(".text", _VA, assemble(instrs), flags),
+        Section(".data", _VA + 0x4000_0000, b"\x00" * 64, SEC_WRITE),
+    ])
+
+
+def rogue_gate_icall() -> AttackImage:
+    """Non-thunk code icalls the entry gate — a forged EMC request."""
+    instrs = [
+        I("push", "rax"),
+        I("movi", "rax", imm=ENTRY_GATE_VA),
+        I("icall", "rax"),
+        I("pop", "rax"),
+        I("ret"),
+    ]
+    return AttackImage(
+        "rogue-gate-icall", _image("rogue-gate-icall", instrs), "V3", True,
+        "icall of the entry-gate VA with no instrumentation marshalling "
+        "body: the kernel forges an EMC with attacker-controlled "
+        "registers")
+
+
+def non_endbr_indirect() -> AttackImage:
+    """Statically-known indirect branch to a non-endbr landing pad."""
+    instrs = [
+        I("movi", "rbx", imm=_VA + 3 * INSTR_SIZE),
+        I("icall", "rbx"),
+        I("ret"),
+        I("nop"),            # the landing pad: not an endbr
+        I("ret"),
+    ]
+    return AttackImage(
+        "non-endbr-indirect", _image("non-endbr-indirect", instrs), "V2",
+        True,
+        "movi+icall to an in-image target that is not an endbr — relies "
+        "on runtime IBT instead of being provably safe at load time")
+
+
+def wx_section() -> AttackImage:
+    """A section mapped writable AND executable."""
+    instrs = [I("nop"), I("ret")]
+    return AttackImage(
+        "wx-section", _image("wx-section", instrs,
+                             flags=SEC_EXEC | SEC_WRITE), "V4", True,
+        "benign-looking code in a W|X section: the kernel could rewrite "
+        "its own verified text after the scan")
+
+
+def jump_into_immediate() -> AttackImage:
+    """Direct jump landing mid-instruction, inside an immediate."""
+    instrs = [
+        I("jmp", imm=_VA + INSTR_SIZE + 4),   # into slot 1's immediate
+        I("movi", "rax", imm=0x1122_3344),
+        I("ret"),
+    ]
+    return AttackImage(
+        "jump-into-immediate", _image("jump-into-immediate", instrs),
+        "V1", True,
+        "jmp targets byte offset 16 — between instruction boundaries, "
+        "inside the movi immediate")
+
+
+def section_fallthrough() -> AttackImage:
+    """Executable section whose last instruction falls off the end."""
+    instrs = [I("nop"), I("nop")]
+    return AttackImage(
+        "section-fallthrough", _image("section-fallthrough", instrs),
+        "V5", True,
+        "section ends in a nop: execution runs off the mapped text into "
+        "whatever is adjacent")
+
+
+def clobber_thunk() -> AttackImage:
+    """A pre-fix-shaped gate thunk with no save/restore bracket."""
+    thunk_va = _VA + 2 * INSTR_SIZE
+    instrs = [
+        I("call", imm=thunk_va),
+        I("hlt"),
+        # the thunk: correct wrmsr marshalling, but the live values of
+        # rdi/rsi/rdx/rax at the call site are destroyed
+        I("movi", "rdi", imm=int(EmcCall.WRITE_MSR)),
+        I("mov", "rsi", "rcx"),
+        I("mov", "rdx", "rax"),
+        I("movi", "rax", imm=ENTRY_GATE_VA),
+        I("icall", "rax"),
+        I("ret"),
+    ]
+    return AttackImage(
+        "clobber-thunk", _image("clobber-thunk", instrs), "V7", True,
+        "template-shaped gate thunk that overwrites rdi/rsi/rdx/rax "
+        "without push/pop — silent kernel state corruption per EMC")
+
+
+def erim_unaligned_immediate() -> AttackImage:
+    """0xF0+sub-opcode hidden inside a movi's 8-byte immediate."""
+    # imm = 0x5F000 → little-endian bytes 00 F0 05 ... : the (F0, 05)
+    # pair sits at byte offsets 5..6 of the instruction — an unaligned
+    # tdcall encoding reachable by a mid-instruction jump
+    instrs = [
+        I("movi", "rax", imm=0x5F000),
+        I("ret"),
+    ]
+    return AttackImage(
+        "erim-unaligned-immediate",
+        _image("erim-unaligned-immediate", instrs), "V6", False,
+        "sensitive sequence inside an immediate (ERIM-style): only an "
+        "every-byte-offset scan finds it")
+
+
+def erim_spanning_instructions() -> AttackImage:
+    """0xF0 ending one instruction, sub-opcode starting the next."""
+    # instr 0's top immediate byte is 0xF0 (offset 11); instr 1's opcode
+    # byte is hlt = 0x02 (offset 12) → an unaligned wrmsr at offset 11
+    instrs = [
+        I("movi", "rax", imm=0xF0 << 56),
+        I("hlt"),
+    ]
+    return AttackImage(
+        "erim-spanning-instructions",
+        _image("erim-spanning-instructions", instrs), "V6", False,
+        "sensitive sequence spanning two adjacent instructions "
+        "(ERIM-style straddle)")
+
+
+def attack_corpus() -> list[AttackImage]:
+    """Every seeded attack, byte-scan-passing ones first (stable order)."""
+    return [
+        rogue_gate_icall(),
+        non_endbr_indirect(),
+        wx_section(),
+        jump_into_immediate(),
+        section_fallthrough(),
+        clobber_thunk(),
+        erim_unaligned_immediate(),
+        erim_spanning_instructions(),
+    ]

@@ -1,0 +1,77 @@
+"""Count-based ratchet for grandfathered lint findings.
+
+A ratchet entry ``"D4|repro/baselines/sfi.py": 1`` waives up to one D4
+finding in that file — existing debt is tolerated, *new* debt is not, and
+regenerating the file (``python -m repro.analysis lint --update-ratchet``)
+can only shrink entries in CI review.  Determinism rule: within one
+(rule, file) group the waiver applies to the lowest line numbers first,
+so the same tree always yields the same kept/waived split.
+
+Policy: D1 (wall-clock) and D2 (obs-read-only) findings are *never*
+ratchetable — those two rules guard the determinism and calibration
+invariants everything else is pinned against.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+
+#: rules whose findings may never be grandfathered
+UNRATCHETABLE = frozenset({"D1", "D2"})
+
+
+def default_ratchet_path() -> Path:
+    """The in-tree ratchet file shipped next to this module."""
+    return Path(__file__).resolve().parent / "ratchet.json"
+
+
+@dataclass
+class Ratchet:
+    """Allowed finding counts, keyed ``"RULE|path"``."""
+
+    entries: dict[str, int] = field(default_factory=dict)
+
+    @classmethod
+    def load(cls, path: Path) -> "Ratchet":
+        if not Path(path).exists():
+            return cls()
+        data = json.loads(Path(path).read_text())
+        entries = {str(k): int(v) for k, v in data.items()}
+        bad = sorted(k for k in entries if k.split("|", 1)[0]
+                     in UNRATCHETABLE)
+        if bad:
+            raise ValueError(
+                f"ratchet file {path} grandfathers unratchetable rules: "
+                f"{', '.join(bad)} (D1/D2 findings must be fixed)")
+        return cls(entries)
+
+    def save(self, path: Path) -> None:
+        Path(path).write_text(json.dumps(
+            dict(sorted(self.entries.items())), indent=2) + "\n")
+
+    @classmethod
+    def from_findings(cls, findings) -> "Ratchet":
+        """Build the smallest ratchet waiving exactly ``findings``."""
+        entries: dict[str, int] = {}
+        for f in findings:
+            if f.rule in UNRATCHETABLE:
+                continue
+            key = f"{f.rule}|{f.path}"
+            entries[key] = entries.get(key, 0) + 1
+        return cls(entries)
+
+
+def apply_ratchet(findings, ratchet: Ratchet):
+    """Split findings into ``(kept, waived)`` under the ratchet budget."""
+    budget = dict(ratchet.entries)
+    kept, waived = [], []
+    for f in sorted(findings, key=lambda f: (f.path, f.line, f.rule)):
+        key = f"{f.rule}|{f.path}"
+        if f.rule not in UNRATCHETABLE and budget.get(key, 0) > 0:
+            budget[key] -= 1
+            waived.append(f)
+        else:
+            kept.append(f)
+    return kept, waived

@@ -1,0 +1,199 @@
+"""Thunk-shape templates derived from the instrumentation pass itself.
+
+The verifier's V3 ("gate-provenance") and V7 ("thunk-liveness") checks need
+to recognize the thunks :mod:`repro.kernel.instrument` emits.  Rather than
+hard-coding the shapes here — which would silently drift the moment the
+pass changes — we *derive* templates at import time by asking the pass for
+two representative thunks per sensitive mnemonic
+(:func:`repro.kernel.instrument.thunk_shape`) and diffing them: fields that
+agree between the two variants are structural and must match exactly;
+fields that differ are per-call-site operands and become wildcards.
+
+A matched call site is decomposed by :func:`parse_gate_call_site` into
+``pushes / body / gate icall / pops / ret`` so the liveness check can
+reason about the save bracket separately from the marshalling body.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from functools import lru_cache
+
+from ..hw.isa import Instr
+from ..kernel.instrument import thunk_shape
+
+#: sentinel gate VA used only for template derivation (stripped before use)
+_DERIVE_GATE_VA = 0x7_F00D_0000
+
+
+@dataclass(frozen=True)
+class TemplateSlot:
+    """One marshalling-body instruction with per-field wildcard flags."""
+
+    op: str
+    dst: str | int | None
+    src: str | None
+    imm: int
+    src_fixed: bool
+    imm_fixed: bool
+
+    def matches(self, instr: Instr) -> bool:
+        if instr.op != self.op or instr.dst != self.dst:
+            return False
+        if self.src_fixed and instr.src != self.src:
+            return False
+        if self.imm_fixed and instr.imm != self.imm:
+            return False
+        return True
+
+
+@dataclass(frozen=True)
+class ThunkTemplate:
+    """The recognizable shape of one sensitive mnemonic's thunk."""
+
+    op: str                          # sensitive mnemonic this thunk serves
+    call_number: int                 # EMC call number marshalled into rdi
+    body: tuple[TemplateSlot, ...]   # marshalling body (no save bracket)
+    saves: tuple[str, ...]           # registers the current pass brackets
+
+    def matches_body(self, instrs: list[Instr]) -> bool:
+        return len(instrs) == len(self.body) and all(
+            slot.matches(instr) for slot, instr in zip(self.body, instrs))
+
+
+@dataclass
+class GateCallSite:
+    """A decomposed ``icall``-to-the-entry-gate site.
+
+    ``start_index`` is the index of the first instruction belonging to the
+    site (its first ``push``, or the first body instruction when there is
+    no save bracket); ``icall_index`` is the index of the ``icall`` itself.
+    """
+
+    start_index: int
+    icall_index: int
+    pushes: list[str]
+    body: list[Instr]
+    pops: list[str]
+    ret_ok: bool
+
+    @property
+    def written(self) -> list[str]:
+        """Registers the site overwrites, in first-write order."""
+        regs: list[str] = []
+        for instr in self.body:
+            if isinstance(instr.dst, str) and instr.dst not in regs:
+                regs.append(instr.dst)
+        if "rax" not in regs:
+            regs.append("rax")       # the gate pointer always lands in rax
+        return regs
+
+    @property
+    def saved(self) -> set[str]:
+        """Registers correctly bracketed by matching push/pop pairs."""
+        if self.pops != list(reversed(self.pushes)):
+            return set()
+        return set(self.pushes)
+
+    @property
+    def clobbered(self) -> list[str]:
+        """Registers written but not restored before the ``ret``."""
+        saved = self.saved
+        return [r for r in self.written if r not in saved]
+
+
+def _strip(thunk: list[Instr]) -> tuple[list[str], list[Instr], list[str]]:
+    """Split a generated thunk into (pushes, body, pops).
+
+    The tail is always ``movi rax, gate; icall rax; [pops...]; ret`` —
+    anything else means the pass changed shape in a way this module does
+    not understand, which must fail loudly, not fuzzily.
+    """
+    i = 0
+    pushes: list[str] = []
+    while i < len(thunk) and thunk[i].op == "push":
+        pushes.append(thunk[i].dst)
+        i += 1
+    if thunk[-1].op != "ret":
+        raise ValueError("thunk does not end in ret")
+    j = len(thunk) - 2
+    pops: list[str] = []
+    while j >= 0 and thunk[j].op == "pop":
+        pops.insert(0, thunk[j].dst)
+        j -= 1
+    if j < 1 or thunk[j].op != "icall" or thunk[j - 1].op != "movi" or \
+            thunk[j - 1].dst != thunk[j].dst or \
+            thunk[j - 1].imm != _DERIVE_GATE_VA:
+        raise ValueError("thunk gate tail has unexpected shape")
+    return pushes, thunk[i:j - 1], pops
+
+
+@lru_cache(maxsize=1)
+def thunk_templates() -> dict[str, ThunkTemplate]:
+    """Derive one :class:`ThunkTemplate` per sensitive mnemonic."""
+    from ..hw.isa import SENSITIVE_NAMES
+
+    templates: dict[str, ThunkTemplate] = {}
+    for _, op in sorted(SENSITIVE_NAMES.items()):
+        a = thunk_shape(op, gate_va=_DERIVE_GATE_VA, variant=0)
+        b = thunk_shape(op, gate_va=_DERIVE_GATE_VA, variant=1)
+        pushes_a, body_a, _ = _strip(a)
+        pushes_b, body_b, _ = _strip(b)
+        if len(body_a) != len(body_b):
+            raise ValueError(f"{op}: representative thunks disagree on "
+                             "body length")
+        slots = []
+        for x, y in zip(body_a, body_b):
+            if x.op != y.op or x.dst != y.dst:
+                raise ValueError(f"{op}: representative thunks disagree on "
+                                 "body structure")
+            slots.append(TemplateSlot(
+                op=x.op, dst=x.dst, src=x.src, imm=x.imm,
+                src_fixed=x.src == y.src, imm_fixed=x.imm == y.imm))
+        if not (slots and slots[0].op == "movi" and slots[0].dst == "rdi"
+                and slots[0].imm_fixed):
+            raise ValueError(f"{op}: thunk body does not start with a "
+                             "fixed EMC call number in rdi")
+        # the save bracket may legitimately differ per variant only if the
+        # bodies write different registers — ours never do
+        if pushes_a != pushes_b:
+            raise ValueError(f"{op}: representative thunks disagree on "
+                             "save bracket")
+        templates[op] = ThunkTemplate(
+            op=op, call_number=slots[0].imm, body=tuple(slots),
+            saves=tuple(pushes_a))
+    return templates
+
+
+def parse_gate_call_site(instrs: list[Instr], icall_index: int,
+                         gate_va: int) -> GateCallSite:
+    """Decompose the code around an ``icall`` whose target is ``gate_va``.
+
+    Walks back from the ``icall`` through the ``movi rX, gate`` that feeds
+    it, then through any run of ``mov``/``movi`` marshalling writes, then
+    through any ``push`` prefix; walks forward through any ``pop`` run to
+    the ``ret``.  Works on arbitrary code — a site that is *not* a real
+    thunk simply yields an empty/odd decomposition that no template
+    matches.
+    """
+    i = icall_index
+    j = i - 1                                  # the movi feeding the icall
+    body_end = j
+    k = body_end - 1
+    while k >= 0 and instrs[k].op in ("mov", "movi"):
+        k -= 1
+    body_start = k + 1
+    pushes: list[str] = []
+    while k >= 0 and instrs[k].op == "push":
+        pushes.insert(0, instrs[k].dst)
+        k -= 1
+    start = k + 1
+    pops: list[str] = []
+    m = i + 1
+    while m < len(instrs) and instrs[m].op == "pop":
+        pops.append(instrs[m].dst)
+        m += 1
+    ret_ok = m < len(instrs) and instrs[m].op == "ret"
+    return GateCallSite(
+        start_index=start, icall_index=i, pushes=pushes,
+        body=list(instrs[body_start:body_end]), pops=pops, ret_ok=ret_ok)

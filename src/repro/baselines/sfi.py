@@ -23,6 +23,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from ..hw.errors import HardwareFault, SimulatorError
 from ..hw.isa import I, Instr, assemble, disassemble
 
 #: registers reserved by the SFI ABI (programs must not use them)
@@ -152,7 +153,7 @@ def sfi_overhead(workload: list[Instr], region: SfiRegion,
         before = machine.clock.cycles
         try:
             machine.cpu.run(max_steps=500_000, deliver_faults=False)
-        except Exception:
+        except (HardwareFault, SimulatorError):
             pass   # the final int 99 has no handler: acts as a stop
         return machine.clock.cycles - before
 

@@ -50,6 +50,23 @@ def published_measurement() -> bytes:
     ])
 
 
+def published_kernel_cfg_rtmr() -> bytes:
+    """Golden RTMR[3] for a CFG-verified boot of the distribution kernel.
+
+    A remote client replays the monitor's stage-2 CFG pass offline — the
+    verifier is pure and deterministic — over the published instrumented
+    kernel image and derives the RTMR value the monitor must have
+    extended. A scan-only boot (``EreborFeatures(cfg_verifier=False)``)
+    leaves RTMR[3] at its reset value, so the quote alone distinguishes
+    the two boot flavours.
+    """
+    from ..analysis.verifier import StaticVerifier
+    from ..tdx.attestation import expected_rtmr
+    image, _ = instrument_image(build_kernel_image())
+    report = StaticVerifier().verify_image(image)
+    return expected_rtmr([report.digest().encode()])
+
+
 def published_paravisor_measurement() -> tuple[bytes, bytes]:
     """Golden values for paravisor deployments (§10).
 

@@ -54,12 +54,14 @@ class EreborFeatures:
     ``mmu_isolation`` and ``exit_protection`` decompose Erebor-full into
     the Erebor-LibOS-MMU and Erebor-LibOS-Exit configurations; the
     microarchitectural disturbance model can be disabled for direct-cost
-    microbenchmarks.
+    microbenchmarks. ``cfg_verifier`` gates the stage-2 CFG pass
+    (:mod:`repro.analysis`) — off reproduces the paper's scan-only boot.
     """
 
     mmu_isolation: bool = True
     exit_protection: bool = True
     uarch_model: bool = True
+    cfg_verifier: bool = True
 
 
 class MonitorStats:
@@ -224,6 +226,9 @@ class EreborMonitor:
         self.audit_seq: int = 0
         self.kernel: GuestKernel | None = None
         self.kernel_syscall_entry: int | None = None
+        #: the stage-2 CFG verifier's report for the loaded kernel image
+        #: (None on scan-only boots); its digest is extended into RTMR[3]
+        self.kernel_verifier_report = None
         self.sandboxes: dict[int, "Sandbox"] = {}
         self._next_sandbox_id = 1
         self._cpuid_cache: tuple | None = None
@@ -279,14 +284,57 @@ class EreborMonitor:
                 f"{offset:#x} (+{len(hits) - 1} more)")
         self.audit("verify", f"accepted {what} ({len(blob)} bytes)")
 
+    def verify_image_cfg(self, image: SelfImage):
+        """Stage-2 CFG pass: prove structural properties the scan cannot.
+
+        Runs :class:`repro.analysis.verifier.StaticVerifier` over the
+        image (V0–V7: endbr landing pads, gate provenance, W^X,
+        branch-target sanity, thunk liveness, ...), charges the
+        calibrated walk cost, audits the verdict, and — on success —
+        extends the report digest into RTMR[3] so remote clients can
+        distinguish a CFG-verified boot from a scan-only one.
+        """
+        from ..analysis.verifier import StaticVerifier
+        from ..tdx.attestation import KERNEL_CFG_RTMR_INDEX
+        report = StaticVerifier().verify_image(image)
+        with self.clock.tracer.span("verify:cfg", cat="monitor",
+                                    image=image.name,
+                                    instructions=report.instructions):
+            self.clock.charge(Cost.VERIFY_CFG_BASE
+                              + Cost.VERIFY_CFG_PER_INSTR
+                              * report.instructions, "verify")
+        self.clock.count("cfg_verified_image")
+        self.kernel_verifier_report = report
+        digest = report.digest()
+        self.clock.cfg_report_digest = digest
+        if not report.ok:
+            first = report.first_failure
+            failed = ", ".join(report.failed_checks)
+            self.audit("verify", f"REJECTED {image.name} CFG "
+                       f"[{failed}]: {first.detail}")
+            self.clock.tracer.trigger(
+                "verify_reject", f"{image.name} CFG [{failed}]")
+            raise BootVerificationError(
+                f"kernel {image.name}: CFG verification failed "
+                f"[{failed}] — {first.detail}")
+        self.audit("verify", f"CFG-verified {image.name} "
+                   f"({report.instructions} instrs, {report.gate_sites} "
+                   f"gate thunks) digest {digest[:16]}")
+        if self.tdx is not None:
+            self.tdx.measurement.extend_rtmr(KERNEL_CFG_RTMR_INDEX,
+                                             digest.encode())
+        return report
+
     def verify_and_load_kernel(self, image_blob: bytes,
                                config: KernelConfig | None = None) -> GuestKernel:
-        """Stage-2 boot: scan the image, then boot a deprivileged kernel."""
+        """Stage-2 boot: scan + CFG-verify, then boot a deprivileged kernel."""
         if not self.installed:
             raise RuntimeError("monitor not installed (stage 1 incomplete)")
         image = SelfImage.deserialize(image_blob)
         for section in image.executable_sections():
             self.verify_code(section.data, what=f"kernel {section.name}")
+        if self.features.cfg_verifier:
+            self.verify_image_cfg(image)
         # mark kernel text frames so W^X policy can identify them
         text_frames = self.phys.alloc_frames(
             max(pages_for(len(image.section(".text").data)), 1), "ktext")

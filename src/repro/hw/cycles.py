@@ -121,6 +121,13 @@ class Cost:
     VALIDATE_MSR = 25                   # MSR allow-list check
     VALIDATE_GHCI = 51                  # shared-region + leaf allow-list check
 
+    # --- stage-2 CFG verification (repro.analysis, boot-time) -----------
+    # Calibrated like the byte scan: a fixed setup cost (template
+    # derivation amortized, report assembly) plus a per-decoded-
+    # instruction walk cost (decode + leader/edge bookkeeping + checks).
+    VERIFY_CFG_BASE = 540
+    VERIFY_CFG_PER_INSTR = 14
+
     # --- exception / interrupt machinery --------------------------------
     EXC_DELIVERY = 420                  # IDT vectoring + frame push
     IRET = 300
@@ -208,6 +215,10 @@ class CycleClock:
     #: authoritative; this copy lets obs bundles carry the head without
     #: a monitor reference). Empty until the first audited decision.
     audit_head: str = ""
+    #: mirror of the boot-time CFG verifier's report digest (see
+    #: repro.analysis.verifier.VerifierReport.digest); "" on scan-only
+    #: boots, so exported bundles can tell the two apart offline.
+    cfg_report_digest: str = ""
     _cpu_stack: list = field(default_factory=list, repr=False)
 
     def ensure_cpus(self, n: int) -> None:

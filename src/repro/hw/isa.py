@@ -159,13 +159,21 @@ def scan_for_sensitive(blob: bytes, *, skip_aligned: bool = False) -> list[tuple
     sensitive sub-opcode. With ``skip_aligned`` the scan ignores hits at
     instruction-aligned offsets (used by the assembler, which knows those
     are the intentional encodings it just emitted).
+
+    The scan skips between prefix bytes with ``bytes.find`` so the common
+    no-hit path runs at C speed instead of one Python iteration per byte;
+    the cycle-cost model in ``verify_code`` is unchanged — the simulated
+    monitor still pays per byte scanned, only the host gets faster.
     """
     hits = []
-    for off in range(len(blob) - 1):
-        if blob[off] == SENSITIVE_PREFIX and blob[off + 1] in SENSITIVE_SUBOPS:
-            if skip_aligned and off % INSTR_SIZE == 0:
-                continue
+    prefix = bytes([SENSITIVE_PREFIX])
+    limit = len(blob) - 1
+    off = blob.find(prefix)
+    while 0 <= off < limit:
+        if blob[off + 1] in SENSITIVE_SUBOPS and \
+                not (skip_aligned and off % INSTR_SIZE == 0):
             hits.append((off, SENSITIVE_NAMES[blob[off + 1]]))
+        off = blob.find(prefix, off + 1)
     return hits
 
 

@@ -29,8 +29,8 @@ class InstrumentationReport:
         return sum(self.replaced.values())
 
 
-def _thunk_for(instr: Instr, gate_va: int) -> list[Instr]:
-    """Generate the EMC thunk replacing one sensitive call site."""
+def _thunk_body(instr: Instr) -> list[Instr]:
+    """The marshalling body for one sensitive call site (no save bracket)."""
     if instr.op == "mov_cr":
         body = [
             I("movi", "rdi", imm=int(EmcCall.WRITE_CR)),
@@ -62,11 +62,68 @@ def _thunk_for(instr: Instr, gate_va: int) -> list[Instr]:
         ]
     else:
         raise ValueError(f"no thunk template for {instr.op}")
-    return body + [
-        I("movi", "rax", imm=gate_va),
-        I("icall", "rax"),
-        I("ret"),
-    ]
+    return body
+
+
+def _thunk_clobbers(body: list[Instr]) -> list[str]:
+    """Registers the thunk overwrites, in first-write order.
+
+    The marshalling body writes the EMC argument registers and the gate
+    pointer lands in ``rax``; all of them may hold live kernel state at
+    the replaced call site, so the thunk must save and restore every one
+    (the verifier's V7 liveness check enforces this).
+    """
+    regs = []
+    for instr in body:
+        if isinstance(instr.dst, str) and instr.dst not in regs:
+            regs.append(instr.dst)
+    if "rax" not in regs:
+        regs.append("rax")
+    return regs
+
+
+def _thunk_for(instr: Instr, gate_va: int) -> list[Instr]:
+    """Generate the EMC thunk replacing one sensitive call site.
+
+    Layout: save bracket (one ``push`` per clobbered register), the
+    marshalling body, the indirect call to the entry gate, the matching
+    ``pop``s in reverse, ``ret``. Without the bracket the thunk would
+    silently corrupt live ``rdi``/``rsi``/``rdx``/``rax`` (and ``r8``
+    for ``tdcall``) across every EMC.
+    """
+    body = _thunk_body(instr)
+    saved = _thunk_clobbers(body)
+    return (
+        [I("push", r) for r in saved]
+        + body
+        + [I("movi", "rax", imm=gate_va), I("icall", "rax")]
+        + [I("pop", r) for r in reversed(saved)]
+        + [I("ret")]
+    )
+
+
+#: two representative call sites per sensitive mnemonic, chosen so every
+#: per-site-varying operand differs between the variants — the verifier
+#: diffs the two generated thunks to learn which fields are wildcards
+_REPRESENTATIVES: dict[str, tuple[Instr, Instr]] = {
+    "mov_cr": (Instr("mov_cr", dst=0, src="rax"),
+               Instr("mov_cr", dst=4, src="rbx")),
+    "wrmsr": (Instr("wrmsr"), Instr("wrmsr")),
+    "stac": (Instr("stac"), Instr("stac")),
+    "lidt": (Instr("lidt", src="rdi"), Instr("lidt", src="rsi")),
+    "tdcall": (Instr("tdcall"), Instr("tdcall")),
+}
+
+
+def thunk_shape(op: str, *, gate_va: int, variant: int = 0) -> list[Instr]:
+    """A representative generated thunk for one sensitive mnemonic.
+
+    ``variant`` selects one of two call sites whose varying operands
+    differ; :mod:`repro.analysis.thunks` derives its matching templates
+    by diffing the two, so the verifier can never drift from the shapes
+    this pass actually emits.
+    """
+    return _thunk_for(_REPRESENTATIVES[op][variant], gate_va)
 
 
 def instrument_text(text: bytes, text_va: int, *, gate_va: int = ENTRY_GATE_VA

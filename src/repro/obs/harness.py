@@ -100,6 +100,10 @@ def export_bundle(run: ObservedRun) -> dict:
             # tamper-evident audit chain head at export time (see
             # core.monitor.verify_audit_chain); "" if nothing audited
             "audit_head": getattr(run.clock, "audit_head", ""),
+            # boot-time CFG VerifierReport digest (repro.analysis);
+            # "" on scan-only boots
+            "cfg_report_digest": getattr(run.clock, "cfg_report_digest",
+                                         ""),
         },
         "trace": trace,
         "metrics": run.registry.snapshot(),

@@ -48,6 +48,10 @@ def validate_export(obj) -> list[str]:
         # the monitor's tamper-evident log, must not validate
         need(meta, "dropped", int, "meta")
         need(meta, "audit_head", str, "meta")
+        # the CFG-verifier digest is optional (older bundles predate it)
+        # but must be a string when present
+        if "cfg_report_digest" in meta:
+            need(meta, "cfg_report_digest", str, "meta")
 
     trace = need(obj, "trace", dict, "top")
     if trace is not None:

@@ -84,6 +84,13 @@ class AttestationAuthority:
         return quote.report
 
 
+#: RTMR the monitor extends with the boot-time CFG VerifierReport digest
+#: (repro.analysis). Scan-only boots leave it at the all-zero reset value,
+#: so clients can distinguish the two boot flavours from the quote alone.
+#: (RTMR[2] is the paravisor's — see repro.core.boot.PARAVISOR_RTMR_INDEX.)
+KERNEL_CFG_RTMR_INDEX = 3
+
+
 def expected_rtmr(extensions: list[bytes]) -> bytes:
     """Compute the RTMR value after a sequence of runtime extensions.
 

@@ -1,0 +1,187 @@
+"""Discipline-linter rules D1–D5 and the ratchet."""
+
+from pathlib import Path
+
+import pytest
+
+from repro.analysis.lint import RULES, lint_paths, lint_source
+from repro.analysis.ratchet import (
+    Ratchet,
+    apply_ratchet,
+    default_ratchet_path,
+)
+
+REPRO_SRC = Path(__file__).resolve().parents[2] / "src" / "repro"
+
+
+def rules_of(findings):
+    return sorted({f.rule for f in findings})
+
+
+# --------------------------------------------------------------------------- #
+# D1: wall-clock / unseeded randomness
+# --------------------------------------------------------------------------- #
+
+@pytest.mark.parametrize("snippet", [
+    "import time\nt = time.time()\n",
+    "import time\nt = time.monotonic_ns()\n",
+    "import datetime\nd = datetime.datetime.now()\n",
+    "from datetime import datetime\nd = datetime.utcnow()\n",
+    "import random\nx = random.random()\n",
+    "import random\nx = random.randint(0, 9)\n",
+    "import random\nr = random.Random()\n",
+    "import numpy as np\nr = np.random.default_rng()\n",
+])
+def test_d1_flags_nondeterminism(snippet):
+    assert rules_of(lint_source(snippet, "repro/x.py")) == ["D1"]
+
+
+@pytest.mark.parametrize("snippet", [
+    "import random\nr = random.Random(42)\n",
+    "import numpy as np\nr = np.random.default_rng(7)\n",
+    "t = clock.seconds\n",
+])
+def test_d1_allows_seeded_and_simulated_time(snippet):
+    assert lint_source(snippet, "repro/x.py") == []
+
+
+# --------------------------------------------------------------------------- #
+# D2: obs plane read-only on the clock
+# --------------------------------------------------------------------------- #
+
+def test_d2_flags_clock_spend_in_obs():
+    src = "def f(clock):\n    clock.charge(10, 'x')\n    clock.count('e')\n"
+    findings = lint_source(src, "repro/obs/exporter.py")
+    assert rules_of(findings) == ["D2"]
+    assert len(findings) == 2
+
+
+def test_d2_scoped_to_obs_only():
+    src = "def f(clock):\n    clock.charge(10, 'x')\n"
+    assert lint_source(src, "repro/core/monitor.py") == []
+
+
+# --------------------------------------------------------------------------- #
+# D3: ordered hash preimages
+# --------------------------------------------------------------------------- #
+
+def test_d3_flags_bare_dict_iteration():
+    src = ("import hashlib\n"
+           "def f(d):\n"
+           "    return hashlib.sha256(str(d.items()).encode())\n")
+    assert rules_of(lint_source(src, "repro/x.py")) == ["D3"]
+
+
+def test_d3_allows_sorted_iteration():
+    src = ("import hashlib\n"
+           "def f(d):\n"
+           "    return hashlib.sha256(str(sorted(d.items())).encode())\n")
+    assert lint_source(src, "repro/x.py") == []
+
+
+def test_d3_flags_unsorted_json_dumps():
+    src = ("import hashlib, json\n"
+           "def f(d):\n"
+           "    return hashlib.sha256(json.dumps(d).encode())\n")
+    assert rules_of(lint_source(src, "repro/x.py")) == ["D3"]
+
+
+def test_d3_allows_sort_keys():
+    src = ("import hashlib, json\n"
+           "def f(d):\n"
+           "    return hashlib.sha256("
+           "json.dumps(d, sort_keys=True).encode())\n")
+    assert lint_source(src, "repro/x.py") == []
+
+
+# --------------------------------------------------------------------------- #
+# D4: blanket except
+# --------------------------------------------------------------------------- #
+
+@pytest.mark.parametrize("handler", [
+    "except:", "except Exception:", "except BaseException:",
+    "except (ValueError, Exception):",
+])
+def test_d4_flags_blanket_excepts(handler):
+    src = f"try:\n    x = 1\n{handler}\n    pass\n"
+    assert rules_of(lint_source(src, "repro/x.py")) == ["D4"]
+
+
+def test_d4_allows_specific_excepts():
+    src = "try:\n    x = 1\nexcept (ValueError, KeyError):\n    pass\n"
+    assert lint_source(src, "repro/x.py") == []
+
+
+# --------------------------------------------------------------------------- #
+# D5: fleet cycle charges must be CPU-attributed
+# --------------------------------------------------------------------------- #
+
+def test_d5_flags_unattributed_fleet_charge():
+    src = "def f(clock):\n    clock.charge(10, 'x')\n"
+    assert rules_of(lint_source(src, "repro/fleet/sched.py")) == ["D5"]
+
+
+def test_d5_allows_on_cpu_scope():
+    src = ("def f(clock):\n"
+           "    with clock.on_cpu(0):\n"
+           "        clock.charge(10, 'x')\n")
+    assert lint_source(src, "repro/fleet/sched.py") == []
+
+
+def test_d5_allows_serial_section_marker():
+    src = "def f(clock):\n    clock.charge(10, 'x')  # serial-section\n"
+    assert lint_source(src, "repro/fleet/sched.py") == []
+
+
+def test_d5_scoped_to_fleet_only():
+    src = "def f(clock):\n    clock.charge(10, 'x')\n"
+    assert lint_source(src, "repro/core/monitor.py") == []
+
+
+# --------------------------------------------------------------------------- #
+# ratchet
+# --------------------------------------------------------------------------- #
+
+def test_ratchet_waives_counted_findings_lowest_lines_first():
+    src = ("try:\n    x = 1\nexcept Exception:\n    pass\n"
+           "try:\n    y = 2\nexcept Exception:\n    pass\n")
+    findings = lint_source(src, "repro/legacy.py")
+    assert len(findings) == 2
+    ratchet = Ratchet({"D4|repro/legacy.py": 1})
+    kept, waived = apply_ratchet(findings, ratchet)
+    assert len(kept) == 1 and len(waived) == 1
+    assert waived[0].line < kept[0].line
+
+
+def test_ratchet_never_waives_d1_d2():
+    findings = lint_source("import time\nt = time.time()\n", "repro/x.py")
+    ratchet = Ratchet({"D1|repro/x.py": 5})
+    kept, waived = apply_ratchet(findings, ratchet)
+    assert kept and not waived
+
+
+def test_ratchet_file_with_d1_entries_is_rejected(tmp_path):
+    bad = tmp_path / "ratchet.json"
+    bad.write_text('{"D1|repro/x.py": 3}')
+    with pytest.raises(ValueError):
+        Ratchet.load(bad)
+
+
+def test_shipped_ratchet_has_no_determinism_entries():
+    ratchet = Ratchet.load(default_ratchet_path())
+    for key in ratchet.entries:
+        assert not key.startswith(("D1|", "D2|"))
+
+
+# --------------------------------------------------------------------------- #
+# the tree itself
+# --------------------------------------------------------------------------- #
+
+def test_tree_lints_clean_under_shipped_ratchet():
+    ratchet = Ratchet.load(default_ratchet_path())
+    kept, _ = lint_paths([REPRO_SRC], ratchet=ratchet)
+    assert kept == [], "\n".join(str(f) for f in kept)
+
+
+def test_rule_table_is_complete():
+    assert list(RULES) == ["D1", "D2", "D3", "D4", "D5"]

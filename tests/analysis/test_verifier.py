@@ -1,0 +1,196 @@
+"""StaticVerifier checks, templates, and report determinism."""
+
+import json
+
+from repro.analysis.attacks import attack_corpus
+from repro.analysis.thunks import parse_gate_call_site, thunk_templates
+from repro.analysis.verifier import CHECKS, StaticVerifier
+from repro.emc_abi import ENTRY_GATE_VA
+from repro.hw.isa import I, INSTR_SIZE, SENSITIVE_OPS, assemble, disassemble
+from repro.kernel.image import (
+    SEC_EXEC,
+    SEC_WRITE,
+    Section,
+    SelfImage,
+    build_kernel_image,
+)
+from repro.kernel.instrument import instrument_image, thunk_shape
+
+VA = 0x40_0000
+
+
+def _image(instrs, *, flags=SEC_EXEC, entry=VA):
+    return SelfImage("t", entry, [Section(".text", VA, assemble(instrs),
+                                          flags)])
+
+
+# --------------------------------------------------------------------------- #
+# thunk templates
+# --------------------------------------------------------------------------- #
+
+def test_templates_exist_for_every_sensitive_op():
+    templates = thunk_templates()
+    assert set(templates) == set(SENSITIVE_OPS)
+    for template in templates.values():
+        # every body starts with the fixed EMC number in rdi
+        assert template.body[0].op == "movi"
+        assert template.body[0].dst == "rdi"
+        assert template.body[0].imm_fixed
+        # the pass brackets every clobbered register
+        assert "rax" in template.saves
+
+
+def test_templates_wildcard_per_site_operands():
+    t = thunk_templates()["mov_cr"]
+    # CR number and value register vary per call site
+    assert not t.body[1].imm_fixed
+    assert not t.body[2].src_fixed
+
+
+def test_generated_thunk_matches_its_template():
+    templates = thunk_templates()
+    for op in SENSITIVE_OPS:
+        thunk = thunk_shape(op, gate_va=ENTRY_GATE_VA)
+        icall_index = next(i for i, instr in enumerate(thunk)
+                           if instr.op == "icall")
+        site = parse_gate_call_site(thunk, icall_index, ENTRY_GATE_VA)
+        assert templates[op].matches_body(site.body), op
+        assert site.ret_ok
+        assert not site.clobbered, op
+
+
+def test_mismatched_pop_order_counts_as_clobber():
+    instrs = [
+        I("push", "rdi"),
+        I("push", "rax"),
+        I("movi", "rdi", imm=1),
+        I("movi", "rax", imm=ENTRY_GATE_VA),
+        I("icall", "rax"),
+        I("pop", "rdi"),          # wrong order: values swap
+        I("pop", "rax"),
+        I("ret"),
+    ]
+    site = parse_gate_call_site(instrs, 4, ENTRY_GATE_VA)
+    assert site.saved == set()
+    assert "rdi" in site.clobbered and "rax" in site.clobbered
+
+
+# --------------------------------------------------------------------------- #
+# the checks
+# --------------------------------------------------------------------------- #
+
+def test_instrumented_kernel_verifies_clean():
+    image, _ = instrument_image(build_kernel_image())
+    report = StaticVerifier().verify_image(image)
+    assert report.ok, report.findings
+    assert report.gate_sites == 5       # one thunk per sensitive class
+    assert all(c.passed for c in report.checks)
+
+
+def test_raw_kernel_fails_byte_scan_check():
+    report = StaticVerifier().verify_image(build_kernel_image())
+    assert "V6" in report.failed_checks
+
+
+def test_attack_corpus_rejected_with_distinct_checks():
+    verifier = StaticVerifier()
+    seen = {}
+    for attack in attack_corpus():
+        report = verifier.verify_image(attack.image)
+        assert not report.ok, attack.name
+        assert attack.expected_check in report.failed_checks, attack.name
+        seen.setdefault(attack.expected_check, []).append(attack.name)
+    # at least three byte-scan-passing attacks with three distinct checks
+    distinct = {a.expected_check for a in attack_corpus()
+                if a.passes_byte_scan}
+    assert len(distinct) >= 3
+
+
+def test_bad_entry_is_v1():
+    report = StaticVerifier().verify_image(
+        _image([I("nop"), I("ret")], entry=VA + 5))
+    assert "V1" in report.failed_checks
+
+
+def test_wx_and_fallthrough_are_independent():
+    report = StaticVerifier().verify_image(
+        _image([I("nop"), I("nop")], flags=SEC_EXEC | SEC_WRITE))
+    assert "V4" in report.failed_checks
+    assert "V5" in report.failed_checks
+
+
+def test_section_ending_in_jmp_is_not_fallthrough():
+    report = StaticVerifier().verify_image(
+        _image([I("nop"), I("jmp", imm=VA)]))
+    assert "V5" not in report.failed_checks
+
+
+def test_non_exec_sections_are_not_decoded():
+    image = SelfImage("t", VA, [
+        Section(".text", VA, assemble([I("ret")]), SEC_EXEC),
+        Section(".data", 0x9000, b"\xEE\xF0\x05garbage", SEC_WRITE),
+    ])
+    report = StaticVerifier().verify_image(image)
+    assert report.ok
+
+
+def test_undecodable_text_is_v0():
+    image = SelfImage("t", VA, [
+        Section(".text", VA, b"\xEE" * INSTR_SIZE, SEC_EXEC)])
+    report = StaticVerifier().verify_image(image)
+    assert report.failed_checks == ["V0", "V1"]   # V1: entry has no stream
+
+
+def test_ijmp_to_gate_is_v3():
+    instrs = [
+        I("movi", "rbx", imm=ENTRY_GATE_VA),
+        I("ijmp", "rbx"),
+    ]
+    report = StaticVerifier().verify_image(_image(instrs))
+    assert "V3" in report.failed_checks
+
+
+# --------------------------------------------------------------------------- #
+# report shape and determinism
+# --------------------------------------------------------------------------- #
+
+def test_report_is_deterministic():
+    image, _ = instrument_image(build_kernel_image())
+    a = StaticVerifier().verify_image(image)
+    b = StaticVerifier().verify_image(image)
+    assert a.to_json() == b.to_json()
+    assert a.digest() == b.digest()
+
+
+def test_report_digest_tracks_content():
+    clean = StaticVerifier().verify_image(_image([I("nop"), I("ret")]))
+    dirty = StaticVerifier().verify_image(_image([I("nop"), I("nop")]))
+    assert clean.digest() != dirty.digest()
+
+
+def test_report_checks_cover_all_ids():
+    report = StaticVerifier().verify_image(_image([I("ret")]))
+    payload = json.loads(report.to_json())
+    assert [c["id"] for c in payload["checks"]] == list(CHECKS)
+    assert payload["ok"] is True
+
+
+def test_findings_carry_first_offset():
+    report = StaticVerifier().verify_image(_image([
+        I("jmp", imm=VA + 5),            # V1 at offset 0
+        I("ret"),
+    ]))
+    check = {c.check: c for c in report.checks}["V1"]
+    assert not check.passed
+    assert check.first_offset == 0
+    assert check.first_section == ".text"
+
+
+def test_thunk_substitution_survives_disassembly_roundtrip():
+    image, _ = instrument_image(build_kernel_image())
+    # sanity: the serialized image re-verifies identically
+    blob = SelfImage.deserialize(image.serialize())
+    assert StaticVerifier().verify_image(blob).digest() == \
+        StaticVerifier().verify_image(image).digest()
+    assert all(not i.is_sensitive
+               for i in disassemble(blob.section(".text").data))

@@ -25,7 +25,7 @@ PARAMS = dict(workload="helloworld", clients=4, requests=2, pool_size=2,
 
 #: must match tests/fleet/test_smp_scaling.py — the single-core pin
 PINNED_SINGLE_CORE = \
-    "30f7f80a3b51a29ccf6175b5fe940ce0c1351b490aa36d1fd9b5f17334fc542e"
+    "c1c17db1a7fe7d50ac55a92b4d044b7b4cffcda3df96e83352c71d11c676a9ae"
 
 
 # --------------------------------------------------------------------------- #

@@ -108,10 +108,12 @@ PARAMS = dict(workload="helloworld", clients=4, requests=2, pool_size=2,
 #: same seed + same core count must reproduce these forever; a change
 #: here means the cycle model or the commit order moved — deliberate
 #: changes must re-pin all three together
+#: (last re-pin: the boot-time CFG verifier charges calibrated
+#: verify:cfg cycles during stage 2, shifting total_cycles)
 PINNED_DIGESTS = {
-    1: "30f7f80a3b51a29ccf6175b5fe940ce0c1351b490aa36d1fd9b5f17334fc542e",
-    2: "45eb977e881a7a7707b763d5210ab3d02d12f5c14738920b1fc34a21a031ca9f",
-    4: "18d5a095c5534119421240e68ea85de3d8fdba51e540261b4209821aa3f3786f",
+    1: "c1c17db1a7fe7d50ac55a92b4d044b7b4cffcda3df96e83352c71d11c676a9ae",
+    2: "2cb6e0b5474ea8fcf33def60206af63af4aebf9b719b10ebb2765a4150f05e63",
+    4: "cd20fc2abaf267e06dea4f078c96abc667dca22a7b83aa1e6084e2bbb9c6b7e5",
 }
 
 

@@ -1,0 +1,73 @@
+"""scan_for_sensitive: bytes.find fast path ≡ the per-byte reference.
+
+The scanner was rewritten to hop between ``0xF0`` prefix bytes with
+``bytes.find`` instead of visiting every offset.  The observable
+contract — every (offset, name) hit, in order, including unaligned and
+``skip_aligned``-filtered ones — must be unchanged; the cycle model
+never depended on the Python-level implementation.
+"""
+
+import random
+
+import pytest
+
+from repro.hw.isa import (
+    INSTR_SIZE,
+    SENSITIVE_NAMES,
+    SENSITIVE_PREFIX,
+    SENSITIVE_SUBOPS,
+    scan_for_sensitive,
+)
+
+
+def reference_scan(blob, *, skip_aligned=False):
+    """The original per-byte loop, kept verbatim as the oracle."""
+    hits = []
+    for off in range(len(blob) - 1):
+        if blob[off] != SENSITIVE_PREFIX:
+            continue
+        if blob[off + 1] not in SENSITIVE_SUBOPS:
+            continue
+        if skip_aligned and off % INSTR_SIZE == 0:
+            continue
+        hits.append((off, SENSITIVE_NAMES[blob[off + 1]]))
+    return hits
+
+
+@pytest.mark.parametrize("seed", range(8))
+@pytest.mark.parametrize("skip_aligned", [False, True])
+def test_equivalent_on_random_blobs(seed, skip_aligned):
+    rng = random.Random(seed)
+    # bias toward 0xF0 and valid sub-opcodes so hits are dense
+    alphabet = ([SENSITIVE_PREFIX] * 8 + sorted(SENSITIVE_SUBOPS)
+                + list(range(16)))
+    blob = bytes(rng.choice(alphabet) for _ in range(4096))
+    assert scan_for_sensitive(blob, skip_aligned=skip_aligned) == \
+        reference_scan(blob, skip_aligned=skip_aligned)
+
+
+@pytest.mark.parametrize("blob", [
+    b"",
+    b"\xF0",                                   # prefix at the last byte
+    b"\xF0\x05",                               # minimal hit
+    b"\xF0\xF0\x05",                           # prefix feeding a prefix
+    b"\xF0\x99",                               # prefix, bogus sub-op
+    b"\x00" * 64,
+    bytes([SENSITIVE_PREFIX, 0x02]) * 32,      # back-to-back hits
+])
+def test_equivalent_on_edge_cases(blob):
+    for skip_aligned in (False, True):
+        assert scan_for_sensitive(blob, skip_aligned=skip_aligned) == \
+            reference_scan(blob, skip_aligned=skip_aligned)
+
+
+def test_aligned_filter_only_drops_aligned_offsets():
+    blob = bytearray(64)
+    blob[0] = SENSITIVE_PREFIX          # aligned (offset 0)
+    blob[1] = 0x05
+    blob[13] = SENSITIVE_PREFIX         # unaligned (offset 13)
+    blob[14] = 0x02
+    full = scan_for_sensitive(bytes(blob))
+    filtered = scan_for_sensitive(bytes(blob), skip_aligned=True)
+    assert full == [(0, "tdcall"), (13, "wrmsr")]
+    assert filtered == [(13, "wrmsr")]

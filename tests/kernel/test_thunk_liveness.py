@@ -1,0 +1,59 @@
+"""Regression: instrumentation thunks preserve caller registers.
+
+The thunk marshals its operands into the EMC argument registers
+(rdi/rsi/rdx/r8) and fetches the gate address into rax.  Before the
+push/pop brackets were added, a ``wrmsr`` in hot kernel code silently
+destroyed the caller's rdi/rsi/rdx/rax — a miscompilation the simulator
+only exposes when the surrounding code still needs those values.  These
+tests run real thunks through the gate rig and assert every GPR except
+r10 (clobbered by the entry gate by design) survives the round trip.
+"""
+
+import pytest
+
+from repro.core.microrig import CALLER_VA, GateRig
+from repro.emc_abi import ENTRY_GATE_VA, EmcCall
+from repro.hw.isa import I
+from repro.kernel.instrument import thunk_shape
+
+THUNK_VA = CALLER_VA + 0x2000
+
+SENTINELS = {
+    "rdi": 0x111, "rsi": 0x222, "rdx": 0x333, "rcx": 0x444,
+    "rbx": 0x555, "r8": 0x666, "rax": 0x777,
+}
+
+
+def run_thunk(op):
+    # trivial handlers: the monitor-side service bodies are allowed to
+    # clobber their working registers (the default micro handlers do);
+    # this test isolates the *thunk's* liveness contract
+    rig = GateRig(handlers={
+        int(EmcCall.WRITE_MSR): [I("ret")],
+        int(EmcCall.WRITE_CR): [I("ret")],
+        int(EmcCall.GHCI): [I("ret")],
+        int(EmcCall.LOAD_IDT): [I("ret")],
+        int(EmcCall.SMAP_USER_COPY): [I("ret")],
+    })
+    rig.machine.load_code(THUNK_VA, thunk_shape(op, gate_va=ENTRY_GATE_VA))
+    caller = [I("movi", reg, imm=value)
+              for reg, value in SENTINELS.items()]
+    caller += [I("call", imm=THUNK_VA), I("hlt")]
+    rig.machine.load_code(CALLER_VA, caller)
+    cpu = rig.cpu
+    cpu.mode = "kernel"
+    cpu.rip = CALLER_VA
+    cpu.run(max_steps=10_000)
+    return cpu
+
+
+@pytest.mark.parametrize("op", ["wrmsr", "tdcall", "mov_cr", "stac", "lidt"])
+def test_registers_survive_instrumented_op(op):
+    cpu = run_thunk(op)
+    survivors = {reg: cpu.regs[reg] for reg in SENTINELS}
+    assert survivors == SENTINELS
+
+
+def test_thunk_round_trip_returns_to_caller():
+    cpu = run_thunk("wrmsr")
+    assert cpu._halted

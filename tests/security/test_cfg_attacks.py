@@ -1,0 +1,106 @@
+"""Attack images that pass the byte scan but fail the boot-time CFG pass.
+
+These run the full stage-2 path (``Monitor.verify_and_load_kernel``): the
+scan accepts each image, the CFG verifier rejects it with its distinct
+check ID, the verdict lands on the audit chain, and the attestation
+measurement separates CFG-verified boots from scan-only ones.
+"""
+
+import pytest
+
+from repro.analysis.attacks import attack_corpus
+from repro.analysis.verifier import StaticVerifier
+from repro.core import BootVerificationError, erebor_boot
+from repro.core.boot import published_kernel_cfg_rtmr
+from repro.core.monitor import EreborFeatures
+from repro.hw.isa import scan_for_sensitive
+from repro.tdx.attestation import KERNEL_CFG_RTMR_INDEX
+from repro.vm import CvmMachine, MachineConfig, MIB
+
+SCAN_PASSING = [a for a in attack_corpus() if a.passes_byte_scan]
+
+
+def machine():
+    return CvmMachine(MachineConfig(memory_bytes=512 * MIB))
+
+
+@pytest.mark.parametrize("attack", SCAN_PASSING, ids=lambda a: a.name)
+def test_byte_scan_accepts_the_attack(attack):
+    for section in attack.image.executable_sections():
+        assert scan_for_sensitive(section.data) == [], attack.name
+
+
+@pytest.mark.parametrize("attack", SCAN_PASSING, ids=lambda a: a.name)
+def test_boot_rejects_with_expected_check(attack):
+    with pytest.raises(BootVerificationError) as exc:
+        erebor_boot(machine(), kernel_image=attack.image,
+                    skip_instrumentation=True, cma_bytes=16 * MIB)
+    assert attack.expected_check in str(exc.value)
+    assert "CFG verification failed" in str(exc.value)
+
+
+def test_at_least_three_distinct_check_ids():
+    assert len({a.expected_check for a in SCAN_PASSING}) >= 3
+
+
+@pytest.mark.parametrize("attack", SCAN_PASSING, ids=lambda a: a.name)
+def test_scan_only_boot_would_have_accepted(attack):
+    """The CFG pass is load-bearing: scan-only boots miss these."""
+    m = machine()
+    features = EreborFeatures(cfg_verifier=False)
+    system = erebor_boot(m, kernel_image=attack.image, features=features,
+                         skip_instrumentation=True, cma_bytes=16 * MIB)
+    assert system.kernel.booted
+    # and the quote betrays it: RTMR[3] still holds its reset value
+    assert m.tdx.measurement.rtmrs[KERNEL_CFG_RTMR_INDEX] == b""
+
+
+def test_rejection_is_audited():
+    attack = SCAN_PASSING[0]
+    m = machine()
+    with pytest.raises(BootVerificationError):
+        erebor_boot(m, kernel_image=attack.image,
+                    skip_instrumentation=True, cma_bytes=16 * MIB)
+    # the monitor raised mid-boot; its clock mirror still records the
+    # digest of the failing report
+    assert m.clock.cfg_report_digest != ""
+
+
+def test_cfg_verified_boot_extends_rtmr3():
+    m = machine()
+    system = erebor_boot(m, cma_bytes=16 * MIB)
+    assert system.kernel.booted
+    report = system.monitor.kernel_verifier_report
+    assert report is not None and report.ok
+    assert m.tdx.measurement.rtmrs[KERNEL_CFG_RTMR_INDEX] == \
+        published_kernel_cfg_rtmr()
+    assert m.clock.cfg_report_digest == report.digest()
+
+
+def test_boot_charges_calibrated_cfg_cycles():
+    from repro.hw.cycles import Cost
+
+    def boot_cycles(features):
+        m = machine()
+        erebor_boot(m, features=features, cma_bytes=16 * MIB)
+        return m.clock.cycles
+
+    with_cfg = boot_cycles(None)
+    without = boot_cycles(EreborFeatures(cfg_verifier=False))
+    delta = with_cfg - without
+    # delta = VERIFY_CFG_BASE + per-instr * instructions of the kernel
+    from repro.kernel.image import build_kernel_image
+    from repro.kernel.instrument import instrument_image
+    image, _ = instrument_image(build_kernel_image())
+    report = StaticVerifier().verify_image(image)
+    assert delta == Cost.VERIFY_CFG_BASE + \
+        Cost.VERIFY_CFG_PER_INSTR * report.instructions
+
+
+def test_audit_chain_includes_cfg_verdict():
+    m = machine()
+    system = erebor_boot(m, cma_bytes=16 * MIB)
+    details = [e.detail for e in system.monitor.audit_log
+               if e.kind == "verify"]
+    assert any("CFG-verified" in d for d in details)
+    assert system.monitor.verify_audit_chain().ok

@@ -1,0 +1,77 @@
+"""ERIM-style unaligned sensitive sequences (satellite of §5.1).
+
+ERIM showed that a privileged byte pair is dangerous even when it is not
+an instruction the compiler emitted — hidden inside an immediate, or
+straddling two adjacent instructions, a mid-instruction jump can still
+reach it.  Erebor's stage-2 scan therefore checks *every byte offset*,
+not just instruction boundaries.  These tests pin that property at all
+three layers: the raw scanner, the booting monitor, and the
+``VerifierReport`` V6 entry.
+"""
+
+import pytest
+
+from repro.analysis.attacks import (
+    erim_spanning_instructions,
+    erim_unaligned_immediate,
+)
+from repro.analysis.verifier import StaticVerifier
+from repro.core import BootVerificationError, erebor_boot
+from repro.hw.isa import INSTR_SIZE, scan_for_sensitive
+from repro.vm import CvmMachine, MachineConfig, MIB
+
+CASES = [
+    # (builder, offset of the 0xF0 byte, decoded sub-op name)
+    (erim_unaligned_immediate, 5, "tdcall"),
+    (erim_spanning_instructions, 11, "wrmsr"),
+]
+IDS = [b().name for b, _, _ in CASES]
+
+
+def machine():
+    return CvmMachine(MachineConfig(memory_bytes=512 * MIB))
+
+
+@pytest.mark.parametrize("builder,offset,op", CASES, ids=IDS)
+def test_scan_finds_the_unaligned_pair(builder, offset, op):
+    text = builder().image.section(".text").data
+    assert scan_for_sensitive(text) == [(offset, op)]
+    # neither hit sits on an instruction boundary — that is the point
+    assert offset % INSTR_SIZE != 0
+
+
+def test_spanning_pair_straddles_the_boundary():
+    # the 0xF0 is the last byte of instruction 0, the sub-opcode the
+    # first byte of instruction 1
+    text = erim_spanning_instructions().image.section(".text").data
+    assert text[INSTR_SIZE - 1] == 0xF0
+    assert scan_for_sensitive(text)[0][0] == INSTR_SIZE - 1
+
+
+@pytest.mark.parametrize("builder,offset,op", CASES, ids=IDS)
+def test_boot_rejects_at_the_byte_scan(builder, offset, op):
+    attack = builder()
+    assert not attack.passes_byte_scan
+    with pytest.raises(BootVerificationError) as exc:
+        erebor_boot(machine(), kernel_image=attack.image,
+                    skip_instrumentation=True, cma_bytes=16 * MIB)
+    message = str(exc.value)
+    assert op in message
+    assert f"{offset:#x}" in message
+
+
+@pytest.mark.parametrize("builder,offset,op", CASES, ids=IDS)
+def test_verifier_reports_v6_with_the_offset(builder, offset, op):
+    report = StaticVerifier().verify_image(builder().image)
+    assert "V6" in report.failed_checks
+    check = {c.check: c for c in report.checks}["V6"]
+    assert not check.passed
+    assert check.first_offset == offset
+    assert op in check.detail
+
+
+@pytest.mark.parametrize("builder,offset,op", CASES, ids=IDS)
+def test_skip_aligned_never_hides_these(builder, offset, op):
+    """The unaligned pairs must survive the instrumentation-aware mode."""
+    text = builder().image.section(".text").data
+    assert (offset, op) in scan_for_sensitive(text, skip_aligned=True)

@@ -8,11 +8,15 @@ rules enforce them statically over ``src/repro``:
 ====  ==================  ===================================================
 ID    name                flags
 ====  ==================  ===================================================
-D1    wall-clock          ``time.time``/``monotonic``/``perf_counter``,
+D1    wall-clock          ``time.time``/``monotonic``/``perf_counter``
+                          (dotted or imported bare via ``from time import``),
                           ``datetime.now``/``utcnow``/``today``, module-level
                           ``random.*``, unseeded ``random.Random()`` /
                           ``np.random.default_rng()`` — anything that makes a
-                          run depend on the host instead of the cycle ledger
+                          run depend on the host instead of the cycle ledger.
+                          Exempt: :data:`_D1_EXEMPT` — the host-time
+                          profiler, where host wall-time *is* the measured
+                          quantity (never fed into the cycle ledger)
 D2    obs-read-only       ``.charge`` / ``.fast_forward`` / ``.count`` calls
                           from ``repro/obs`` modules (observability reads the
                           clock, it never spends it)
@@ -50,6 +54,13 @@ _WALL_CLOCK_TIME_ATTRS = frozenset({
     "perf_counter", "perf_counter_ns", "process_time",
 })
 _WALL_CLOCK_DATE_ATTRS = frozenset({"now", "utcnow", "today"})
+
+#: modules exempt from D1 (path suffixes). Principled, not grandfathered:
+#: ``repro.obs.hostprof`` *measures* host wall-time by design — that is
+#: its product, clearly labelled host seconds, and it never writes into
+#: the cycle ledger (D2 still applies to it in full). Everything else in
+#: the tree must stay on simulated cycles.
+_D1_EXEMPT = ("repro/obs/hostprof.py",)
 _CLOCK_SPENDERS = frozenset({"charge", "fast_forward", "count"})
 _HASH_ATTRS = frozenset({
     "sha1", "sha256", "sha384", "sha512", "md5", "blake2b", "blake2s",
@@ -167,9 +178,20 @@ def lint_source(source: str, path: str) -> list[LintFinding]:
     except SyntaxError as exc:
         return [LintFinding("D4", norm, exc.lineno or 0,
                             f"unparseable module: {exc.msg}")]
+    d1_exempt = any(norm.endswith(suffix) for suffix in _D1_EXEMPT)
     parents = _parents(tree)
     lines = source.splitlines()
     findings: list[LintFinding] = []
+
+    # names that alias a wall-clock reader (``from time import
+    # perf_counter [as pc]``) — bare calls to these are as much D1 as
+    # the dotted ``time.perf_counter()`` form
+    wall_names: set[str] = set()
+    for node in ast.walk(tree):
+        if isinstance(node, ast.ImportFrom) and node.module == "time":
+            for alias in node.names:
+                if alias.name in _WALL_CLOCK_TIME_ATTRS:
+                    wall_names.add(alias.asname or alias.name)
 
     def line_text(lineno: int) -> str:
         return lines[lineno - 1] if 0 < lineno <= len(lines) else ""
@@ -196,7 +218,9 @@ def lint_source(source: str, path: str) -> list[LintFinding]:
             continue
         chain = _attr_chain(node.func)
         msg = _check_d1(node, chain)
-        if msg:
+        if msg is None and chain in wall_names:
+            msg = f"{chain}() reads the host wall clock (bare import)"
+        if msg and not d1_exempt:
             findings.append(LintFinding("D1", norm, node.lineno, msg))
         msg = _check_d3(node, chain, parents)
         if msg:

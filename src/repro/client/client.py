@@ -22,7 +22,8 @@ from ..crypto import (
     transcript_hash,
     unpad_fixed,
 )
-from ..core.channel import ClientHello, SecureChannel, ServerHello, UntrustedProxy
+from ..core.channel import (ClientHello, SecureChannel, ServerHello,
+                            UntrustedProxy, trace_aad)
 from ..tdx.attestation import AttestationAuthority, QuoteVerificationError
 
 
@@ -45,6 +46,12 @@ class RemoteClient:
         self.nonce: bytes | None = None
         self.tx: SealedSession | None = None   # client -> monitor
         self.rx: SealedSession | None = None   # monitor -> client
+        #: request trace context cryptographically bound into every sealed
+        #: record as AEAD associated data (see ``core.channel.trace_aad``);
+        #: must match the serving sandbox's context or records fail to
+        #: authenticate. None (the default) is byte-compatible with
+        #: untraced peers.
+        self.trace_context: str | None = None
 
     # ------------------------------------------------------------------ #
     # handshake
@@ -97,12 +104,13 @@ class RemoteClient:
     def seal_request(self, data: bytes) -> bytes:
         if self.tx is None:
             raise AttestationFailure("channel not established")
-        return self.tx.seal(data)
+        return self.tx.seal(data, aad=trace_aad(self.trace_context))
 
     def open_response(self, record: bytes) -> bytes:
         if self.rx is None:
             raise AttestationFailure("channel not established")
-        return unpad_fixed(self.rx.open(record))
+        return unpad_fixed(
+            self.rx.open(record, aad=trace_aad(self.trace_context)))
 
     def request(self, proxy: UntrustedProxy, channel: SecureChannel,
                 data: bytes) -> None:
@@ -126,7 +134,8 @@ class RemoteClient:
             last = i == len(chunks) - 1
             flag = bytes([SecureChannel.CHUNK_FINAL if last
                           else SecureChannel.CHUNK_MORE])
-            record = self.tx.seal(flag + chunk, aad=b"chunk")
+            record = self.tx.seal(
+                flag + chunk, aad=trace_aad(self.trace_context, b"chunk"))
             proxy.relay_chunk(channel, record)
         return len(chunks)
 

@@ -46,6 +46,24 @@ DEVICE_PATH = "/dev/erebor-pseudo-io-dev"
 CRYPTO_PER_PAGE = 9000
 
 
+def trace_aad(trace_context: str | None, suffix: bytes = b"") -> bytes:
+    """AEAD associated data binding a record to its request trace context.
+
+    The federation-ready transport for the per-request trace ID: rather
+    than widening the wire framing (extra bytes would change the proxy's
+    per-segment network charges and so the cycle ledger), the ID rides as
+    *associated data* on the sealed record — zero bytes on the wire, zero
+    cycles, but cryptographically bound: both ends must present the same
+    context or ``open()`` fails authentication, exactly like the
+    migration-TD transport binds session metadata. ``None`` context
+    yields ``suffix`` alone, so untraced sessions (and all pre-existing
+    callers) are byte-compatible.
+    """
+    if trace_context is None:
+        return suffix
+    return b"erebor-trace:" + trace_context.encode() + suffix
+
+
 @dataclass
 class ClientHello:
     public: int
@@ -117,13 +135,21 @@ class SecureChannel:
                 "reset or rebound since this channel was attached")
 
     def deliver_request(self, record: bytes) -> None:
-        """Ciphertext in from the proxy: decrypt straight into the sandbox."""
+        """Ciphertext in from the proxy: decrypt straight into the sandbox.
+
+        The record must authenticate against the sandbox's current trace
+        context (see :func:`trace_aad`): a record sealed for another
+        request — or for a previous tenant of a reused slot — fails open.
+        """
         if self.rx is None:
             raise PolicyViolation("channel not established")
         self._check_current()
-        self._charge_crypto(len(record))
-        plaintext = self.rx.open(record)
-        self.sandbox.install_input(plaintext)
+        with self.monitor.clock.tracer.span("channel:request", "channel",
+                                            sandbox=self.sandbox.sandbox_id):
+            self._charge_crypto(len(record))
+            plaintext = self.rx.open(
+                record, aad=trace_aad(self.sandbox.trace_context))
+            self.sandbox.install_input(plaintext)
 
     # chunked transfer: large inputs arrive as a sealed record stream;
     # the AEAD sequence numbers enforce order, a one-byte header marks
@@ -137,7 +163,8 @@ class SecureChannel:
             raise PolicyViolation("channel not established")
         self._check_current()
         self._charge_crypto(len(record))
-        plaintext = self.rx.open(record, aad=b"chunk")
+        plaintext = self.rx.open(
+            record, aad=trace_aad(self.sandbox.trace_context, b"chunk"))
         if not plaintext:
             raise PolicyViolation("empty chunk record")
         flag, payload = plaintext[0], plaintext[1:]
@@ -163,12 +190,15 @@ class SecureChannel:
         data = self.sandbox.take_output()
         if data is None:
             return None
-        bucket = fixed_bucket_for(len(data), self.output_buckets)
-        padded = pad_to_fixed(data, bucket)
-        self._charge_crypto(len(padded))
-        if self.monitor.mitigations is not None:
-            self.monitor.mitigations.on_output_release(self.sandbox)
-        return self.tx.seal(padded)
+        with self.monitor.clock.tracer.span("channel:response", "channel",
+                                            sandbox=self.sandbox.sandbox_id):
+            bucket = fixed_bucket_for(len(data), self.output_buckets)
+            padded = pad_to_fixed(data, bucket)
+            self._charge_crypto(len(padded))
+            if self.monitor.mitigations is not None:
+                self.monitor.mitigations.on_output_release(self.sandbox)
+            return self.tx.seal(
+                padded, aad=trace_aad(self.sandbox.trace_context))
 
 
 class EreborDevice:

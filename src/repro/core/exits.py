@@ -19,7 +19,7 @@ from typing import TYPE_CHECKING
 
 from ..hw.cycles import Cost
 from ..kernel.kernel import ExitPath
-from ..obs.metrics import sandbox_label
+from ..obs.metrics import HandleCache, sandbox_label
 from ..kernel.process import Task
 from .policy import SandboxViolation
 
@@ -29,6 +29,9 @@ if TYPE_CHECKING:
 #: the only syscall a locked sandbox may issue: the channel ioctl
 LOCKED_ALLOWED_SYSCALLS = frozenset({"ioctl"})
 
+#: interned ``exit:<cls>`` record names (every interposed exit emits one)
+_EXIT_EVENT_NAMES: dict[str, str] = {}
+
 
 class MonitorExitPath(ExitPath):
     """ExitPath implementation wired into the kernel by stage-2 boot."""
@@ -37,6 +40,8 @@ class MonitorExitPath(ExitPath):
         self.monitor = monitor
         self.clock = monitor.clock
         self._last_exit_cycle: int | None = None
+        #: (cls, owner) → exit-counter write handles; "pkrs" → its handle
+        self._metric_handles = HandleCache()
 
     # ------------------------------------------------------------------ #
     # helpers
@@ -62,19 +67,40 @@ class MonitorExitPath(ExitPath):
         metrics = clock.metrics
         if metrics.enabled:
             owner = sandbox_label(task)
-            metrics.inc("erebor_exits_total", cls=cls, sandbox=owner)
+            handles = self._metric_handles.get(metrics, (cls, owner))
+            if handles is None:
+                handles = self._metric_handles.put((cls, owner), (
+                    metrics.counter_handle("erebor_exits_total",
+                                           cls=cls, sandbox=owner),
+                    metrics.counter_handle("erebor_sandbox_exits_total",
+                                           cls=cls, sandbox=owner),
+                    metrics.histogram_handle("erebor_exit_gap_cycles"),
+                ))
+            exits_total, sandbox_exits, exit_gap = handles
+            exits_total.inc()
             if sandboxed:
-                metrics.inc("erebor_sandbox_exits_total", cls=cls,
-                            sandbox=owner)
+                sandbox_exits.inc()
             # exit-gap histogram: cycles between consecutive interposed
             # exits, the interposition-frequency distribution Fig. 10 keys
             last = self._last_exit_cycle
             if last is not None:
-                metrics.observe("erebor_exit_gap_cycles",
-                                clock.cycles - last)
+                exit_gap.observe(clock.cycles - last)
             self._last_exit_cycle = clock.cycles
-        clock.tracer.event(f"exit:{cls}", cat="exit",
-                           sandboxed=sandboxed)
+        name = _EXIT_EVENT_NAMES.get(cls)
+        if name is None:
+            name = _EXIT_EVENT_NAMES[cls] = f"exit:{cls}"
+        clock.tracer.event(name, "exit", sandboxed=sandboxed)
+
+    def _pkrs_toggle(self) -> None:
+        """Bump the PKRS-write counter through a cached handle."""
+        metrics = self.clock.metrics
+        if metrics.enabled:
+            handle = self._metric_handles.get(metrics, "pkrs")
+            if handle is None:
+                handle = self._metric_handles.put(
+                    "pkrs",
+                    metrics.counter_handle("erebor_pkrs_toggles_total"))
+            handle.inc(2)
 
     @property
     def _active(self) -> bool:
@@ -138,7 +164,7 @@ class MonitorExitPath(ExitPath):
         self._charge_exit("pagefault", sandboxed=sandbox is not None,
                           sandbox=sandbox, task=task)
         self.clock.charge(Cost.INT_GATE_OVERHEAD, "int_gate")
-        self.clock.metrics.inc("erebor_pkrs_toggles_total", 2)
+        self._pkrs_toggle()
         if sandbox is not None:
             self.clock.count("sandbox_pf_exit")
             sandbox.stats["pf_exits"] += 1
@@ -154,7 +180,7 @@ class MonitorExitPath(ExitPath):
         self._charge_exit("irq", sandboxed=sandbox is not None,
                           sandbox=sandbox, task=task)
         self.clock.charge(Cost.INT_GATE_OVERHEAD, "int_gate")
-        self.clock.metrics.inc("erebor_pkrs_toggles_total", 2)
+        self._pkrs_toggle()
         if sandbox is not None:
             self.clock.count("sandbox_irq_exit")
             sandbox.stats["irq_exits"] += 1

@@ -153,7 +153,7 @@ class GateRig:
             for _ in range(5):
                 cpu.step()
         before = self.clock.cycles
-        with self.clock.tracer.span("gate:micro", cat="gate",
+        with self.clock.tracer.span("gate:micro", "gate",
                                     call=call_number, cpu=cpu.cpu_id):
             cpu.run(max_steps=10_000)
         after = self.clock.cycles

@@ -70,6 +70,11 @@ class Sandbox:
         self.kill_reason: str | None = None
         self._masked_depth = 0
         self.channel = None   # attached SecureChannel
+        #: fleet request trace ID this slot currently serves (None outside
+        #: fleet runs). Part of session state, not container state: every
+        #: scrub path (kill / cleanup / warm reset) clears it, so a trace
+        #: ID can never survive C8 slot reuse and leak across tenants.
+        self.trace_context = None
         #: §6.1 future work: monitor-handled (address-hiding) demand paging
         self.secure_paging = False
         #: per-sandbox Table 6 counters, maintained by the exit path
@@ -295,7 +300,7 @@ class Sandbox:
                 vma.prot &= ~PROT_WRITE
         self.state = "locked"
         monitor.clock.count("sandbox_lock")
-        monitor.clock.tracer.event("sandbox:lock", cat="sandbox",
+        monitor.clock.tracer.event("sandbox:lock", "sandbox",
                                    sandbox=self.sandbox_id)
         monitor.clock.metrics.set_gauge("erebor_sandbox_confined_bytes",
                                         self.confined_bytes,
@@ -310,22 +315,24 @@ class Sandbox:
         self.kill_reason = why
         clock = self.monitor.clock
         clock.count("sandbox_killed")
-        clock.tracer.event("sandbox:kill", cat="sandbox",
+        clock.tracer.event("sandbox:kill", "sandbox",
                            sandbox=self.sandbox_id, why=why)
         clock.metrics.inc("erebor_sandboxes_killed_total")
         self.monitor.audit("kill", f"sandbox #{self.sandbox_id}: {why}")
         clock.tracer.trigger("sandbox_kill",
                              f"sandbox #{self.sandbox_id}: {why}")
         self._scrub()
+        self.trace_context = None
         self.state = "dead"
 
     def cleanup(self) -> None:
         """Graceful session end: return results were sent; scrub (§6.3)."""
         if self.dead:
             return
-        self.monitor.clock.tracer.event("sandbox:cleanup", cat="sandbox",
+        self.monitor.clock.tracer.event("sandbox:cleanup", "sandbox",
                                         sandbox=self.sandbox_id)
         self._scrub()
+        self.trace_context = None
         self.state = "dead"
 
     def reset_for_reuse(self) -> None:
@@ -375,9 +382,10 @@ class Sandbox:
         self.output_queue.clear()
         self._masked_depth = 0
         self.channel = None
+        self.trace_context = None       # C8: no trace ID survives reuse
         self.state = "ready"
         monitor.clock.count("sandbox_warm_reset")
-        monitor.clock.tracer.event("sandbox:warm_reset", cat="sandbox",
+        monitor.clock.tracer.event("sandbox:warm_reset", "sandbox",
                                    sandbox=self.sandbox_id)
         monitor.clock.metrics.inc("erebor_sandbox_reuse_total",
                                   sandbox=str(self.sandbox_id))

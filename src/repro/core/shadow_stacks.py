@@ -67,7 +67,7 @@ class ShadowStackManager:
         kernel = monitor.kernel
         phys = monitor.phys
         aspace = kernel.kernel_aspace
-        with monitor.clock.tracer.span("emc:sst", cat="emc"):
+        with monitor.clock.tracer.span("emc:sst", "emc"):
             monitor.clock.charge(Cost.EMC_ROUND_TRIP + Cost.VALIDATE_MSR,
                                  "sst")
         monitor.clock.count("emc")

@@ -9,6 +9,9 @@ Examples::
     python -m repro.fleet --pool 1 --autoscale --pool-max 4 # demand-driven
     python -m repro.fleet --slo --flight-dump flight.json   # SLO + black box
     python -m repro.fleet --violate --flight-dump flight.json
+    python -m repro.fleet --trace-request client-2           # causal tree
+    python -m repro.fleet --trace-out trace.json --trace-digests d.json
+    python -m repro.fleet --hostprof hostprof.json           # host time
 
 The default export is the :class:`~repro.fleet.loadgen.FleetReport`
 JSON; ``--export bundle`` wraps the run in the full ``repro.obs`` export
@@ -26,6 +29,11 @@ import sys
 from .loadgen import run_fleet
 
 EXPORTS = ("report", "bundle")
+
+#: ring capacity when request tracing is requested — a traced fleet run
+#: emits hundreds of thousands of events (the default 1<<17 ring would
+#: drop the oldest sessions and every tree would read "incomplete")
+TRACE_RING_CAPACITY = 1 << 19
 
 
 def _write_flight(args, recorder) -> None:
@@ -91,6 +99,22 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--violate", action="store_true",
                         help="force a tenant-0 EMC-quota violation "
                              "(eviction) to exercise the trigger path")
+    parser.add_argument("--trace-request", default=None, metavar="ID",
+                        help="print one request's causal span tree "
+                             "(session name, trace ID, or unique prefix); "
+                             "arms the tracer")
+    parser.add_argument("--trace-out", default=None, metavar="PATH",
+                        help="write the per-request Chrome-trace view "
+                             "(one lane per request; with --trace-request, "
+                             "just that request's lane)")
+    parser.add_argument("--trace-digests", default=None, metavar="PATH",
+                        help="write the trace-id -> span-tree-digest JSON "
+                             "map (byte-identical across seeded reruns; "
+                             "the CI reqtrace smoke job diffs two runs)")
+    parser.add_argument("--hostprof", default=None, metavar="PATH",
+                        help="profile host wall-time by simulator "
+                             "subsystem during the run; write the report "
+                             "JSON to PATH (table goes to stderr)")
     parser.add_argument("--export", default="report", choices=EXPORTS,
                         dest="export_format",
                         help="'report' = fleet JSON; 'bundle' = full obs "
@@ -140,24 +164,50 @@ def main(argv: list[str] | None = None) -> int:
         pool_config=pool_config, admission=admission,
         slo=slo, anomaly=anomaly, flight=bool(args.flight_dump))
 
+    want_trace = any(flag is not None for flag in
+                     (args.trace_request, args.trace_out, args.trace_digests))
+    state: dict = {}
+
+    def execute():
+        """One instrumented (or plain) fleet run; fills ``state``."""
+        if args.export_format == "bundle" or want_trace:
+            from ..obs import install
+            from ..obs.trace import DEFAULT_CAPACITY
+
+            capacity = TRACE_RING_CAPACITY if want_trace else DEFAULT_CAPACITY
+
+            def instrument(machine) -> None:
+                tracer, registry = install(machine.clock, capacity=capacity,
+                                           flight=bool(args.flight_dump))
+                tracer.span("run:fleet", "run",
+                            workload=args.workload).__enter__()
+                state.update(tracer=tracer, registry=registry,
+                             clock=machine.clock)
+
+            report, system = run_fleet(instrument=instrument, **run_kwargs)
+            state["tracer"].finish()
+        else:
+            report, system = run_fleet(**run_kwargs)
+            state["clock"] = system.machine.clock
+        state["system"] = system
+        return report
+
+    if args.hostprof:
+        from ..obs.hostprof import profile_fleet
+        report, profiler = profile_fleet(execute)
+        with open(args.hostprof, "w") as fh:
+            json.dump(profiler.report(), fh, indent=2)
+            fh.write("\n")
+        print(profiler.render_table(), file=sys.stderr)
+        print(f"hostprof -> {args.hostprof}", file=sys.stderr)
+    else:
+        report = execute()
+
+    _write_flight(args, state["clock"].tracer)
+
     if args.export_format == "bundle":
-        from ..obs import install
         from ..obs.harness import ObservedRun, export_bundle
         from ..obs.schema import check_export
-
-        state: dict = {}
-
-        def instrument(machine) -> None:
-            tracer, registry = install(machine.clock,
-                                       flight=bool(args.flight_dump))
-            tracer.span("run:fleet", cat="run",
-                        workload=args.workload).__enter__()
-            state.update(tracer=tracer, registry=registry,
-                         clock=machine.clock)
-
-        report, _system = run_fleet(instrument=instrument, **run_kwargs)
-        state["tracer"].finish()
-        _write_flight(args, state["clock"].tracer)
         run = ObservedRun(args.workload, "fleet", state["tracer"],
                           state["registry"], None, state["clock"])
         bundle = export_bundle(run)
@@ -165,21 +215,50 @@ def main(argv: list[str] | None = None) -> int:
         check_export(bundle)                    # self-validate before emit
         text = json.dumps(bundle, indent=2)
     else:
-        report, _system = run_fleet(**run_kwargs)
-        _write_flight(args, _system.machine.clock.tracer)
         text = report.to_json()
 
+    trace_text = None
+    if want_trace:
+        from ..obs.reqtrace import RequestTraceIndex
+        tracer = state["tracer"]
+        if tracer.dropped:
+            print(f"warning: trace ring dropped {tracer.dropped} events; "
+                  "trees may read incomplete", file=sys.stderr)
+        index = RequestTraceIndex.from_tracer(tracer, names=report.traces)
+        if args.trace_digests:
+            with open(args.trace_digests, "w") as fh:
+                json.dump(index.digests(), fh, indent=2, sort_keys=True)
+                fh.write("\n")
+            print(f"trace digests ({len(index.ids())} requests) "
+                  f"-> {args.trace_digests}", file=sys.stderr)
+        if args.trace_out:
+            index.write_chrome_trace(args.trace_out, args.trace_request)
+            lanes = 1 if args.trace_request else len(index.ids())
+            print(f"chrome trace ({lanes} lane(s)) -> {args.trace_out}",
+                  file=sys.stderr)
+        if args.trace_request:
+            try:
+                trace_text = index.render_text(args.trace_request)
+            except KeyError as exc:
+                parser.error(str(exc.args[0]))
+
+    summary = (f"fleet/{args.workload}: {report.requests_served} "
+               f"requests on {report.n_cpus} core(s), "
+               f"{report.counts.get('admit', 0)} admitted, "
+               f"fork speedup {report.fork_speedup():.1f}x, "
+               f"digest {report.digest()[:16]}")
     if args.out:
         with open(args.out, "w") as fh:
             fh.write(text if text.endswith("\n") else text + "\n")
-        summary = (f"fleet/{args.workload}: {report.requests_served} "
-                   f"requests on {report.n_cpus} core(s), "
-                   f"{report.counts.get('admit', 0)} admitted, "
-                   f"fork speedup {report.fork_speedup():.1f}x, "
-                   f"digest {report.digest()[:16]} -> {args.out}")
-        print(summary, file=sys.stderr)
-    else:
+        print(summary + f" -> {args.out}", file=sys.stderr)
+    elif trace_text is None:
         sys.stdout.write(text if text.endswith("\n") else text + "\n")
+    else:
+        # --trace-request without --out: the span tree IS the requested
+        # output; the report summary still lands on stderr
+        print(summary, file=sys.stderr)
+    if trace_text is not None:
+        sys.stdout.write(trace_text + "\n")
     return 0
 
 

@@ -42,39 +42,63 @@ class AdmissionConfig:
 class Decision:
     action: str            # "admit" | "queue" | "reject"
     reason: str = ""
+    #: the request trace ID this decision ruled on (reqtrace) — lets a
+    #: rejected request be found in the trace index even though it never
+    #: reached a slot; "" for callers that pass none
+    trace_id: str = ""
 
 
 class AdmissionController:
-    """Pure, deterministic policy: same inputs, same decision, always."""
+    """Pure, deterministic policy: same inputs, same decision, always.
+
+    Besides the returned :class:`Decision`, every ruling is appended to
+    :attr:`log` — a deterministic, trace-aware audit trail (tenant,
+    action, reason, trace ID) that postmortems can join against the
+    request trace index. The log is derived state: it never feeds the
+    fleet report digest.
+    """
 
     def __init__(self, config: AdmissionConfig | None = None):
         self.config = config or AdmissionConfig()
+        self.log: list[tuple[str, str, str, str]] = []
 
     def quota_for(self, tenant: str) -> TenantQuota:
         return self.config.quotas.get(tenant, self.config.default_quota)
 
     def decide(self, tenant: str, *, requested_bytes: int,
                active: dict[str, tuple[int, int]], queued: int,
-               free_slots: int) -> Decision:
+               free_slots: int, trace_id: str = "") -> Decision:
         """One admission decision.
 
         ``active`` maps tenant -> (live sessions, confined bytes in use);
         ``queued`` is the current wait-queue depth; ``free_slots`` the
-        number of idle pool slots.
+        number of idle pool slots; ``trace_id`` (if the caller minted
+        one) is stamped onto the decision and the log entry.
         """
+        decision = self._rule(tenant, requested_bytes=requested_bytes,
+                              active=active, queued=queued,
+                              free_slots=free_slots, trace_id=trace_id)
+        self.log.append((tenant, decision.action, decision.reason,
+                         trace_id))
+        return decision
+
+    def _rule(self, tenant: str, *, requested_bytes: int,
+              active: dict[str, tuple[int, int]], queued: int,
+              free_slots: int, trace_id: str) -> Decision:
         quota = self.quota_for(tenant)
         if requested_bytes > quota.max_confined_bytes:
-            return Decision("reject", "memory-quota")
+            return Decision("reject", "memory-quota", trace_id)
         sessions, in_use = active.get(tenant, (0, 0))
         if sessions >= quota.max_active_sessions:
-            return self._backpressure(queued, "tenant-quota")
+            return self._backpressure(queued, "tenant-quota", trace_id)
         if in_use + requested_bytes > quota.max_confined_bytes:
-            return self._backpressure(queued, "memory-quota")
+            return self._backpressure(queued, "memory-quota", trace_id)
         if free_slots <= 0:
-            return self._backpressure(queued, "pool-exhausted")
-        return Decision("admit")
+            return self._backpressure(queued, "pool-exhausted", trace_id)
+        return Decision("admit", trace_id=trace_id)
 
-    def _backpressure(self, queued: int, why: str) -> Decision:
+    def _backpressure(self, queued: int, why: str,
+                      trace_id: str = "") -> Decision:
         if queued < self.config.queue_depth:
-            return Decision("queue", why)
-        return Decision("reject", "backpressure")
+            return Decision("queue", why, trace_id)
+        return Decision("reject", "backpressure", trace_id)

@@ -24,6 +24,7 @@ from ..apps.base import workload as make_workload
 from ..baselines.unikernel import UNIKERNEL_BASE_BYTES, unikernel_footprint
 from ..core.boot import erebor_boot
 from ..hw.cycles import CPU_FREQ_HZ
+from ..obs.trace import gc_batched_recording
 from ..vm import CvmMachine, MachineConfig, MIB
 from .admission import AdmissionConfig, AdmissionController
 from .pool import PoolConfig, WarmPool
@@ -103,6 +104,11 @@ class FleetReport:
     slo: dict = field(default_factory=dict)
     anomaly: dict = field(default_factory=dict)
     flight: dict = field(default_factory=dict)
+    #: session name → request trace ID (reqtrace); rides OUTSIDE the
+    #: digest preimage like the audit head: the IDs are deterministic
+    #: (seed+name) but adding them to `_base_dict` would invalidate every
+    #: historical pinned digest for zero information gain
+    traces: dict = field(default_factory=dict)
 
     @property
     def throughput_rps(self) -> float:
@@ -149,6 +155,8 @@ class FleetReport:
             out["anomaly"] = dict(self.anomaly)
         if self.flight:
             out["flight"] = dict(self.flight)
+        if self.traces:
+            out["traces"] = dict(self.traces)
         return out
 
     def _base_dict(self) -> dict:
@@ -239,28 +247,32 @@ def run_fleet(*, workload: str = "llama.cpp", clients: int = 4,
         system = erebor_boot(machine, cma_bytes=cma_bytes)
     clock = system.machine.clock
 
-    work = make_workload(workload, seed=seed, scale=scale)
-    template = SandboxTemplate.capture(system, work)
-    pool = WarmPool(system, template,
-                    pool_config or PoolConfig(size=pool_size,
-                                              low_watermark=low_watermark))
-    pool_size = len(pool.slots)
-    config = admission or AdmissionConfig(
-        queue_depth=queue_depth if queue_depth is not None else clients)
-    scheduler = FleetScheduler(system, pool, work,
-                               AdmissionController(config), n_cpus=n_cpus,
-                               slo=slo, anomaly=anomaly)
-    sessions = LoadGenerator(clients=clients, requests=requests,
-                             seed=seed, tenants=tenants).sessions()
+    # an armed recorder retains one tuple per record; batch the host
+    # collector for the duration so it doesn't rescan the ring hundreds
+    # of times (host-only tuning — no simulated state is touched)
+    with gc_batched_recording(clock.tracer.enabled):
+        work = make_workload(workload, seed=seed, scale=scale)
+        template = SandboxTemplate.capture(system, work)
+        pool = WarmPool(system, template,
+                        pool_config or PoolConfig(size=pool_size,
+                                                  low_watermark=low_watermark))
+        pool_size = len(pool.slots)
+        config = admission or AdmissionConfig(
+            queue_depth=queue_depth if queue_depth is not None else clients)
+        scheduler = FleetScheduler(system, pool, work,
+                                   AdmissionController(config), n_cpus=n_cpus,
+                                   slo=slo, anomaly=anomaly)
+        sessions = LoadGenerator(clients=clients, requests=requests,
+                                 seed=seed, tenants=tenants).sessions()
 
-    serve_t0 = clock.cycles
-    wall_t0 = clock.wall_cycles
-    busy_t0 = [clock.cpu_busy(c) for c in range(scheduler.n_cpus)]
-    finished = scheduler.run(sessions)
-    serve_cycles = clock.cycles - serve_t0
-    serve_wall_cycles = clock.wall_cycles - wall_t0
-    core_busy = [clock.cpu_busy(c) - busy_t0[c]
-                 for c in range(scheduler.n_cpus)]
+        serve_t0 = clock.cycles
+        wall_t0 = clock.wall_cycles
+        busy_t0 = [clock.cpu_busy(c) for c in range(scheduler.n_cpus)]
+        finished = scheduler.run(sessions)
+        serve_cycles = clock.cycles - serve_t0
+        serve_wall_cycles = clock.wall_cycles - wall_t0
+        core_busy = [clock.cpu_busy(c) - busy_t0[c]
+                     for c in range(scheduler.n_cpus)]
 
     usage = system.monitor.phys.usage_by_owner()
     template_bytes = sum(v for k, v in usage.items()
@@ -305,9 +317,16 @@ def run_fleet(*, workload: str = "llama.cpp", clients: int = 4,
         audit_events=system.monitor.audit_seq,
         slo=scheduler.slo.summary() if scheduler.slo else {},
         anomaly=scheduler.anomaly.summary() if scheduler.anomaly else {},
+        # every submitted session minted an ID (even rejected ones), so
+        # each report row resolves to its causal span tree by name
+        traces={s.name: s.trace_id for s in finished if s.trace_id},
     )
     recorder = clock.tracer
     if getattr(recorder, "dumps", None) is not None:
         report.flight = {"triggers": recorder.triggers,
                          "dumps": len(recorder.dumps)}
+    # postmortem handles: callers holding the system can inspect the
+    # drained pool's slots (scrub state) and the admission decision log
+    system.fleet_pool = pool
+    system.fleet_scheduler = scheduler
     return report, system

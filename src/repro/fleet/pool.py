@@ -146,7 +146,7 @@ class WarmPool:
             self._idle_rounds = 0
             self.clock.metrics.inc("erebor_fleet_pool_autoscale_total",
                                    want, direction="grow")
-            self.clock.tracer.event("fleet:pool_grow", cat="fleet",
+            self.clock.tracer.event("fleet:pool_grow", "fleet",
                                     forked=want, size=len(self.slots))
             self._gauges()
             return want
@@ -173,7 +173,7 @@ class WarmPool:
         slot.instance.sandbox.cleanup()
         self.clock.metrics.inc("erebor_fleet_pool_autoscale_total",
                                direction="shrink")
-        self.clock.tracer.event("fleet:pool_shrink", cat="fleet",
+        self.clock.tracer.event("fleet:pool_shrink", "fleet",
                                 slot=slot.index, size=len(self.slots))
         self._gauges()
 
@@ -217,7 +217,7 @@ class WarmPool:
             return
         frames_before = list(sandbox.confined_frames)
         t0 = self.clock.cycles
-        with self.clock.tracer.span("fleet:warm_reset", cat="fleet",
+        with self.clock.tracer.span("fleet:warm_reset", "fleet",
                                     sandbox=sandbox.sandbox_id):
             sandbox.reset_for_reuse()
             slot.instance.libos.end_session()
@@ -261,6 +261,6 @@ class WarmPool:
         self.scrub_verifications += 1
         self.clock.metrics.inc("erebor_fleet_scrub_verified_total",
                                sandbox=str(sandbox.sandbox_id))
-        self.clock.tracer.event("fleet:scrub_verified", cat="fleet",
+        self.clock.tracer.event("fleet:scrub_verified", "fleet",
                                 sandbox=sandbox.sandbox_id,
                                 frames=len(scan))

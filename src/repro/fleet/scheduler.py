@@ -33,6 +33,7 @@ from ..core.boot import published_measurement
 from ..core.channel import SecureChannel, UntrustedProxy
 from ..core.mitigations import MitigationConfig
 from ..obs.metrics import EwmaDetector, WindowedHistogram
+from ..obs.reqtrace import mint_trace_id
 from .admission import AdmissionController, Decision
 from .pool import PoolSlot, WarmPool
 
@@ -63,6 +64,11 @@ class ClientSession:
     _t0: int = 0
     #: serial-clock cycle the session was submitted (SLO queue-wait base)
     submit_cycle: int = 0
+    #: deterministic request trace ID minted at admission (reqtrace).
+    #: Deliberately NOT part of :meth:`summary`: the report digest
+    #: preimage must stay byte-identical whether tracing is armed or not,
+    #: so IDs ride in ``FleetReport.to_dict()["traces"]`` outside it.
+    trace_id: str = ""
 
     def summary(self) -> dict:
         return {
@@ -147,19 +153,25 @@ class SloMonitor:
             return
         self.clock.metrics.inc("erebor_fleet_slo_breaches_total",
                                tenant=tenant, metric=metric)
+        # the request whose sample crossed the line is the exemplar: the
+        # on-call flow resolves it to a full causal span tree (reqtrace)
+        trace_id = self.clock.tracer.current_trace or ""
+        self.clock.metrics.exemplar("erebor_fleet_slo_breaches_total",
+                                    trace_id, tenant=tenant, metric=metric)
         if key in self._breached:
             return
         self._breached.add(key)
         breach = {"tenant": tenant, "metric": metric, "quantile": label,
                   "observed": observed, "threshold": threshold,
-                  "cycle": cycle}
+                  "cycle": cycle, "trace_id": trace_id}
         self.breaches.append(breach)
-        self.clock.tracer.event("slo:breach", cat="slo", tenant=tenant,
+        self.clock.tracer.event("slo:breach", "slo", tenant=tenant,
                                 metric=metric, quantile=label,
                                 observed=observed, threshold=threshold)
         self.clock.tracer.trigger(
             "slo_breach",
-            f"{tenant}/{metric} {label}={observed} > {threshold}")
+            f"{tenant}/{metric} {label}={observed} > {threshold}"
+            + (f" [trace {trace_id}]" if trace_id else ""))
 
     def summary(self) -> dict:
         return {"samples": self.samples,
@@ -221,7 +233,7 @@ class AnomalyMonitor:
                             "value": value,
                             "baseline": round(det.mean, 6),
                             "cycle": self.clock.cycles})
-        self.clock.tracer.event("anomaly:alert", cat="anomaly",
+        self.clock.tracer.event("anomaly:alert", "anomaly",
                                 tenant=tenant, metric=metric, value=value,
                                 baseline=round(det.mean, 6))
         self.clock.metrics.inc("erebor_fleet_anomalies_total",
@@ -230,7 +242,7 @@ class AnomalyMonitor:
             router = self.monitor.mitigation_router()
             router.arm(tenant, self.config.mitigation)
             self.armed.append(tenant)
-            self.clock.tracer.event("anomaly:arm", cat="anomaly",
+            self.clock.tracer.event("anomaly:arm", "anomaly",
                                     tenant=tenant, metric=metric)
             self.monitor.audit(
                 "anomaly", f"armed §12 mitigations for tenant {tenant} "
@@ -295,32 +307,46 @@ class FleetScheduler:
         return per
 
     def submit(self, session: ClientSession) -> Decision:
-        """Route one session: admit to a slot, queue it, or turn it away."""
+        """Route one session: admit to a slot, queue it, or turn it away.
+
+        Admission is where the session's request trace ID is minted —
+        deterministically, from the session's seed and name, whether or
+        not a tracer is armed — and bound over the decision, so the
+        causal tree starts at the very first thing that happened to the
+        request.
+        """
         session.submit_cycle = self.clock.cycles
-        with self.clock.tracer.span("fleet:admit", cat="fleet",
+        if not session.trace_id:
+            session.trace_id = mint_trace_id(session.seed, session.name)
+        with self.clock.tracer.bind(session.trace_id):
+            with self.clock.tracer.span("fleet:admit", "fleet",
+                                        session=session.name,
+                                        tenant=session.tenant):
+                decision = self.controller.decide(
+                    session.tenant,
+                    requested_bytes=self.pool.template.confined_bytes,
+                    active=self._active_by_tenant(),
+                    queued=len(self.queue),
+                    free_slots=len(self.pool.free_slots()),
+                    trace_id=session.trace_id)
+            self.counts[decision.action] = \
+                self.counts.get(decision.action, 0) + 1
+            metrics = self.clock.metrics
+            metrics.inc("erebor_fleet_admissions_total",
+                        action=decision.action, tenant=session.tenant)
+            self.clock.tracer.event(f"fleet:{decision.action}", "fleet",
                                     session=session.name,
-                                    tenant=session.tenant):
-            decision = self.controller.decide(
-                session.tenant,
-                requested_bytes=self.pool.template.confined_bytes,
-                active=self._active_by_tenant(),
-                queued=len(self.queue),
-                free_slots=len(self.pool.free_slots()))
-        self.counts[decision.action] = self.counts.get(decision.action, 0) + 1
-        metrics = self.clock.metrics
-        metrics.inc("erebor_fleet_admissions_total",
-                    action=decision.action, tenant=session.tenant)
-        self.clock.tracer.event(f"fleet:{decision.action}", cat="fleet",
-                                session=session.name, tenant=session.tenant,
-                                reason=decision.reason)
-        if decision.action == "admit":
-            self._start(session)
-        elif decision.action == "queue":
-            session.reason = decision.reason
-            self.queue.append(session)
-            metrics.set_gauge("erebor_fleet_queue_depth", len(self.queue))
-        else:
-            self._reject(session, decision.reason)
+                                    tenant=session.tenant,
+                                    reason=decision.reason)
+            if decision.action == "admit":
+                self._start(session)
+            elif decision.action == "queue":
+                session.reason = decision.reason
+                self.queue.append(session)
+                metrics.set_gauge("erebor_fleet_queue_depth",
+                                  len(self.queue))
+            else:
+                self._reject(session, decision.reason)
         return decision
 
     def _reject(self, session: ClientSession, reason: str) -> None:
@@ -340,6 +366,10 @@ class FleetScheduler:
             key=lambda c: (len(self.cores[c]), self.clock.cpu_cycles(c), c))
 
     def _start(self, session: ClientSession) -> None:
+        with self.clock.tracer.bind(session.trace_id or None):
+            self._start_bound(session)
+
+    def _start_bound(self, session: ClientSession) -> None:
         slot = self.pool.acquire()
         assert slot is not None, "admission admitted with no free slot"
         core = self._place()
@@ -351,6 +381,9 @@ class FleetScheduler:
         # the sandbox carries its tenant so per-tenant mitigation routing
         # (and any future tenant-keyed policy) can see it on the exit path
         slot.instance.sandbox.tenant = session.tenant
+        # ... and the request trace context, so channel-side records and
+        # the AEAD trace binding see it; scrub-on-release clears it (C8)
+        slot.instance.sandbox.trace_context = session.trace_id or None
         if self.slo is not None:
             self.slo.observe(session.tenant, "queue_wait",
                              self.clock.cycles - session.submit_cycle)
@@ -366,11 +399,14 @@ class FleetScheduler:
             channel = SecureChannel(self.monitor, slot.instance.sandbox)
             client = RemoteClient(self.system.machine.authority,
                                   published_measurement(), seed=session.seed)
+            # both ends of the sealed channel authenticate the same trace
+            # context (AEAD associated data): a mismatch fails open()
+            client.trace_context = session.trace_id or None
             client.connect(self.proxy, channel)
         session.channel, session.client = channel, client
         self.active.append(session)
         self.cores[core].append(session)
-        self.clock.tracer.event("fleet:session_start", cat="fleet",
+        self.clock.tracer.event("fleet:session_start", "fleet",
                                 session=session.name,
                                 sandbox=slot.instance.sandbox.sandbox_id,
                                 start_kind=session.start_kind, core=core)
@@ -396,13 +432,17 @@ class FleetScheduler:
                 self._drain_queue()
 
     def _step_session(self, session: ClientSession) -> None:
+        with self.clock.tracer.bind(session.trace_id or None):
+            self._step_session_bound(session)
+
+    def _step_session_bound(self, session: ClientSession) -> None:
         instance = session.slot.instance
         payload = session.payloads[session.served]
         core = session.core
         t0 = self.clock.cycles
         emc0 = self.clock.cpu_events(core).get("emc", 0)
         exits0 = self.clock.cpu_events(core).get("sandbox_exit", 0)
-        with self.clock.tracer.span("fleet:request", cat="fleet",
+        with self.clock.tracer.span("fleet:request", "fleet",
                                     session=session.name,
                                     tenant=session.tenant,
                                     index=session.served, core=core):
@@ -464,7 +504,7 @@ class FleetScheduler:
         session.reason = "emc-quota"
         sandbox = session.slot.instance.sandbox
         self._finalize(session, "evicted")
-        self.clock.tracer.event("fleet:evict", cat="fleet",
+        self.clock.tracer.event("fleet:evict", "fleet",
                                 session=session.name, tenant=session.tenant,
                                 emc=request_emc)
         self.clock.metrics.inc("erebor_fleet_evictions_total",
@@ -477,7 +517,7 @@ class FleetScheduler:
 
     def _finish(self, session: ClientSession, outcome: str) -> None:
         self._finalize(session, outcome)
-        self.clock.tracer.event("fleet:session_end", cat="fleet",
+        self.clock.tracer.event("fleet:session_end", "fleet",
                                 session=session.name, outcome=outcome)
         # the scrub + verify on release is the departing session's cost:
         # it runs on the core that served it
@@ -494,29 +534,38 @@ class FleetScheduler:
         started or parked on the survivors list (order preserved). The
         sweep visits every session at most once per drain — O(queue) —
         instead of rescanning the whole list after every admission.
+
+        Drains run inside the *finishing* session's trace binding
+        (``_finish``/``_evict`` call here), so the sweep first clears the
+        context — a dequeued session's bring-up must never inherit the
+        departing request's trace ID — then rebinds per session.
         """
-        if self.queue and self.pool.free_slots():
-            survivors: deque[ClientSession] = deque()
-            while self.queue:
-                session = self.queue.popleft()
-                if not self.pool.free_slots():
-                    survivors.append(session)
-                    continue
-                decision = self.controller.decide(
-                    session.tenant,
-                    requested_bytes=self.pool.template.confined_bytes,
-                    active=self._active_by_tenant(),
-                    queued=0,                 # already queued: re-admission
-                    free_slots=len(self.pool.free_slots()))
-                if decision.action == "admit":
-                    self.clock.tracer.event("fleet:dequeue", cat="fleet",
-                                            session=session.name)
-                    self._start(session)
-                else:
-                    survivors.append(session)
-            self.queue = survivors
-        self.clock.metrics.set_gauge("erebor_fleet_queue_depth",
-                                     len(self.queue))
+        with self.clock.tracer.bind(None):
+            if self.queue and self.pool.free_slots():
+                survivors: deque[ClientSession] = deque()
+                while self.queue:
+                    session = self.queue.popleft()
+                    if not self.pool.free_slots():
+                        survivors.append(session)
+                        continue
+                    decision = self.controller.decide(
+                        session.tenant,
+                        requested_bytes=self.pool.template.confined_bytes,
+                        active=self._active_by_tenant(),
+                        queued=0,             # already queued: re-admission
+                        free_slots=len(self.pool.free_slots()),
+                        trace_id=session.trace_id)
+                    if decision.action == "admit":
+                        with self.clock.tracer.bind(session.trace_id
+                                                    or None):
+                            self.clock.tracer.event("fleet:dequeue", "fleet",
+                                                    session=session.name)
+                        self._start(session)
+                    else:
+                        survivors.append(session)
+                self.queue = survivors
+            self.clock.metrics.set_gauge("erebor_fleet_queue_depth",
+                                         len(self.queue))
 
     # ------------------------------------------------------------------ #
     # top-level drive

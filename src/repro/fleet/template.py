@@ -93,7 +93,7 @@ class SandboxTemplate:
         manifest = work.manifest()
         name = name or f"{manifest.name}-template"
         t0 = clock.cycles
-        with clock.tracer.span("fleet:capture", cat="fleet", template=name):
+        with clock.tracer.span("fleet:capture", "fleet", template=name):
             libos = LibOs.boot_sandboxed(
                 system, manifest,
                 confined_budget=manifest.heap_bytes + 2 * MIB)
@@ -139,7 +139,7 @@ class SandboxTemplate:
         self.forks += 1
         name = name or f"{self.name}-fork{self.forks}"
         t0 = clock.cycles
-        with clock.tracer.span("fleet:fork", cat="fleet",
+        with clock.tracer.span("fleet:fork", "fleet",
                                template=self.name, child=name):
             sandbox = system.monitor.create_sandbox(
                 name, confined_budget=self.confined_bytes,

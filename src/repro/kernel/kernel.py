@@ -28,7 +28,7 @@ from ..hw.errors import PageFault
 from ..hw.memory import PAGE_SHIFT, PAGE_SIZE, PhysicalMemory, pages_for
 from ..hw.mmu import USER_MODE, AccessContext
 from ..hw.paging import PTE_NX, PTE_P, PTE_U, PTE_W, AddressSpace, make_pte
-from ..obs.metrics import sandbox_label
+from ..obs.metrics import HandleCache, sandbox_label
 from ..tdx.module import TdxModule, VMCALL_IO
 from .net import NetStack
 from .ops import NativeOps, PrivilegedOps
@@ -49,6 +49,12 @@ VE_VECTOR = 20
 PF_VECTOR = 14
 
 DEFAULT_HZ = 1000
+
+#: interned trace-record names for the kernel's hot paths — dispatch
+#: runs tens of thousands of times per fleet run and must not mint a
+#: fresh f-string per record (name cardinality is a few dozen)
+_SYSCALL_SPAN_NAMES: dict[str, str] = {}
+_VE_EVENT_NAMES: dict[str, str] = {}
 
 
 class ExitPath:
@@ -112,6 +118,9 @@ class GuestKernel:
 
         self.tick_period = CPU_FREQ_HZ // self.config.hz
         self._next_tick = clock.cycles + self.tick_period
+        #: pre-resolved metric write handles for the kernel's hot paths
+        #: (ticks, #VE, page faults, syscalls), keyed by label values
+        self._metric_handles = HandleCache()
         #: callables invoked on every timer tick (system-activity drivers)
         self.tick_hooks: list = []
         self._ticks_on_current = 0
@@ -227,9 +236,15 @@ class GuestKernel:
             self._timer_tick()
 
     def _timer_tick(self) -> None:
-        with self.clock.tracer.span("irq:timer", cat="irq"):
+        with self.clock.tracer.span("irq:timer", "irq"):
             self._timer_tick_body()
-        self.clock.metrics.inc("kernel_timer_ticks_total")
+        metrics = self.clock.metrics
+        if metrics.enabled:
+            ticks = self._metric_handles.get(metrics, "ticks")
+            if ticks is None:
+                ticks = self._metric_handles.put(
+                    "ticks", metrics.counter_handle("kernel_timer_ticks_total"))
+            ticks.inc()
 
     def _timer_tick_body(self) -> None:
         task = self.current
@@ -249,11 +264,22 @@ class GuestKernel:
         if task is not None:
             self.exit_path.on_interrupt_return(task, TIMER_VECTOR)
 
+    def _count_ve(self, reason: str) -> None:
+        """Bump ``kernel_ve_total{reason=...}`` through a cached handle."""
+        metrics = self.clock.metrics
+        if metrics.enabled:
+            handle = self._metric_handles.get(metrics, ("ve", reason))
+            if handle is None:
+                handle = self._metric_handles.put(
+                    ("ve", reason),
+                    metrics.counter_handle("kernel_ve_total", reason=reason))
+            handle.inc()
+
     def _host_emulated_msr_write(self, msr: int, value: int) -> None:
         """A wrmsr the host must emulate: #VE, then a GHCI exit."""
         self.clock.count("ve")
-        self.clock.tracer.event("ve:wrmsr", cat="ve", msr=msr)
-        self.clock.metrics.inc("kernel_ve_total", reason="wrmsr")
+        self.clock.tracer.event("ve:wrmsr", "ve", msr=msr)
+        self._count_ve("wrmsr")
         self.clock.charge(Cost.EXC_DELIVERY + Cost.IRET, "ve")
         self.exit_path.on_ve(self.current, "wrmsr")
         if self.tdx is not None:
@@ -270,8 +296,12 @@ class GuestKernel:
     def _ve_py_handler(self, cpu, vector, fault) -> None:
         self.clock.count("ve")
         reason = getattr(fault, "exit_reason", "")
-        self.clock.tracer.event(f"ve:{reason or 'unknown'}", cat="ve")
-        self.clock.metrics.inc("kernel_ve_total", reason=reason or "unknown")
+        label = reason or "unknown"
+        name = _VE_EVENT_NAMES.get(label)
+        if name is None:
+            name = _VE_EVENT_NAMES[label] = f"ve:{label}"
+        self.clock.tracer.event(name, "ve")
+        self._count_ve(label)
         self.exit_path.on_ve(self.current, reason)
 
     def raise_ve_interposition(self) -> None:
@@ -281,8 +311,8 @@ class GuestKernel:
     def simulate_device_ve(self) -> None:
         """One host-device notification (virtio doorbell) #VE + GHCI exit."""
         self.clock.count("ve")
-        self.clock.tracer.event("ve:io", cat="ve")
-        self.clock.metrics.inc("kernel_ve_total", reason="io")
+        self.clock.tracer.event("ve:io", "ve")
+        self._count_ve("io")
         self.clock.charge(Cost.EXC_DELIVERY + Cost.IRET, "ve")
         self.exit_path.on_ve(self.current, "io")
         if self.tdx is not None:
@@ -320,10 +350,18 @@ class GuestKernel:
 
     def handle_page_fault(self, task: Task, va: int, write: bool) -> None:
         """The demand-paging slow path."""
-        with self.clock.tracer.span("pagefault", cat="fault"):
+        with self.clock.tracer.span("pagefault", "fault"):
             self._handle_page_fault(task, va, write)
-        self.clock.metrics.inc("kernel_page_faults_total",
-                               sandbox=sandbox_label(task))
+        metrics = self.clock.metrics
+        if metrics.enabled:
+            owner = sandbox_label(task)
+            handle = self._metric_handles.get(metrics, ("pf", owner))
+            if handle is None:
+                handle = self._metric_handles.put(
+                    ("pf", owner),
+                    metrics.counter_handle("kernel_page_faults_total",
+                                           sandbox=owner))
+            handle.inc()
 
     def _handle_page_fault(self, task: Task, va: int, write: bool) -> None:
         self.clock.count("page_fault")
@@ -420,7 +458,10 @@ class GuestKernel:
         from . import syscalls
         clock = self.clock
         start = clock.cycles
-        with clock.tracer.span(f"syscall:{name}", cat="syscall"):
+        span_name = _SYSCALL_SPAN_NAMES.get(name)
+        if span_name is None:
+            span_name = _SYSCALL_SPAN_NAMES[name] = f"syscall:{name}"
+        with clock.tracer.span(span_name, "syscall"):
             clock.charge(Cost.SYSCALL_ROUND_TRIP, "syscall")
             clock.count("syscall")
             self.exit_path.on_syscall(task, name)
@@ -431,8 +472,16 @@ class GuestKernel:
             self.pump()
         metrics = clock.metrics
         if metrics.enabled:
-            metrics.inc("kernel_syscalls_total", name=name,
-                        sandbox=sandbox_label(task))
-            metrics.observe("kernel_syscall_cycles", clock.cycles - start,
-                            name=name)
+            owner = sandbox_label(task)
+            handles = self._metric_handles.get(metrics, ("sys", name, owner))
+            if handles is None:
+                handles = self._metric_handles.put(("sys", name, owner), (
+                    metrics.counter_handle("kernel_syscalls_total",
+                                           name=name, sandbox=owner),
+                    metrics.histogram_handle("kernel_syscall_cycles",
+                                             name=name),
+                ))
+            calls, cycles_hist = handles
+            calls.inc()
+            cycles_hist.observe(clock.cycles - start)
         return result

@@ -20,6 +20,10 @@ from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Callable
 
 from ..kernel.process import PROT_READ, PROT_WRITE
+from ..obs.metrics import HandleCache
+
+#: interned ``libos:<name>`` span names shared by every shim instance
+_SHIM_SPAN_NAMES: dict[str, str] = {}
 
 if TYPE_CHECKING:
     from .libos import LibOs
@@ -54,6 +58,7 @@ class SyscallShim:
     def __init__(self, libos: "LibOs"):
         self.libos = libos
         self.stats = ShimStats()
+        self._metric_handles = HandleCache()
         self._table: dict[str, Callable] = {}
         for name in dir(self):
             if name.startswith("sys_"):
@@ -70,10 +75,20 @@ class SyscallShim:
         self.stats.emulated += 1
         self.stats.by_name[name] = self.stats.by_name.get(name, 0) + 1
         clock = self.libos.kernel.clock
-        with clock.tracer.span(f"libos:{name}", cat="libos"):
+        span_name = _SHIM_SPAN_NAMES.get(name)
+        if span_name is None:
+            span_name = _SHIM_SPAN_NAMES[name] = f"libos:{name}"
+        with clock.tracer.span(span_name, "libos"):
             self.libos.charge_emulated_call()
             result = handler(*args, **kwargs)
-        clock.metrics.inc("libos_calls_total", name=name)
+        metrics = clock.metrics
+        if metrics.enabled:
+            handle = self._metric_handles.get(metrics, name)
+            if handle is None:
+                handle = self._metric_handles.put(
+                    name, metrics.counter_handle("libos_calls_total",
+                                                 name=name))
+            handle.inc()
         return result
 
     # ------------------------------------------------------------------ #

@@ -14,6 +14,14 @@ stack. Four pieces:
   ``trace_event`` output (loads directly in Perfetto).
 * :mod:`repro.obs.profile` — collapsed flamegraph stacks attributing
   every simulated cycle to a call path.
+* :mod:`repro.obs.reqtrace` — request-scoped causal tracing: one
+  deterministic trace ID per fleet session, bound through every layer,
+  rebuilt into per-request span trees (text tree / one-lane-per-request
+  Chrome trace / seeded-run-stable digests).
+* :mod:`repro.obs.hostprof` — host wall-clock attribution (the one
+  deliberate D1 exemption): where real seconds go — fetch/decode, MMU
+  walks, EMC dispatch, tracer emit, crypto — as a ranked table and
+  collapsed-stack flamegraph.
 
 Observability *reads* the clock and never charges it: enabling a tracer
 changes no calibrated number (empty EMC stays 1224 cycles, empty syscall
@@ -66,12 +74,14 @@ from .trace import (
 
 __all__ = [
     "AUDIT", "DEFAULT_BUCKETS", "DEFAULT_CAPACITY", "EwmaDetector",
-    "FlightConfig", "FlightDump", "FlightRecorder", "INSTANT",
-    "MetricsRegistry", "NULL_METRICS", "NULL_TRACER", "NullMetrics",
-    "NullTracer", "RingBuffer", "SPAN", "TraceEvent", "Tracer",
-    "WindowedHistogram", "chrome_trace", "check_chrome_trace",
-    "check_export", "check_flight_dump", "collapsed_stacks", "hotspots",
-    "install", "label_key", "parse_label_key", "profile_report",
+    "FlightConfig", "FlightDump", "FlightRecorder", "HostProfiler",
+    "INSTANT", "MetricsRegistry", "NULL_METRICS", "NULL_TRACER",
+    "NullMetrics", "NullTracer", "RequestTraceIndex", "RingBuffer",
+    "SPAN", "TraceEvent", "Tracer", "WindowedHistogram", "chrome_trace",
+    "check_chrome_trace", "check_export", "check_flight_dump",
+    "check_hostprof_report", "check_request_trace", "collapsed_stacks",
+    "hotspots", "install", "label_key", "mint_trace_id",
+    "parse_label_key", "profile_fleet", "profile_report",
     "prometheus_text", "run_observed", "sandbox_label",
     "snapshot_counter_total", "snapshot_delta", "total_attributed",
     "trace_json", "uninstall", "utilization_timeline",
@@ -91,11 +101,17 @@ _LAZY = {
     "check_export": ("schema", "check_export"),
     "check_chrome_trace": ("schema", "check_chrome_trace"),
     "check_flight_dump": ("schema", "check_flight_dump"),
+    "check_request_trace": ("schema", "check_request_trace"),
+    "check_hostprof_report": ("schema", "check_hostprof_report"),
     "run_observed": ("harness", "run_observed"),
     "FlightConfig": ("flight", "FlightConfig"),
     "FlightDump": ("flight", "FlightDump"),
     "FlightRecorder": ("flight", "FlightRecorder"),
     "utilization_timeline": ("flight", "utilization_timeline"),
+    "RequestTraceIndex": ("reqtrace", "RequestTraceIndex"),
+    "mint_trace_id": ("reqtrace", "mint_trace_id"),
+    "HostProfiler": ("hostprof", "HostProfiler"),
+    "profile_fleet": ("hostprof", "profile_fleet"),
 }
 
 

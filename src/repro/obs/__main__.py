@@ -7,6 +7,7 @@ Examples::
     python -m repro.obs --workload helloworld --export prometheus
     python -m repro.obs --workload helloworld --export collapsed
     python -m repro.obs flight --workload helloworld -o flight.json
+    python -m repro.obs hostprof --workload helloworld -o hostprof.json
     python -m repro.obs --list
 
 The ``json`` export is the full bundle (meta + trace + metrics + profile)
@@ -44,9 +45,13 @@ def main(argv: list[str] | None = None) -> int:
         description="Run a workload under full observability and export "
                     "traces, metrics, and cycle profiles.")
     parser.add_argument("mode", nargs="?", default=None,
-                        choices=("flight",),
+                        choices=("flight", "hostprof"),
                         help="'flight': run under the flight recorder and "
-                             "emit its black-box dump(s)")
+                             "emit its black-box dump(s); 'hostprof': run "
+                             "under the host wall-clock profiler and emit "
+                             "the ranked attribution table (--export json "
+                             "for the full report, collapsed for flamegraph "
+                             "stacks)")
     parser.add_argument("--workload", default="helloworld",
                         help="workload name (see --list)")
     parser.add_argument("--setting", default="erebor", choices=SETTINGS,
@@ -76,6 +81,33 @@ def main(argv: list[str] | None = None) -> int:
     if args.workload not in names:
         parser.error(f"unknown workload {args.workload!r}; "
                      f"pick from {', '.join(names)}")
+
+    if args.mode == "hostprof":
+        from .hostprof import profile_fleet
+        from .schema import check_hostprof_report
+
+        run, profiler = profile_fleet(
+            lambda: run_observed(args.workload, args.setting,
+                                 scale=args.scale, seed=args.seed,
+                                 capacity=args.capacity))
+        if args.export_format == "collapsed":
+            text = profiler.collapsed() + "\n"
+        elif args.export_format == "json":
+            report = profiler.report()
+            check_hostprof_report(report)       # self-validate before emit
+            text = json.dumps(report, indent=2)
+        else:
+            text = profiler.render_table() + "\n"
+        if args.out:
+            with open(args.out, "w") as fh:
+                fh.write(text)
+            print(f"{args.workload}/{args.setting}: hostprof window "
+                  f"{profiler.window_s:.3f}s, coverage "
+                  f"{profiler.coverage() * 100:.1f}% -> {args.out}",
+                  file=sys.stderr)
+        else:
+            sys.stdout.write(text)
+        return 0
 
     run = run_observed(args.workload, args.setting, scale=args.scale,
                        seed=args.seed, capacity=args.capacity,

@@ -50,6 +50,8 @@ def chrome_trace(tracer: Tracer, *, pid: int = 1, tid: int = 1,
     for e in tracer.events:
         args = dict(e.args)
         args["cycles_begin"] = e.begin
+        if e.trace is not None:            # bound request trace ID
+            args["trace"] = e.trace
         record = {
             "name": e.name,
             "cat": e.cat or "trace",
@@ -140,13 +142,21 @@ def prometheus_text(registry: MetricsRegistry,
         lines.append(f"erebor_obs_trace_dropped_events_total "
                      f"{tracer.dropped}")
 
+    exemplars = getattr(registry, "exemplars", {})
+
     for name in sorted(registry.counters):
         if name in help_texts:
             lines.append(f"# HELP {name} {help_texts[name]}")
         lines.append(f"# TYPE {name} counter")
         for key in sorted(registry.counters[name]):
-            lines.append(f"{name}{_fmt_labels(key)} "
-                         f"{_fmt_value(registry.counters[name][key])}")
+            line = (f"{name}{_fmt_labels(key)} "
+                    f"{_fmt_value(registry.counters[name][key])}")
+            exemplar = exemplars.get(name, {}).get(key)
+            if exemplar:
+                # OpenMetrics exemplar: name one offending request so the
+                # series links back to its causal span tree (reqtrace)
+                line += f' # {{trace_id="{_escape(exemplar)}"}} 1'
+            lines.append(line)
 
     for name in sorted(registry.gauges):
         if name in help_texts:

@@ -54,7 +54,7 @@ def run_observed(workload: str = "helloworld", setting: str = "erebor", *,
                                    capacity=capacity, flight=flight)
         if tracer.enabled:
             # keep the root span open for the whole run; finish() closes it
-            tracer.span(f"run:{workload}", cat="run",
+            tracer.span(f"run:{workload}", "run",
                         setting=setting).__enter__()
         state["tracer"] = tracer
         state["registry"] = registry

@@ -18,6 +18,7 @@ from __future__ import annotations
 
 import copy
 import math
+from bisect import bisect_left
 
 #: default histogram bucket upper bounds (simulated cycles)
 DEFAULT_BUCKETS = (250, 700, 1300, 2500, 5000, 10_000, 30_000,
@@ -28,11 +29,32 @@ DEFAULT_WINDOW_CYCLES = 1_000_000
 DEFAULT_WINDOWS = 4
 
 
+#: (label items, in call-site order) → canonical key. Bounded: label
+#: cardinality is small by design (tenants, sandboxes, exit classes);
+#: the cap only guards against a pathological unbounded-label caller.
+_KEY_CACHE: dict[tuple, str] = {}
+_KEY_CACHE_MAX = 4096
+
+
 def label_key(labels: dict) -> str:
-    """Canonical series key for a label dict: ``"k=v,k2=v2"`` sorted."""
+    """Canonical series key for a label dict: ``"k=v,k2=v2"`` sorted.
+
+    The hot path of every counter increment — a fleet run computes
+    hundreds of thousands of keys from a few dozen distinct label sets,
+    so the sorted join is memoized on the (insertion-ordered) items
+    tuple. Two call sites passing the same labels in different kwarg
+    order miss each other's cache line but still canonicalize to the
+    same key.
+    """
     if not labels:
         return ""
-    return ",".join(f"{k}={v}" for k, v in sorted(labels.items()))
+    items = tuple(labels.items())
+    key = _KEY_CACHE.get(items)
+    if key is None:
+        key = ",".join(f"{k}={v}" for k, v in sorted(items))
+        if len(_KEY_CACHE) < _KEY_CACHE_MAX:
+            _KEY_CACHE[items] = key
+    return key
 
 
 def parse_label_key(key: str) -> dict:
@@ -50,11 +72,103 @@ def labels_match(key: str, match: dict) -> bool:
     return all(labels.get(k) == str(v) for k, v in match.items())
 
 
+class CounterHandle:
+    """Pre-resolved writer for one counter series.
+
+    The kwargs form (:meth:`MetricsRegistry.inc`) builds a label dict
+    and canonicalizes it on every call; a handle does that resolution
+    once, so instrumented hot paths (the EMC gate charges three series
+    per round trip, ~100k times per fleet run) pay one dict update per
+    write and allocate nothing.
+    """
+
+    __slots__ = ("_series", "_key")
+
+    def __init__(self, series: dict, key: str):
+        self._series = series
+        self._key = key
+
+    def inc(self, value: float = 1) -> None:
+        series = self._series
+        key = self._key
+        series[key] = series.get(key, 0) + value
+
+
+class HistogramHandle:
+    """Pre-resolved writer for one histogram series (see CounterHandle)."""
+
+    __slots__ = ("_hist", "_bounds", "_buckets", "_n")
+
+    def __init__(self, hist: dict):
+        self._hist = hist
+        self._bounds = hist["bounds"]
+        self._buckets = hist["buckets"]
+        self._n = len(self._bounds)
+
+    def observe(self, value: float) -> None:
+        i = bisect_left(self._bounds, value)
+        if i < self._n:
+            self._buckets[i] += 1
+        hist = self._hist
+        hist["sum"] += value
+        hist["count"] += 1
+
+
+class _NullHandle:
+    """Write handle of the disabled registry (shared no-op singleton)."""
+
+    __slots__ = ()
+
+    def inc(self, value: float = 1) -> None:
+        return None
+
+    def observe(self, value: float) -> None:
+        return None
+
+
+NULL_HANDLE = _NullHandle()
+
+
+class HandleCache:
+    """Per-instrumentation-site cache of pre-resolved write handles.
+
+    Handles bind dicts inside one concrete registry, so a cache must be
+    invalidated when the machine's registry identity changes (e.g.
+    :func:`repro.obs.install` arming a fresh registry mid-life). Call
+    sites do ``handles = cache.get(metrics, key)`` and on a miss build
+    the handle tuple and :meth:`put` it; the identity guard is one
+    ``is`` check per lookup.
+    """
+
+    __slots__ = ("_metrics", "_handles")
+
+    def __init__(self):
+        self._metrics = None
+        self._handles: dict = {}
+
+    def get(self, metrics, key):
+        if self._metrics is not metrics:
+            self._metrics = metrics
+            self._handles.clear()
+        return self._handles.get(key)
+
+    def put(self, key, handles):
+        self._handles[key] = handles
+        return handles
+
+
+_SANDBOX_LABELS: dict[int, str] = {}
+
+
 def sandbox_label(task) -> str:
     """Metrics label attributing an event to a sandbox (or the kernel)."""
     if (task is not None and getattr(task, "kind", "") == "sandbox"
             and getattr(task, "sandbox", None) is not None):
-        return str(task.sandbox.sandbox_id)
+        sandbox_id = task.sandbox.sandbox_id
+        label = _SANDBOX_LABELS.get(sandbox_id)
+        if label is None:
+            label = _SANDBOX_LABELS[sandbox_id] = str(sandbox_id)
+        return label
     return "kernel"
 
 
@@ -208,6 +322,15 @@ class NullMetrics:
                        /, **labels) -> None:
         return None
 
+    def exemplar(self, name: str, trace_id: str, /, **labels) -> None:
+        return None
+
+    def counter_handle(self, name: str, /, **labels) -> _NullHandle:
+        return NULL_HANDLE
+
+    def histogram_handle(self, name: str, /, **labels) -> _NullHandle:
+        return NULL_HANDLE
+
     def window_quantiles(self, name: str, /, cycle: int | None = None,
                          **labels) -> dict:
         return {}
@@ -225,7 +348,7 @@ class MetricsRegistry(NullMetrics):
 
     enabled = True
     __slots__ = ("counters", "gauges", "histograms", "windowed",
-                 "_help", "_buckets", "_window_cfg")
+                 "exemplars", "_help", "_buckets", "_window_cfg")
 
     def __init__(self):
         self.counters: dict[str, dict[str, float]] = {}
@@ -234,6 +357,8 @@ class MetricsRegistry(NullMetrics):
         self.histograms: dict[str, dict[str, dict]] = {}
         #: name → key → WindowedHistogram (cycle-time sliding windows)
         self.windowed: dict[str, dict[str, WindowedHistogram]] = {}
+        #: name → key → last-seen request trace ID (OpenMetrics-style)
+        self.exemplars: dict[str, dict[str, str]] = {}
         self._help: dict[str, str] = {}
         self._buckets: dict[str, tuple] = {}
         self._window_cfg: dict[str, tuple[int, int]] = {}
@@ -275,10 +400,10 @@ class MetricsRegistry(NullMetrics):
             hist = series[key] = {"bounds": list(bounds),
                                   "buckets": [0] * len(bounds),
                                   "sum": 0, "count": 0}
-        for i, bound in enumerate(hist["bounds"]):
-            if value <= bound:
-                hist["buckets"][i] += 1
-                break
+        # first bound >= value (bounds are sorted: binary, not linear)
+        i = bisect_left(hist["bounds"], value)
+        if i < len(hist["buckets"]):
+            hist["buckets"][i] += 1
         hist["sum"] += value
         hist["count"] += 1
 
@@ -294,6 +419,45 @@ class MetricsRegistry(NullMetrics):
                                         DEFAULT_WINDOWS))
             hist = series[key] = WindowedHistogram(*cfg)
         hist.observe(value, cycle)
+
+    def counter_handle(self, name: str, /, **labels) -> CounterHandle:
+        """Resolve one counter series to a reusable write handle.
+
+        The handle stays valid for the life of the registry; callers
+        cache it per label set and call ``handle.inc(v)`` on the hot
+        path instead of :meth:`inc`. No series entry is materialized
+        until the first write.
+        """
+        return CounterHandle(self.counters.setdefault(name, {}),
+                             label_key(labels))
+
+    def histogram_handle(self, name: str, /, **labels) -> HistogramHandle:
+        """Resolve one histogram series to a reusable write handle.
+
+        Materializes the (empty) histogram eagerly so the handle can
+        bind its bucket list; bounds come from :meth:`describe` as with
+        :meth:`observe`.
+        """
+        series = self.histograms.setdefault(name, {})
+        key = label_key(labels)
+        hist = series.get(key)
+        if hist is None:
+            bounds = self._buckets.get(name, DEFAULT_BUCKETS)
+            hist = series[key] = {"bounds": list(bounds),
+                                  "buckets": [0] * len(bounds),
+                                  "sum": 0, "count": 0}
+        return HistogramHandle(hist)
+
+    def exemplar(self, name: str, trace_id: str, /, **labels) -> None:
+        """Attach a request trace ID to a series as its exemplar.
+
+        Last-writer-wins, OpenMetrics style: the series answers *what
+        happened*, the exemplar names one concrete request to pull the
+        causal span tree for (``repro.obs.reqtrace`` resolves it). No-op
+        for an empty ID so call sites need no guard.
+        """
+        if trace_id:
+            self.exemplars.setdefault(name, {})[label_key(labels)] = trace_id
 
     # -- reads ----------------------------------------------------------- #
 
@@ -328,6 +492,7 @@ class MetricsRegistry(NullMetrics):
             "gauges": {n: dict(s) for n, s in self.gauges.items()},
             "histograms": copy.deepcopy(self.histograms),
             "windowed": windowed,
+            "exemplars": {n: dict(s) for n, s in self.exemplars.items()},
         }
 
     def delta_since(self, snap: dict) -> dict:

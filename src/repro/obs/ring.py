@@ -10,6 +10,7 @@ what it overwrote, so consumers can tell "nothing happened" apart from
 
 from __future__ import annotations
 
+from collections import deque
 from typing import Generic, Iterator, TypeVar
 
 T = TypeVar("T")
@@ -20,37 +21,47 @@ class RingBuffer(Generic[T]):
 
     Supports the list-ish read surface the audit log's consumers use:
     ``len``, iteration (oldest → newest), integer and slice indexing.
-    Overwritten items bump :attr:`dropped`.
+    Overwritten items are counted by :attr:`dropped`.
+
+    Storage is a ``deque(maxlen=capacity)`` so the append path — the
+    tracer emits one append per record, hundreds of thousands per fleet
+    run — is a single C call with no index arithmetic, in the wrapped
+    regime too. Hot emit paths (see :meth:`Tracer._emit
+    <repro.obs.trace.Tracer._emit>`) are allowed to reach through
+    :attr:`pushed`/:attr:`_buf` directly to skip the method-call
+    overhead; the invariant they must keep is one ``pushed`` increment
+    per ``_buf.append``.
     """
 
-    __slots__ = ("capacity", "dropped", "_buf", "_start")
+    __slots__ = ("capacity", "pushed", "_buf")
 
     def __init__(self, capacity: int = 4096):
         if capacity <= 0:
             raise ValueError(f"ring capacity must be positive, got {capacity}")
         self.capacity = capacity
-        self.dropped = 0
-        self._buf: list[T] = []
-        self._start = 0
+        #: total items ever appended (dropped is derived from this)
+        self.pushed = 0
+        self._buf: deque[T] = deque(maxlen=capacity)
 
     def append(self, item: T) -> None:
-        if len(self._buf) < self.capacity:
-            self._buf.append(item)
-        else:
-            self._buf[self._start] = item
-            self._start = (self._start + 1) % self.capacity
-            self.dropped += 1
+        self.pushed += 1
+        self._buf.append(item)
 
     def extend(self, items) -> None:
         for item in items:
-            self.append(item)
+            self.pushed += 1
+            self._buf.append(item)
 
     def clear(self) -> None:
         self._buf.clear()
-        self._start = 0
+        self.pushed = 0
+
+    @property
+    def dropped(self) -> int:
+        return self.pushed - len(self._buf)
 
     def to_list(self) -> list[T]:
-        return self._buf[self._start:] + self._buf[:self._start]
+        return list(self._buf)
 
     def __len__(self) -> int:
         return len(self._buf)
@@ -59,19 +70,16 @@ class RingBuffer(Generic[T]):
         return bool(self._buf)
 
     def __iter__(self) -> Iterator[T]:
-        n = len(self._buf)
-        for i in range(n):
-            yield self._buf[(self._start + i) % n]
+        return iter(self._buf)
 
     def __getitem__(self, index):
         if isinstance(index, slice):
-            return self.to_list()[index]
-        n = len(self._buf)
-        if index < 0:
-            index += n
-        if not 0 <= index < n:
-            raise IndexError(f"ring index {index} out of range ({n} items)")
-        return self._buf[(self._start + index) % n]
+            return list(self._buf)[index]
+        try:
+            return self._buf[index]
+        except IndexError:
+            raise IndexError(f"ring index {index} out of range "
+                             f"({len(self._buf)} items)") from None
 
     def __repr__(self) -> str:
         return (f"RingBuffer({len(self._buf)}/{self.capacity} items, "

@@ -135,7 +135,8 @@ def validate_flight_dump(obj) -> list[str]:
     errors: list[str] = []
     if not isinstance(obj, dict):
         return [f"top level: expected dict, got {type(obj).__name__}"]
-    for key, types in (("reason", str), ("detail", str), ("cycle", int),
+    for key, types in (("reason", str), ("detail", str),
+                       ("trace_id", str), ("cycle", int),
                        ("window", dict), ("audit_head", str),
                        ("wall_cycles", int), ("per_cpu_cycles", list),
                        ("per_cpu", dict), ("utilization", dict),
@@ -175,4 +176,91 @@ def check_flight_dump(obj) -> None:
     errors = validate_flight_dump(obj)
     if errors:
         raise ValueError("flight dump failed schema check:\n  "
+                         + "\n  ".join(errors))
+
+
+def validate_request_trace(obj) -> list[str]:
+    """Structural check of one rebuilt causal span tree (a list of root
+    nodes as produced by ``SpanNode.to_dict``)."""
+    errors: list[str] = []
+    if not isinstance(obj, list):
+        return [f"request trace: expected list of roots, "
+                f"got {type(obj).__name__}"]
+
+    def walk(node, where):
+        if not isinstance(node, dict):
+            errors.append(f"{where}: not a dict")
+            return
+        for key, types in (("name", str), ("kind", str), ("begin", int),
+                           ("end", int), ("args", dict),
+                           ("children", list)):
+            if key not in node:
+                errors.append(f"{where}: missing key {key!r}")
+            elif not isinstance(node[key], types):
+                errors.append(f"{where}.{key}: expected {types.__name__}, "
+                              f"got {type(node[key]).__name__}")
+        if isinstance(node.get("begin"), int) \
+                and isinstance(node.get("end"), int):
+            if node["end"] < node["begin"]:
+                errors.append(f"{where}: end < begin")
+            for i, child in enumerate(node.get("children") or []):
+                walk(child, f"{where}.children[{i}]")
+                if (isinstance(child, dict)
+                        and isinstance(child.get("begin"), int)
+                        and isinstance(child.get("end"), int)
+                        and not (node["begin"] <= child["begin"]
+                                 and child["end"] <= node["end"])):
+                    errors.append(f"{where}.children[{i}]: not contained "
+                                  "in parent interval")
+
+    for i, root in enumerate(obj):
+        walk(root, f"roots[{i}]")
+    return errors
+
+
+def check_request_trace(obj) -> None:
+    errors = validate_request_trace(obj)
+    if errors:
+        raise ValueError("request trace failed schema check:\n  "
+                         + "\n  ".join(errors))
+
+
+def validate_hostprof_report(obj) -> list[str]:
+    """Structural check of a host-time attribution report
+    (``HostProfiler.report()``)."""
+    errors: list[str] = []
+    if not isinstance(obj, dict):
+        return [f"hostprof: expected dict, got {type(obj).__name__}"]
+    for key, types in (("window_s", (int, float)),
+                       ("attributed_s", (int, float)),
+                       ("unattributed_s", (int, float)),
+                       ("coverage", (int, float)), ("entries", int),
+                       ("entry_overhead_us", (int, float)),
+                       ("subsystems", list)):
+        if key not in obj:
+            errors.append(f"hostprof: missing key {key!r}")
+        elif not isinstance(obj[key], types):
+            errors.append(f"hostprof.{key}: wrong type "
+                          f"{type(obj[key]).__name__}")
+    for i, row in enumerate(obj.get("subsystems") or []):
+        if not isinstance(row, dict):
+            errors.append(f"hostprof.subsystems[{i}]: not a dict")
+            continue
+        for key, types in (("name", str), ("self_s", (int, float)),
+                           ("share", (int, float)), ("calls", int)):
+            if not isinstance(row.get(key), types):
+                errors.append(f"hostprof.subsystems[{i}].{key}: "
+                              "missing or wrong type")
+    shares = [r.get("share", 0) for r in obj.get("subsystems") or []
+              if isinstance(r, dict)]
+    if shares and sum(shares) > 1.02:   # self-time shares cannot exceed 1
+        errors.append("hostprof.subsystems: shares sum past 1.0 "
+                      f"({sum(shares):.3f}) — double counting")
+    return errors
+
+
+def check_hostprof_report(obj) -> None:
+    errors = validate_hostprof_report(obj)
+    if errors:
+        raise ValueError("hostprof report failed schema check:\n  "
                          + "\n  ".join(errors))

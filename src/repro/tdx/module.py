@@ -121,7 +121,7 @@ class TdxModule:
 
     def guest_map_gpa(self, fn_start: int, count: int, *, shared: bool) -> None:
         """MapGPA conversion; charges a full tdcall round trip."""
-        with self.clock.tracer.span("tdcall:mapgpa", cat="tdx",
+        with self.clock.tracer.span("tdcall:mapgpa", "tdx",
                                     shared=shared, count=count):
             self.clock.charge(Cost.TDCALL_ROUND_TRIP, "tdcall")
             self.clock.count("tdcall")
@@ -130,7 +130,7 @@ class TdxModule:
 
     def guest_vmcall(self, subfn: int, payload: object = None) -> object:
         """Generic GHCI hypercall: exit to the VMM and return its answer."""
-        with self.clock.tracer.span("tdcall:vmcall", cat="tdx", subfn=subfn):
+        with self.clock.tracer.span("tdcall:vmcall", "tdx", subfn=subfn):
             self.clock.charge(Cost.TDCALL_ROUND_TRIP, "tdcall")
             self.clock.count("tdcall")
             self.clock.count("vm_exit")
@@ -144,7 +144,7 @@ class TdxModule:
             raise ValueError("report_data limited to 64 bytes")
         # TDREPORT_NATIVE is the end-to-end Table 4 figure: tdcall transit
         # plus report generation and HMAC integrity protection.
-        with self.clock.tracer.span("tdcall:tdreport", cat="tdx"):
+        with self.clock.tracer.span("tdcall:tdreport", "tdx"):
             self.clock.charge(Cost.TDREPORT_NATIVE, "tdreport")
             self.clock.count("tdcall")
         self.clock.metrics.inc("tdx_tdcalls_total", leaf="tdreport")
@@ -171,7 +171,7 @@ class TdxModule:
                           + Cost.TDX_WORLD_RESUME - Cost.ALU, "tdcall")
         self.clock.count("tdcall")
         leaf = cpu.regs["rax"]
-        self.clock.tracer.event(f"tdcall:leaf{leaf}", cat="tdx")
+        self.clock.tracer.event(f"tdcall:leaf{leaf}", "tdx")
         self.clock.metrics.inc("tdx_tdcalls_total", leaf=str(leaf))
         if leaf == LEAF_VMCALL:
             subfn = cpu.regs["rbx"]

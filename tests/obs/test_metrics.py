@@ -112,3 +112,59 @@ def test_prometheus_escapes_label_values():
     reg.inc("c", what='say "hi"')
     text = prometheus_text(reg)
     assert 'what="say \\"hi\\""' in text
+
+
+# --------------------------------------------------------------------- #
+# write handles (the hot-path fast lane)
+# --------------------------------------------------------------------- #
+
+def test_counter_handle_writes_the_same_series_as_inc():
+    reg = MetricsRegistry()
+    reg.inc("erebor_emc_total", cls="mmu", sandbox="1")
+    handle = reg.counter_handle("erebor_emc_total", cls="mmu", sandbox="1")
+    handle.inc()
+    handle.inc(3)
+    assert reg.counter_value("erebor_emc_total",
+                             cls="mmu", sandbox="1") == 5
+
+
+def test_counter_handle_defers_series_creation_until_first_write():
+    reg = MetricsRegistry()
+    reg.counter_handle("never_written_total", cls="x")
+    assert reg.snapshot()["counters"].get("never_written_total", {}) == {}
+
+
+def test_histogram_handle_matches_observe_exactly():
+    via_observe, via_handle = MetricsRegistry(), MetricsRegistry()
+    handle = via_handle.histogram_handle("erebor_emc_cycles", cls="mmu")
+    for value in (0, 17, 999, 10**7, 5 * 10**9):
+        via_observe.observe("erebor_emc_cycles", value, cls="mmu")
+        handle.observe(value)
+    assert (via_handle.snapshot()["histograms"]
+            == via_observe.snapshot()["histograms"])
+
+
+def test_handle_cache_invalidates_when_registry_changes():
+    from repro.obs.metrics import HandleCache
+    cache = HandleCache()
+    first = MetricsRegistry()
+    assert cache.get(first, "k") is None
+    handle = cache.put("k", first.counter_handle("c_total"))
+    assert cache.get(first, "k") is handle
+    # a new registry identity (fresh install) must drop stale handles:
+    # writing through them would update series nobody exports anymore
+    second = MetricsRegistry()
+    assert cache.get(second, "k") is None
+    fresh = cache.put("k", second.counter_handle("c_total"))
+    fresh.inc()
+    assert second.counter_value("c_total") == 1
+    assert first.counter_value("c_total") == 0
+
+
+def test_null_metrics_handles_are_inert():
+    handle = NULL_METRICS.counter_handle("c_total", cls="x")
+    handle.inc()
+    handle.inc(10)
+    NULL_METRICS.histogram_handle("h").observe(42)
+    assert NULL_METRICS.snapshot() == {"counters": {}, "gauges": {},
+                                       "histograms": {}}

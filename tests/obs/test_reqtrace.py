@@ -1,0 +1,248 @@
+"""Request-scoped causal tracing: minting, tree rebuild, rendering.
+
+Covers the reqtrace unit surface on hand-built tracers (the fleet-scale
+end-to-end properties — hygiene across pool reuse, per-request trees on
+the seeded fleet — live in ``tests/fleet/test_reqtrace_fleet.py``).
+"""
+
+import json
+
+import pytest
+
+from repro.hw.cycles import CycleClock
+from repro.obs.reqtrace import (RequestTraceIndex, SpanNode, TRACE_ID_LEN,
+                                _build_forest, mint_trace_id)
+from repro.obs.trace import SPAN, Tracer
+
+
+def make_tracer():
+    clock = CycleClock()
+    return clock, Tracer(clock)
+
+
+def burn(clock, n):
+    clock.charge(n, "test")
+
+
+# --------------------------------------------------------------------------- #
+# minting
+# --------------------------------------------------------------------------- #
+
+def test_mint_is_deterministic_and_seed_name_scoped():
+    a = mint_trace_id(7, "client-0")
+    assert a == mint_trace_id(7, "client-0")
+    assert len(a) == TRACE_ID_LEN
+    assert int(a, 16) >= 0                       # hex
+    assert a != mint_trace_id(8, "client-0")     # seed matters
+    assert a != mint_trace_id(7, "client-1")     # name matters
+
+
+def test_mint_does_not_depend_on_tracer_arming():
+    # the ID is pure function of (seed, name): no clock, no ambient state
+    before = mint_trace_id(42, "s")
+    clock, tracer = make_tracer()
+    with tracer.bind("deadbeef"):
+        with tracer.span("noise"):
+            burn(clock, 100)
+    assert mint_trace_id(42, "s") == before
+
+
+# --------------------------------------------------------------------------- #
+# forest rebuild
+# --------------------------------------------------------------------------- #
+
+def test_forest_recovers_exact_nesting():
+    clock, tracer = make_tracer()
+    with tracer.bind("t1"):
+        with tracer.span("outer"):
+            burn(clock, 10)
+            tracer.event("mark-a")
+            with tracer.span("inner"):
+                burn(clock, 5)
+                tracer.event("mark-b")
+            burn(clock, 10)
+    index = RequestTraceIndex.from_tracer(tracer)
+    (root,) = index.tree("t1")
+    assert root.name == "outer"
+    names = [c.name for c in root.children]
+    assert names == ["mark-a", "inner"]
+    inner = root.children[1]
+    assert [c.name for c in inner.children] == ["mark-b"]
+    assert inner.begin >= root.begin and inner.end <= root.end
+
+
+def test_forest_handles_zero_duration_spans_at_boundaries():
+    # a zero-width span opening exactly where its parent opens must still
+    # attach *under* the parent (depth disambiguates what intervals can't)
+    clock, tracer = make_tracer()
+    with tracer.bind("t1"):
+        with tracer.span("parent"):
+            with tracer.span("empty-child"):
+                pass
+            burn(clock, 3)
+    (root,) = RequestTraceIndex.from_tracer(tracer).tree("t1")
+    assert root.name == "parent"
+    assert [c.name for c in root.children] == ["empty-child"]
+
+
+def test_forest_separates_sibling_roots():
+    clock, tracer = make_tracer()
+    with tracer.bind("t1"):
+        with tracer.span("first"):
+            burn(clock, 4)
+        with tracer.span("second"):
+            burn(clock, 4)
+    roots = RequestTraceIndex.from_tracer(tracer).tree("t1")
+    assert [r.name for r in roots] == ["first", "second"]
+    assert all(not r.children for r in roots)
+
+
+def test_events_without_binding_are_not_indexed():
+    clock, tracer = make_tracer()
+    with tracer.span("unbound"):
+        burn(clock, 2)
+    with tracer.bind("t9"):
+        tracer.event("bound")
+    index = RequestTraceIndex.from_tracer(tracer)
+    assert index.ids() == ["t9"]
+    assert len(index.events("t9")) == 1
+
+
+# --------------------------------------------------------------------------- #
+# lookup
+# --------------------------------------------------------------------------- #
+
+def _two_request_index():
+    clock, tracer = make_tracer()
+    ids = {name: mint_trace_id(1, name) for name in ("client-0", "client-1")}
+    for name, tid in ids.items():
+        with tracer.bind(tid):
+            with tracer.span("work", session=name):
+                burn(clock, 7)
+    return RequestTraceIndex.from_tracer(tracer, names=ids), ids
+
+
+def test_resolve_by_name_id_and_prefix():
+    index, ids = _two_request_index()
+    tid = ids["client-0"]
+    assert index.resolve("client-0") == tid
+    assert index.resolve(tid) == tid
+    assert index.resolve(tid[:6]) == tid
+    assert index.session_for(tid) == "client-0"
+
+
+def test_resolve_rejects_unknown_and_ambiguous():
+    index, ids = _two_request_index()
+    with pytest.raises(KeyError):
+        index.resolve("no-such-request")
+    with pytest.raises(KeyError):
+        index.resolve("")          # prefix of every ID → ambiguous
+
+
+# --------------------------------------------------------------------------- #
+# completeness + digests
+# --------------------------------------------------------------------------- #
+
+def _emit_full_arc(tracer, clock, tid):
+    with tracer.bind(tid):
+        with tracer.span("fleet:admit"):
+            burn(clock, 1)
+        with tracer.span("fleet:request"):
+            burn(clock, 5)
+            with tracer.span("channel:response"):
+                burn(clock, 2)
+
+
+def test_complete_requires_the_full_causal_arc():
+    clock, tracer = make_tracer()
+    _emit_full_arc(tracer, clock, "full")
+    with tracer.bind("truncated"):       # ring-drop analogue: no admit
+        with tracer.span("fleet:request"):
+            burn(clock, 5)
+            with tracer.span("channel:response"):
+                burn(clock, 2)
+    index = RequestTraceIndex.from_tracer(tracer)
+    assert index.complete("full")
+    assert not index.complete("truncated")
+    assert "[incomplete" in index.render_text("truncated")
+    assert "[incomplete" not in index.render_text("full")
+
+
+def test_tree_digests_are_byte_identical_across_identical_runs():
+    def one_run():
+        clock, tracer = make_tracer()
+        for name in ("client-0", "client-1"):
+            _emit_full_arc(tracer, clock, mint_trace_id(3, name))
+        return RequestTraceIndex.from_tracer(tracer).digests()
+
+    first, second = one_run(), one_run()
+    assert first == second
+    assert json.dumps(first, sort_keys=True) == \
+        json.dumps(second, sort_keys=True)
+    assert all(len(d) == 64 for d in first.values())
+
+
+def test_tree_digest_changes_when_the_tree_changes():
+    clock, tracer = make_tracer()
+    _emit_full_arc(tracer, clock, "a")
+    base = RequestTraceIndex.from_tracer(tracer).tree_digest("a")
+    with tracer.bind("a"):
+        tracer.event("extra")
+    assert RequestTraceIndex.from_tracer(tracer).tree_digest("a") != base
+
+
+# --------------------------------------------------------------------------- #
+# rendering
+# --------------------------------------------------------------------------- #
+
+def test_chrome_trace_one_lane_per_request():
+    index, ids = _two_request_index()
+    view = index.chrome_trace()
+    events = view["traceEvents"]
+    lanes = [e for e in events if e.get("ph") == "M"
+             and e["name"] == "thread_name"]
+    assert len(lanes) == 2
+    assert {e["tid"] for e in lanes} == {1, 2}
+    labels = {e["args"]["name"] for e in lanes}
+    assert any(label.startswith("client-0 [") for label in labels)
+    # every non-metadata record sits in exactly one request's lane and
+    # names its trace ID in args
+    data = [e for e in events if e.get("ph") != "M"]
+    for e in data:
+        assert e["tid"] in (1, 2)
+        assert e["args"]["trace"] in ids.values()
+
+
+def test_chrome_trace_single_request_view():
+    index, ids = _two_request_index()
+    view = index.chrome_trace("client-1")
+    data = [e for e in view["traceEvents"] if e.get("ph") != "M"]
+    assert data and all(e["args"]["trace"] == ids["client-1"] for e in data)
+
+
+def test_render_text_and_summary():
+    clock, tracer = make_tracer()
+    tid = mint_trace_id(5, "client-0")
+    _emit_full_arc(tracer, clock, tid)
+    index = RequestTraceIndex.from_tracer(tracer,
+                                          names={"client-0": tid})
+    text = index.render_text("client-0")
+    assert text.splitlines()[0] == f"trace {tid} (client-0)"
+    for stage in ("fleet:admit", "fleet:request", "channel:response"):
+        assert stage in text
+    summary = index.summary()
+    assert summary[tid]["session"] == "client-0"
+    assert summary[tid]["complete"] is True
+    assert summary[tid]["events"] == 3
+
+
+def test_index_is_read_only_on_the_clock():
+    clock, tracer = make_tracer()
+    _emit_full_arc(tracer, clock, "t")
+    before = clock.cycles
+    index = RequestTraceIndex.from_tracer(tracer)
+    index.tree("t")
+    index.digests()
+    index.render_text("t")
+    index.chrome_trace()
+    assert clock.cycles == before

@@ -142,3 +142,34 @@ def test_syscall_cost_identical_with_tracer():
     assert traced_delta == plain_delta >= Cost.SYSCALL_ROUND_TRIP == 684
     span = next(e for e in tracer.events if e.name == "syscall:getpid")
     assert span.duration == traced_delta
+
+
+# --------------------------------------------------------------------- #
+# host-collector batching
+# --------------------------------------------------------------------- #
+
+def test_gc_batched_recording_restores_thresholds():
+    import gc
+    from repro.obs.trace import gc_batched_recording
+
+    before = gc.get_threshold()
+    with gc_batched_recording(True):
+        assert gc.get_threshold() == gc_batched_recording.THRESHOLDS
+    assert gc.get_threshold() == before
+    # disabled guard is a no-op
+    with gc_batched_recording(False):
+        assert gc.get_threshold() == before
+    assert gc.get_threshold() == before
+
+
+def test_gc_batched_recording_restores_on_exception():
+    import gc
+    from repro.obs.trace import gc_batched_recording
+
+    import pytest
+
+    before = gc.get_threshold()
+    with pytest.raises(RuntimeError):
+        with gc_batched_recording(True):
+            raise RuntimeError("fleet blew up")
+    assert gc.get_threshold() == before

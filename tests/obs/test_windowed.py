@@ -115,7 +115,8 @@ def test_plain_snapshot_shape_untouched_by_windowed_series():
     registry = MetricsRegistry()
     snap = registry.snapshot()
     assert snap["windowed"] == {}
-    assert set(snap) == {"counters", "gauges", "histograms", "windowed"}
+    assert set(snap) == {"counters", "gauges", "histograms", "windowed",
+                         "exemplars"}
 
 
 # --------------------------------------------------------------------------- #

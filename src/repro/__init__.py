@@ -23,13 +23,14 @@ Quickstart::
     client = RemoteClient(machine.authority, published_measurement())
     client.connect(UntrustedProxy(system.monitor),
                    SecureChannel(system.monitor, sandbox))
+
+This ``__init__`` resolves its re-exports lazily (PEP 562): the offline
+certificate verifier (``python -m repro.certs``) runs in a process that
+imports ``repro`` purely as a namespace and must never load the hardware
+simulator, so ``import repro`` on its own pulls in nothing.
 """
 
-from .core.boot import EreborSystem, erebor_boot, published_measurement
-from .core.monitor import EreborFeatures, EreborMonitor
-from .core.policy import PolicyViolation, SandboxViolation
-from .core.sandbox import Sandbox
-from .vm import CvmMachine, GIB, MIB, MachineConfig
+from __future__ import annotations
 
 __version__ = "1.0.0"
 
@@ -38,3 +39,37 @@ __all__ = [
     "MIB", "MachineConfig", "PolicyViolation", "Sandbox", "SandboxViolation",
     "erebor_boot", "published_measurement", "__version__",
 ]
+
+#: lazy re-exports → (module, attribute); keeps ``import repro`` free of
+#: the simulator so pure leaves (core.audit, tdx.attestation, certs) can
+#: load in attestation-verifier processes
+_LAZY = {
+    "EreborSystem": ("core.boot", "EreborSystem"),
+    "erebor_boot": ("core.boot", "erebor_boot"),
+    "published_measurement": ("core.boot", "published_measurement"),
+    "EreborFeatures": ("core.monitor", "EreborFeatures"),
+    "EreborMonitor": ("core.monitor", "EreborMonitor"),
+    "PolicyViolation": ("core.policy", "PolicyViolation"),
+    "SandboxViolation": ("core.policy", "SandboxViolation"),
+    "Sandbox": ("core.sandbox", "Sandbox"),
+    "CvmMachine": ("vm", "CvmMachine"),
+    "GIB": ("vm", "GIB"),
+    "MIB": ("vm", "MIB"),
+    "MachineConfig": ("vm", "MachineConfig"),
+}
+
+
+def __getattr__(name: str):
+    try:
+        module_name, attr = _LAZY[name]
+    except KeyError:
+        raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+    import importlib
+    module = importlib.import_module(f".{module_name}", __name__)
+    value = getattr(module, attr)
+    globals()[name] = value
+    return value
+
+
+def __dir__():
+    return sorted(set(globals()) | set(_LAZY))

@@ -1,0 +1,230 @@
+"""``python -m repro.certs`` — the client-side certificate toolbox.
+
+Runs offline: no simulator, no fleet, no booted CVM — just the
+certificate files and (optionally) the fleet-published golden values.
+
+Examples::
+
+    # verify one certificate / a whole batch directory
+    python -m repro.certs verify cert-client-0.json
+    python -m repro.certs verify --dir certs/ --published certs/published.json
+
+    # bind verification to the session you think you ran
+    python -m repro.certs verify cert.json --expect-trace 9fee1a42cafe0dd1
+
+    # the adversarial matrix: every tamper variant must be rejected
+    # with its own localized error
+    python -m repro.certs check-tamper --dir certs/
+
+    # write the tampered corpus out for inspection
+    python -m repro.certs tamper cert.json --out-dir tampered/
+
+    # human summary of one certificate's claims
+    python -m repro.certs show cert.json
+
+Exit codes: 0 = verified / matrix clean, 1 = a certificate failed (or a
+tampered one slipped through), 2 = usage error.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+from . import REFS_FORMAT, CertificateError, load_certificate, \
+    serialize_certificate
+from .tamper import TAMPERS, tamper_certificate
+from .verify import CertificateVerifier
+
+
+def _load_refs(path: str | None) -> dict | None:
+    if path is None:
+        return None
+    with open(path) as fh:
+        refs = json.load(fh)
+    if refs.get("format") != REFS_FORMAT:
+        raise CertificateError("format",
+                               f"{path} is not a {REFS_FORMAT!r} file")
+    return refs
+
+
+def _cert_paths(args, parser) -> list[Path]:
+    paths = [Path(p) for p in args.certs]
+    if args.dir:
+        batch = sorted(Path(args.dir).glob("cert-*.json"))
+        if not batch:
+            parser.error(f"no cert-*.json files in {args.dir}")
+        paths.extend(batch)
+        if args.published is None:
+            candidate = Path(args.dir) / "published.json"
+            if candidate.exists():
+                args.published = str(candidate)
+    if not paths:
+        parser.error("give certificate paths and/or --dir")
+    return paths
+
+
+def _cmd_verify(args, parser) -> int:
+    paths = _cert_paths(args, parser)   # may auto-set args.published
+    verifier = CertificateVerifier(refs=_load_refs(args.published))
+    failures = 0
+    for path in paths:
+        try:
+            cert = load_certificate(path)
+        except (OSError, ValueError, CertificateError) as exc:
+            print(f"FAIL {path}: unreadable: {exc}")
+            failures += 1
+            continue
+        result = verifier.verify(cert, expect_trace=args.expect_trace)
+        if result.ok:
+            print(f"OK   {path} session={result.session} "
+                  f"checks=[{','.join(result.checks)}]")
+        else:
+            print(f"FAIL {path} session={result.session} "
+                  f"[{result.code}] {result.detail}")
+            failures += 1
+    return 1 if failures else 0
+
+
+def _cmd_show(args, parser) -> int:
+    cert = load_certificate(args.cert)
+    body = cert.get("body", {})
+    session = body.get("session", {})
+    print(f"certificate  {args.cert}")
+    print(f"  format     {cert.get('format')}")
+    print(f"  session    {session.get('name')} "
+          f"(tenant {session.get('tenant')}, {session.get('outcome')}, "
+          f"{session.get('served')} request(s), "
+          f"sandbox #{session.get('sandbox_id')})")
+    print(f"  workload   {session.get('workload')} "
+          f"seed {session.get('fleet_seed')}")
+    print(f"  body hash  {cert.get('body_sha256')}")
+    platform = body.get("platform", {})
+    print(f"  mrtd       {str(platform.get('mrtd'))[:32]}...")
+    for index, value in sorted(platform.get("rtmrs", {}).items()):
+        shown = f"{value[:32]}..." if value else "(reset)"
+        print(f"  rtmr[{index}]    {shown}")
+    kernel = body.get("kernel", {})
+    print(f"  kernel     CFG digest {str(kernel.get('verifier_digest'))[:32]}"
+          f"... ({kernel.get('instructions')} instrs, "
+          f"{kernel.get('gate_sites')} gate sites)")
+    audit = body.get("audit", {})
+    print(f"  audit      seq {audit.get('seq_start')}..{audit.get('seq_end')}"
+          f" ({audit.get('events')} events) head "
+          f"{str(audit.get('committed_head'))[:32]}...")
+    trace = body.get("trace", {})
+    print(f"  trace      {trace.get('trace_id')} "
+          f"({trace.get('events')} nodes, "
+          f"complete={trace.get('complete')})")
+    print(f"  scrub      {str(body.get('scrub', {}).get('digest'))[:32]}...")
+    return 0
+
+
+def _cmd_tamper(args, parser) -> int:
+    cert = load_certificate(args.cert)
+    donor = load_certificate(args.donor) if args.donor else None
+    out_dir = Path(args.out_dir)
+    out_dir.mkdir(parents=True, exist_ok=True)
+    written = 0
+    for variant, (expected, _, needs_donor) in sorted(TAMPERS.items()):
+        if needs_donor and donor is None:
+            print(f"skip {variant}: needs --donor", file=sys.stderr)
+            continue
+        tampered = tamper_certificate(cert, variant, donor)
+        path = out_dir / f"tampered-{variant}.json"
+        path.write_text(serialize_certificate(tampered))
+        print(f"{variant}: expected [{expected}] -> {path}")
+        written += 1
+    return 0 if written else 2
+
+
+def _cmd_check_tamper(args, parser) -> int:
+    """The adversarial matrix: certs × variants, 100% rejection required.
+
+    Each variant must fail with exactly its expected code — a tampered
+    certificate that verifies, or that fails with a *different* code, is
+    a verifier bug and fails the run.
+    """
+    paths = _cert_paths(args, parser)   # may auto-set args.published
+    verifier = CertificateVerifier(refs=_load_refs(args.published))
+    certs = [(p, load_certificate(p)) for p in paths]
+    bad = 0
+    tried = 0
+    for i, (path, cert) in enumerate(certs):
+        donor = certs[(i + 1) % len(certs)][1] if len(certs) > 1 else None
+        for variant, (expected, _, needs_donor) in sorted(TAMPERS.items()):
+            if needs_donor and donor is None:
+                continue
+            tried += 1
+            result = verifier.verify(tamper_certificate(cert, variant,
+                                                        donor))
+            if result.ok:
+                print(f"BUG  {path} x {variant}: tampered certificate "
+                      "VERIFIED")
+                bad += 1
+            elif result.code != expected:
+                print(f"BUG  {path} x {variant}: failed with "
+                      f"[{result.code}], expected [{expected}]")
+                bad += 1
+            elif args.verbose:
+                print(f"ok   {path} x {variant}: rejected "
+                      f"[{result.code}] {result.detail}")
+    print(f"tamper matrix: {tried - bad}/{tried} correctly rejected"
+          + ("" if not bad else f" ({bad} BUGS)"))
+    return 1 if bad or not tried else 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.certs",
+        description="Verify Erebor execution certificates offline.")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_verify = sub.add_parser("verify", help="verify certificates")
+    p_verify.add_argument("certs", nargs="*", help="certificate files")
+    p_verify.add_argument("--dir", default=None,
+                          help="verify every cert-*.json in a directory "
+                               "(auto-loads its published.json)")
+    p_verify.add_argument("--published", default=None,
+                          help="published golden values (published.json)")
+    p_verify.add_argument("--expect-trace", default=None, metavar="ID",
+                          help="require the certificate to attest this "
+                               "trace ID")
+    p_verify.set_defaults(fn=_cmd_verify)
+
+    p_show = sub.add_parser("show", help="print one certificate's claims")
+    p_show.add_argument("cert")
+    p_show.set_defaults(fn=_cmd_show)
+
+    p_tamper = sub.add_parser(
+        "tamper", help="write the tampered corpus for one certificate")
+    p_tamper.add_argument("cert")
+    p_tamper.add_argument("--donor", default=None,
+                          help="second certificate (for replayed-quote)")
+    p_tamper.add_argument("--out-dir", default="tampered")
+    p_tamper.set_defaults(fn=_cmd_tamper)
+
+    p_check = sub.add_parser(
+        "check-tamper",
+        help="assert every tamper variant is rejected with its own code")
+    p_check.add_argument("certs", nargs="*")
+    p_check.add_argument("--dir", default=None)
+    p_check.add_argument("--published", default=None)
+    p_check.add_argument("--verbose", "-v", action="store_true")
+    p_check.set_defaults(fn=_cmd_check_tamper)
+
+    args = parser.parse_args(argv)
+    try:
+        return args.fn(args, parser)
+    except CertificateError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    except OSError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,134 @@
+"""Seeded tamper corpus: every forgery class must fail, distinctly.
+
+Each entry is a deterministic transformation of a valid certificate
+(pure dict-to-dict, no RNG, no wall clock — the corpus is part of the CI
+contract and must be byte-stable across runs) paired with the exact
+failure code the offline verifier must localize it to:
+
+==================  =================  ==================================
+variant             expected code      what the host "did"
+==================  =================  ==================================
+``forged-quote``    quote-signature    forged the platform signature
+``spliced-audit``   audit-segment      doctored one audit event mid-chain
+``truncated-audit`` audit-segment      dropped the newest audit events
+``dropped-scrub``   scrub-evidence     suppressed the C8 scrub proof
+``replayed-quote``  quote-binding      grafted another session's genuine
+                                       quote onto this body (replay)
+``mutated-claim``   body-digest        edited a claim under the same hash
+``doctored-trace``  trace-digest       rewrote the causal span tree
+==================  =================  ==================================
+
+A tampered certificate that *verifies* — or fails with the wrong code —
+is a verifier bug; ``python -m repro.certs check-tamper`` asserts the
+full matrix.
+"""
+
+from __future__ import annotations
+
+import copy
+
+from . import CertificateError
+
+
+def _forged_quote(cert: dict, donor: dict | None = None) -> dict:
+    """Flip one nibble of the quote signature: HMAC must catch it."""
+    out = copy.deepcopy(cert)
+    sig = out["quote"]["signature"]
+    flipped = ("0" if sig[0] != "0" else "1") + sig[1:]
+    out["quote"]["signature"] = flipped
+    return out
+
+
+def _spliced_audit(cert: dict, donor: dict | None = None) -> dict:
+    """Rewrite one mid-segment event's detail without re-chaining.
+
+    Models a host editing an incriminating log line; the event's own
+    digest no longer recomputes, so verification localizes the exact
+    sequence number.
+    """
+    out = copy.deepcopy(cert)
+    segment = out["attachments"]["audit_segment"]
+    victim = segment[len(segment) // 2]
+    victim["detail"] = "(nothing to see here)"
+    return out
+
+
+def _truncated_audit(cert: dict, donor: dict | None = None) -> dict:
+    """Drop the newest — most incriminating — events off the segment."""
+    out = copy.deepcopy(cert)
+    segment = out["attachments"]["audit_segment"]
+    if len(segment) > 1:
+        del segment[-1]
+    else:
+        out["attachments"]["audit_segment"] = []
+    return out
+
+
+def _dropped_scrub(cert: dict, donor: dict | None = None) -> dict:
+    """Suppress the scrub record: no C8 proof, no certificate."""
+    out = copy.deepcopy(cert)
+    out["attachments"].pop("scrub_record", None)
+    return out
+
+
+def _replayed_quote(cert: dict, donor: dict | None = None) -> dict:
+    """Graft another session's *genuine* quote onto this body.
+
+    The signature verifies (it is a real quote) and the body hashes
+    correctly (it is untouched), but the quote's report data binds the
+    donor's body hash — the replay is caught by the binding check and
+    nothing earlier.
+    """
+    if donor is None:
+        raise CertificateError(
+            "structure",
+            "replayed-quote needs a donor certificate from another "
+            "session")
+    out = copy.deepcopy(cert)
+    out["quote"] = copy.deepcopy(donor["quote"])
+    return out
+
+
+def _mutated_claim(cert: dict, donor: dict | None = None) -> dict:
+    """Inflate a body claim without recomputing the body hash."""
+    out = copy.deepcopy(cert)
+    out["body"]["session"]["served"] = \
+        int(out["body"]["session"].get("served", 0)) + 1000
+    return out
+
+
+def _doctored_trace(cert: dict, donor: dict | None = None) -> dict:
+    """Rewrite the attached span tree (hide what actually executed)."""
+    out = copy.deepcopy(cert)
+    tree = out["attachments"]["trace_tree"]
+    if tree:
+        tree[0]["name"] = "totally:benign"
+    else:
+        out["attachments"]["trace_tree"] = [{"name": "totally:benign",
+                                             "children": []}]
+    return out
+
+
+#: variant name → (expected failure code, transformation, needs_donor)
+TAMPERS: dict[str, tuple[str, object, bool]] = {
+    "forged-quote": ("quote-signature", _forged_quote, False),
+    "spliced-audit": ("audit-segment", _spliced_audit, False),
+    "truncated-audit": ("audit-segment", _truncated_audit, False),
+    "dropped-scrub": ("scrub-evidence", _dropped_scrub, False),
+    "replayed-quote": ("quote-binding", _replayed_quote, True),
+    "mutated-claim": ("body-digest", _mutated_claim, False),
+    "doctored-trace": ("trace-digest", _doctored_trace, False),
+}
+
+
+def tamper_certificate(cert: dict, variant: str,
+                       donor: dict | None = None) -> dict:
+    """Apply one named tamper; returns a new certificate dict."""
+    try:
+        _, fn, _ = TAMPERS[variant]
+    except KeyError:
+        raise CertificateError(
+            "structure",
+            f"unknown tamper variant {variant!r} "
+            f"(known: {', '.join(sorted(TAMPERS))})") from None
+    return fn(cert, donor)

@@ -1,0 +1,412 @@
+"""Offline, client-side verification of execution certificates.
+
+This module is the relying party's half of :mod:`repro.certs` and is
+deliberately simulator-free: it imports only the pure leaves
+(:mod:`repro.core.audit`, :mod:`repro.tdx.attestation`,
+:mod:`repro.obs.reqtrace`) plus the stdlib, so ``python -m repro.certs
+verify`` runs in a process that never loads ``repro.hw`` /
+``repro.kernel`` / ``repro.fleet`` — the client does not need (and must
+not need) the platform it is auditing.
+
+Checks run in evidence order, each with its own failure code, so every
+tamper class localizes:
+
+====================  ====================================================
+code                  what was doctored
+====================  ====================================================
+``format``            not an ``erebor-cert/1`` document
+``structure``         a required section is missing or mistyped
+``quote-signature``   the quote's HMAC does not verify (forged quote)
+``body-digest``       ``body_sha256`` does not match the body's canonical
+                      serialization
+``quote-binding``     the quote's report data does not bind this body
+                      (replayed quote from another session/certificate)
+``platform-mrtd``     MRTD differs from the published golden measurement
+``platform-rtmr``     a runtime register differs from the published value
+``kernel-digest``     RTMR[3] is not the extension of the claimed
+                      CFG-verifier report digest
+``scrub-evidence``    the scrub record is absent, mistyped, for the wrong
+                      sandbox, or fails its committed digest
+``audit-evidence``    the audit segment attachment is absent or empty
+``audit-segment``     the segment's hash chain breaks, or it does not end
+                      at the committed head (spliced / reordered /
+                      truncated — first bad seq reported)
+``audit-arc``         the admit → response/kill → scrub milestones for
+                      this session are missing from its segment
+``trace-digest``      the attached span tree does not hash to the
+                      committed ``tree_digest``
+``trace-arc``         the tree is missing a required causal stage
+``session-binding``   the certificate is for a different session than the
+                      caller expected (``--expect-trace``)
+====================  ====================================================
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..core.audit import AuditEvent, verify_audit_segment
+from ..obs.reqtrace import REQUIRED_STAGES, payload_stage_names, tree_digest_of
+from ..tdx.attestation import (
+    KERNEL_CFG_RTMR_INDEX,
+    AttestationAuthority,
+    Quote,
+    QuoteVerificationError,
+    TdReport,
+    expected_rtmr,
+)
+from . import (
+    CERT_FORMAT,
+    REFS_FORMAT,
+    CertificateError,
+    bind_report_data,
+    body_digest,
+    canonical_json,
+    sha256_hex,
+)
+
+#: scrub-record kinds that constitute C8 evidence: a verified warm-pool
+#: scrub (completed sessions) or a kill-path scrub (evicted sessions)
+SCRUB_KINDS = ("scrub-verify", "kill-scrub")
+
+#: session outcomes a certificate may attest (rejected sessions never
+#: held a slot, so there is nothing to certify)
+CERTIFIABLE_OUTCOMES = ("completed", "evicted")
+
+_BODY_SECTIONS = ("session", "platform", "kernel", "audit", "scrub",
+                  "trace")
+
+
+@dataclass
+class VerifyResult:
+    """Outcome of one certificate verification."""
+
+    ok: bool
+    session: str = ""
+    code: str = ""                 # failure locator ("" when ok)
+    detail: str = ""
+    checks: list[str] = field(default_factory=list)
+
+    def __bool__(self) -> bool:
+        return self.ok
+
+
+class CertificateVerifier:
+    """Verifies ``erebor-cert/1`` documents against published goldens.
+
+    ``refs`` is the fleet-published ``published.json`` (format
+    ``erebor-cert-refs/1``) carrying the golden MRTD and RTMR values a
+    client derives — or downloads once — from the open-source firmware,
+    monitor, and instrumented kernel. Without it the platform checks
+    that need external goldens are skipped (everything self-contained,
+    including the RTMR[3] ↔ kernel-digest consistency proof, still
+    runs).
+
+    ``authority`` defaults to the reproduction's fixed platform root of
+    trust; a real deployment would substitute certificate-chain
+    verification here.
+    """
+
+    def __init__(self, authority: AttestationAuthority | None = None,
+                 refs: dict | None = None):
+        self.authority = authority or AttestationAuthority()
+        self.refs = self._check_refs(refs)
+
+    @staticmethod
+    def _check_refs(refs: dict | None) -> dict | None:
+        if refs is None:
+            return None
+        if refs.get("format") != REFS_FORMAT:
+            raise CertificateError(
+                "format", f"published refs are not {REFS_FORMAT!r}")
+        return refs
+
+    # ------------------------------------------------------------------ #
+    # the check sequence
+    # ------------------------------------------------------------------ #
+
+    def verify(self, cert: dict, *,
+               expect_trace: str | None = None) -> VerifyResult:
+        """Run every check; returns a :class:`VerifyResult` (never raises
+        for tampered input — malformed bytes become a ``format``/
+        ``structure`` failure like any other)."""
+        checks: list[str] = []
+        session = ""
+        try:
+            body = self._check_structure(cert, checks)
+            session = str(body["session"].get("name", ""))
+            quote = self._check_quote_signature(cert, checks)
+            self._check_body_digest(cert, body, checks)
+            self._check_quote_binding(cert, quote, checks)
+            self._check_platform(body, quote, checks)
+            self._check_kernel_digest(body, quote, checks)
+            self._check_scrub(cert, body, checks)
+            segment = self._check_audit_segment(cert, body, checks)
+            self._check_audit_arc(body, segment, checks)
+            self._check_trace(cert, body, checks)
+            if expect_trace is not None:
+                self._check_session_binding(body, expect_trace, checks)
+        except CertificateError as exc:
+            return VerifyResult(False, session=session, code=exc.code,
+                                detail=exc.detail, checks=checks)
+        return VerifyResult(True, session=session, checks=checks)
+
+    # -- layers 1-2: shape ---------------------------------------------- #
+
+    def _check_structure(self, cert: dict, checks: list[str]) -> dict:
+        if cert.get("format") != CERT_FORMAT:
+            raise CertificateError(
+                "format",
+                f"expected format {CERT_FORMAT!r}, got "
+                f"{cert.get('format')!r}")
+        for key in ("body", "body_sha256", "quote", "attachments"):
+            if key not in cert:
+                raise CertificateError("structure",
+                                       f"certificate lacks {key!r}")
+        body = cert["body"]
+        if not isinstance(body, dict):
+            raise CertificateError("structure", "body is not an object")
+        for section in _BODY_SECTIONS:
+            if not isinstance(body.get(section), dict):
+                raise CertificateError(
+                    "structure", f"body lacks the {section!r} section")
+        outcome = body["session"].get("outcome")
+        if outcome not in CERTIFIABLE_OUTCOMES:
+            raise CertificateError(
+                "structure",
+                f"outcome {outcome!r} is not certifiable "
+                f"(expected one of {CERTIFIABLE_OUTCOMES})")
+        checks.append("structure")
+        return body
+
+    # -- layer 3: the signed platform evidence -------------------------- #
+
+    @staticmethod
+    def _parse_quote(cert: dict) -> Quote:
+        q = cert["quote"]
+        try:
+            report = TdReport(
+                mrtd=bytes.fromhex(q["mrtd"]),
+                rtmrs=tuple(bytes.fromhex(r) for r in q["rtmrs"]),
+                report_data=bytes.fromhex(q["report_data"]))
+            return Quote(report, bytes.fromhex(q["signature"]))
+        except (KeyError, TypeError, ValueError) as exc:
+            raise CertificateError("structure",
+                                   f"quote is malformed: {exc}") from exc
+
+    def _check_quote_signature(self, cert: dict,
+                               checks: list[str]) -> Quote:
+        quote = self._parse_quote(cert)
+        try:
+            self.authority.verify(quote)
+        except QuoteVerificationError as exc:
+            raise CertificateError("quote-signature", str(exc)) from exc
+        checks.append("quote-signature")
+        return quote
+
+    def _check_body_digest(self, cert: dict, body: dict,
+                           checks: list[str]) -> None:
+        recomputed = body_digest(body)
+        if recomputed != cert["body_sha256"]:
+            raise CertificateError(
+                "body-digest",
+                f"body hashes to {recomputed[:16]}..., certificate "
+                f"claims {str(cert['body_sha256'])[:16]}...")
+        checks.append("body-digest")
+
+    def _check_quote_binding(self, cert: dict, quote: Quote,
+                             checks: list[str]) -> None:
+        bound = bind_report_data(cert["body_sha256"])
+        if quote.report_data != bound:
+            raise CertificateError(
+                "quote-binding",
+                "quote report data does not bind this certificate body "
+                "(quote replayed from another session or certificate)")
+        checks.append("quote-binding")
+
+    def _check_platform(self, body: dict, quote: Quote,
+                        checks: list[str]) -> None:
+        platform = body["platform"]
+        # the body's platform section must restate the quote (the quote
+        # is authoritative; the body copy exists for human readers)
+        if platform.get("mrtd") != quote.mrtd.hex():
+            raise CertificateError(
+                "structure", "body platform.mrtd disagrees with the quote")
+        if self.refs is None:
+            return
+        expected_mrtd = bytes.fromhex(self.refs["mrtd"])
+        expected_rtmrs = {int(i): bytes.fromhex(v)
+                          for i, v in self.refs.get("rtmrs", {}).items()}
+        try:
+            self.authority.verify(quote, expected_mrtd=expected_mrtd)
+        except QuoteVerificationError as exc:
+            raise CertificateError("platform-mrtd", str(exc)) from exc
+        try:
+            self.authority.verify(quote, expected_rtmrs=expected_rtmrs)
+        except QuoteVerificationError as exc:
+            raise CertificateError("platform-rtmr", str(exc)) from exc
+        checks.append("platform")
+
+    def _check_kernel_digest(self, body: dict, quote: Quote,
+                             checks: list[str]) -> None:
+        """RTMR[3] must be the one-step extension of the claimed
+        CFG-verifier report digest — binding the certificate's kernel
+        claim to the measured boot without any simulator state."""
+        digest = str(body["kernel"].get("verifier_digest", ""))
+        if not digest:
+            raise CertificateError(
+                "kernel-digest", "body carries no kernel verifier digest")
+        derived = expected_rtmr([digest.encode()])
+        measured = quote.report.rtmrs[KERNEL_CFG_RTMR_INDEX]
+        if derived != measured:
+            raise CertificateError(
+                "kernel-digest",
+                f"RTMR[{KERNEL_CFG_RTMR_INDEX}] is not the extension of "
+                f"the claimed verifier digest {digest[:16]}...")
+        checks.append("kernel-digest")
+
+    # -- layer 4: the self-authenticating attachments -------------------- #
+
+    def _check_scrub(self, cert: dict, body: dict,
+                     checks: list[str]) -> None:
+        record = cert["attachments"].get("scrub_record")
+        if not isinstance(record, dict):
+            raise CertificateError(
+                "scrub-evidence",
+                "no scrub record attached: the session's C8 scrub proof "
+                "was dropped")
+        kind = record.get("kind")
+        if kind not in SCRUB_KINDS:
+            raise CertificateError(
+                "scrub-evidence",
+                f"scrub record kind {kind!r} is not scrub evidence "
+                f"(expected one of {SCRUB_KINDS})")
+        sandbox = body["session"].get("sandbox_id")
+        if record.get("sandbox") != sandbox:
+            raise CertificateError(
+                "scrub-evidence",
+                f"scrub record covers sandbox {record.get('sandbox')!r}, "
+                f"session ran in sandbox {sandbox!r}")
+        recomputed = sha256_hex(canonical_json(record))
+        if recomputed != body["scrub"].get("digest"):
+            raise CertificateError(
+                "scrub-evidence",
+                "scrub record does not hash to the committed scrub digest")
+        outcome = body["session"]["outcome"]
+        wanted = "kill-scrub" if outcome == "evicted" else "scrub-verify"
+        if kind != wanted:
+            raise CertificateError(
+                "scrub-evidence",
+                f"outcome {outcome!r} requires a {wanted!r} record, "
+                f"got {kind!r}")
+        checks.append("scrub-evidence")
+
+    def _check_audit_segment(self, cert: dict, body: dict,
+                             checks: list[str]) -> list[AuditEvent]:
+        raw = cert["attachments"].get("audit_segment")
+        if not isinstance(raw, list) or not raw:
+            raise CertificateError(
+                "audit-evidence",
+                "no audit segment attached: the session's chain evidence "
+                "was dropped")
+        try:
+            events = [AuditEvent.from_dict(e) for e in raw]
+        except (KeyError, TypeError) as exc:
+            raise CertificateError(
+                "audit-evidence", f"audit segment malformed: {exc}") from exc
+        audit = body["audit"]
+        verdict = verify_audit_segment(
+            events, str(audit.get("committed_head", "")),
+            expected_prev=audit.get("segment_prev"))
+        if not verdict:
+            where = ("" if verdict.first_bad_seq is None
+                     else f" at seq {verdict.first_bad_seq}")
+            raise CertificateError(
+                "audit-segment",
+                f"segment chain {verdict.error}{where} "
+                f"({verdict.checked} links verified before the break)")
+        if (events[0].seq != audit.get("seq_start")
+                or events[-1].seq != audit.get("seq_end", 0) - 1):
+            raise CertificateError(
+                "audit-segment",
+                f"segment spans seq {events[0].seq}..{events[-1].seq}, "
+                f"body claims {audit.get('seq_start')}.."
+                f"{audit.get('seq_end', 0) - 1}")
+        checks.append("audit-segment")
+        return events
+
+    def _check_audit_arc(self, body: dict, segment: list[AuditEvent],
+                         checks: list[str]) -> None:
+        """The session's own milestones must appear inside its segment:
+        admit → (responses | kill) → scrub, each named precisely enough
+        to exclude a neighbouring session's events."""
+        session = body["session"]
+        name, sandbox = session.get("name"), session.get("sandbox_id")
+        outcome = session["outcome"]
+        needle_session = f"session {name} "
+        needle_sandbox = f"sandbox #{sandbox}"
+
+        def seen(kind: str, needle: str) -> bool:
+            return any(e.kind == kind and needle in e.detail
+                       for e in segment)
+
+        missing = []
+        if not seen("admit", needle_session):
+            missing.append("admit")
+        if outcome == "completed":
+            if not seen("response", needle_session):
+                missing.append("response")
+            if not seen("scrub", needle_sandbox):
+                missing.append("scrub")
+        else:   # evicted: the kill path is the scrub
+            if not seen("kill", needle_sandbox):
+                missing.append("kill")
+        if missing:
+            raise CertificateError(
+                "audit-arc",
+                f"segment lacks the session's {'/'.join(missing)} "
+                f"milestone(s) for {name!r} ({outcome})")
+        checks.append("audit-arc")
+
+    def _check_trace(self, cert: dict, body: dict,
+                     checks: list[str]) -> None:
+        tree = cert["attachments"].get("trace_tree")
+        trace = body["trace"]
+        if not isinstance(tree, list) or not tree:
+            raise CertificateError(
+                "trace-digest",
+                "no trace tree attached: the session's causal evidence "
+                "was dropped")
+        recomputed = tree_digest_of(tree)
+        if recomputed != trace.get("tree_digest"):
+            raise CertificateError(
+                "trace-digest",
+                f"trace tree hashes to {recomputed[:16]}..., body "
+                f"commits {str(trace.get('tree_digest'))[:16]}...")
+        if body["session"]["outcome"] == "completed":
+            names = payload_stage_names(tree)
+            missing = [s for s in REQUIRED_STAGES if s not in names]
+            if missing:
+                raise CertificateError(
+                    "trace-arc",
+                    f"trace tree lacks stage(s) {', '.join(missing)}")
+        checks.append("trace")
+
+    def _check_session_binding(self, body: dict, expect_trace: str,
+                               checks: list[str]) -> None:
+        got = str(body["trace"].get("trace_id", ""))
+        if got != expect_trace:
+            raise CertificateError(
+                "session-binding",
+                f"certificate attests trace {got or '<none>'}, caller "
+                f"expected {expect_trace} (certificate from a different "
+                "session)")
+        checks.append("session-binding")
+
+
+def verify_certificate(cert: dict, *, refs: dict | None = None,
+                       authority: AttestationAuthority | None = None,
+                       expect_trace: str | None = None) -> VerifyResult:
+    """One-shot convenience wrapper around :class:`CertificateVerifier`."""
+    return CertificateVerifier(authority, refs).verify(
+        cert, expect_trace=expect_trace)

@@ -71,14 +71,10 @@ class RemoteClient:
         )
         try:
             report = self.authority.verify(reply.quote,
-                                           expected_mrtd=self.expected_mrtd)
+                                           expected_mrtd=self.expected_mrtd,
+                                           expected_rtmrs=self.expected_rtmrs)
         except QuoteVerificationError as exc:
             raise AttestationFailure(str(exc)) from exc
-        for index, wanted in self.expected_rtmrs.items():
-            if report.rtmrs[index] != wanted:
-                raise AttestationFailure(
-                    f"RTMR[{index}] mismatch: the paravisor did not load "
-                    "the expected monitor")
         if report.report_data[:len(transcript)] != transcript:
             raise AttestationFailure(
                 "quote does not bind this handshake transcript "

@@ -1,0 +1,144 @@
+"""Tamper-evident audit chain primitives (pure, simulator-free).
+
+The monitor's audit log is a sha256 hash chain: every
+:class:`AuditEvent` commits to its own fields *and* to its
+predecessor's digest, from a fixed :data:`AUDIT_GENESIS` root. The
+chain gives an untrusted host no room to mutate, reorder, delete, or
+tail-truncate an exported log without :func:`verify_audit_chain` (whole
+log) or :func:`verify_audit_segment` (a contiguous slice) localizing
+the first bad link.
+
+This module deliberately imports nothing from the simulator: the
+client-side certificate verifier (:mod:`repro.certs`) re-checks audit
+segments *offline* in a process that never loads ``repro.hw`` /
+``repro.kernel`` / ``repro.fleet``, so everything here must stay
+stdlib-pure. The monitor (:mod:`repro.core.monitor`) re-exports these
+names for the in-CVM side.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass
+
+#: the fixed root of every monitor's audit chain (event 0 links to this)
+AUDIT_GENESIS = hashlib.sha256(b"erebor-audit-genesis").hexdigest()
+
+
+def audit_chain_digest(prev: str, seq: int, cycle: int, kind: str,
+                       detail: str) -> str:
+    """The sha256 link binding one audit event to its predecessor."""
+    material = f"{prev}|{seq}|{cycle}|{kind}|{detail}"
+    return hashlib.sha256(material.encode()).hexdigest()
+
+
+@dataclass
+class AuditEvent:
+    """One security-relevant monitor decision, for operator forensics.
+
+    Events form a hash chain: ``digest`` commits to the event's own
+    fields *and* to ``prev`` (the predecessor's digest, or
+    :data:`AUDIT_GENESIS` for event 0), so an untrusted host that can
+    read — or tamper with — an exported log cannot mutate, reorder, or
+    truncate it without :func:`verify_audit_chain` localizing the break.
+    """
+
+    cycle: int
+    kind: str            # deny | verify | attest | sandbox | kill | boot
+    detail: str
+    seq: int = 0         # position in the chain (monotonic, never reused)
+    prev: str = ""       # predecessor's digest (AUDIT_GENESIS for seq 0)
+    digest: str = ""     # this event's chain link
+
+    def to_dict(self) -> dict:
+        return {"cycle": self.cycle, "kind": self.kind,
+                "detail": self.detail, "seq": self.seq,
+                "prev": self.prev, "digest": self.digest}
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "AuditEvent":
+        return cls(cycle=data["cycle"], kind=data["kind"],
+                   detail=data["detail"], seq=data["seq"],
+                   prev=data["prev"], digest=data["digest"])
+
+    def __str__(self) -> str:
+        return f"[{self.cycle}] {self.kind}: {self.detail}"
+
+
+@dataclass
+class ChainVerdict:
+    """Outcome of :func:`verify_audit_chain` / :func:`verify_audit_segment`."""
+
+    ok: bool
+    checked: int                   # events verified before stopping
+    head: str                      # last good digest seen
+    error: str = ""                # mutated | broken-link | bad-head | ...
+    first_bad_seq: int | None = None
+
+    def __bool__(self) -> bool:
+        return self.ok
+
+
+def verify_audit_chain(events, head: str | None = None) -> ChainVerdict:
+    """Re-derive the hash chain over ``events``; localize the first break.
+
+    ``events`` is any iterable of :class:`AuditEvent` (the monitor's ring,
+    or a deserialized export). Because the audit ring drops its *oldest*
+    entries, the chain is allowed to start mid-stream: the first event's
+    ``prev`` is taken on trust and only its self-digest is checked; every
+    later event must recompute exactly and link to its predecessor.
+    Passing the independently-published ``head`` digest additionally
+    detects tail truncation (a host dropping the newest — most
+    incriminating — events).
+    """
+    prev_digest: str | None = None
+    prev_seq: int | None = None
+    checked = 0
+    for event in events:
+        expect_prev = event.prev if prev_digest is None else prev_digest
+        if prev_digest is not None and event.prev != prev_digest:
+            return ChainVerdict(False, checked, prev_digest,
+                                "broken-link", event.seq)
+        if prev_seq is not None and event.seq != prev_seq + 1:
+            return ChainVerdict(False, checked, prev_digest or "",
+                                "reordered", event.seq)
+        recomputed = audit_chain_digest(expect_prev, event.seq, event.cycle,
+                                        event.kind, event.detail)
+        if recomputed != event.digest:
+            return ChainVerdict(False, checked, prev_digest or "",
+                                "mutated", event.seq)
+        prev_digest = event.digest
+        prev_seq = event.seq
+        checked += 1
+    final = prev_digest if prev_digest is not None else AUDIT_GENESIS
+    if head is not None and final != head:
+        return ChainVerdict(False, checked, final, "truncated",
+                            prev_seq + 1 if prev_seq is not None else 0)
+    return ChainVerdict(True, checked, final)
+
+
+def verify_audit_segment(events, expected_head: str, *,
+                         expected_prev: str | None = None) -> ChainVerdict:
+    """Check one contiguous slice of the chain without replaying the rest.
+
+    A *segment* is what a per-session execution certificate carries: the
+    events between two chain positions, plus the ``expected_head`` digest
+    the segment commits to (its last link). Verification re-derives every
+    link inside the slice, requires the final digest to equal
+    ``expected_head`` (a shortened or extended segment reads as
+    ``truncated``), and — when ``expected_prev`` is given — anchors the
+    *first* event's back-pointer too, so a segment cannot be silently
+    spliced onto a different chain position. The returned
+    :class:`ChainVerdict` localizes the first bad link exactly as
+    :func:`verify_audit_chain` does.
+    """
+    events = list(events)
+    if not events:
+        # an empty segment commits to whatever preceded it: nothing
+        # happened, so the head must equal the anchor
+        ok = expected_prev is None or expected_head == expected_prev
+        return ChainVerdict(ok, 0, expected_head,
+                            "" if ok else "empty-mismatch")
+    if expected_prev is not None and events[0].prev != expected_prev:
+        return ChainVerdict(False, 0, "", "bad-anchor", events[0].seq)
+    return verify_audit_chain(events, head=expected_head)

@@ -16,8 +16,7 @@ via the monitor instance held here.
 
 from __future__ import annotations
 
-import hashlib
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import TYPE_CHECKING
 
 from ..hw import regs
@@ -107,89 +106,33 @@ class MonitorStats:
         return f"MonitorStats({body})"
 
 
-#: the fixed root of every monitor's audit chain (event 0 links to this)
-AUDIT_GENESIS = hashlib.sha256(b"erebor-audit-genesis").hexdigest()
+# The audit-chain primitives live in the pure, simulator-free
+# :mod:`repro.core.audit` so the offline certificate verifier can load
+# them without pulling in the hardware model; re-exported here because
+# the monitor is their historical home and the in-CVM call sites (and
+# tests) import them from this module.
+from .audit import (  # noqa: E402  (grouped with the audit facade)
+    AUDIT_GENESIS,
+    AuditEvent,
+    ChainVerdict,
+    audit_chain_digest,
+    verify_audit_chain,
+    verify_audit_segment,
+)
 
-
-def audit_chain_digest(prev: str, seq: int, cycle: int, kind: str,
-                       detail: str) -> str:
-    """The sha256 link binding one audit event to its predecessor."""
-    material = f"{prev}|{seq}|{cycle}|{kind}|{detail}"
-    return hashlib.sha256(material.encode()).hexdigest()
-
-
-@dataclass
-class AuditEvent:
-    """One security-relevant monitor decision, for operator forensics.
-
-    Events form a hash chain: ``digest`` commits to the event's own
-    fields *and* to ``prev`` (the predecessor's digest, or
-    :data:`AUDIT_GENESIS` for event 0), so an untrusted host that can
-    read — or tamper with — an exported log cannot mutate, reorder, or
-    truncate it without :func:`verify_audit_chain` localizing the break.
-    """
-
-    cycle: int
-    kind: str            # deny | verify | attest | sandbox | kill | boot
-    detail: str
-    seq: int = 0         # position in the chain (monotonic, never reused)
-    prev: str = ""       # predecessor's digest (AUDIT_GENESIS for seq 0)
-    digest: str = ""     # this event's chain link
-
-    def __str__(self) -> str:
-        return f"[{self.cycle}] {self.kind}: {self.detail}"
-
-
-@dataclass
-class ChainVerdict:
-    """Outcome of :func:`verify_audit_chain`."""
-
-    ok: bool
-    checked: int                   # events verified before stopping
-    head: str                      # last good digest seen
-    error: str = ""                # mutated | broken-link | bad-head | ...
-    first_bad_seq: int | None = None
-
-    def __bool__(self) -> bool:
-        return self.ok
-
-
-def verify_audit_chain(events, head: str | None = None) -> ChainVerdict:
-    """Re-derive the hash chain over ``events``; localize the first break.
-
-    ``events`` is any iterable of :class:`AuditEvent` (the monitor's ring,
-    or a deserialized export). Because the audit ring drops its *oldest*
-    entries, the chain is allowed to start mid-stream: the first event's
-    ``prev`` is taken on trust and only its self-digest is checked; every
-    later event must recompute exactly and link to its predecessor.
-    Passing the independently-published ``head`` digest additionally
-    detects tail truncation (a host dropping the newest — most
-    incriminating — events).
-    """
-    prev_digest: str | None = None
-    prev_seq: int | None = None
-    checked = 0
-    for event in events:
-        expect_prev = event.prev if prev_digest is None else prev_digest
-        if prev_digest is not None and event.prev != prev_digest:
-            return ChainVerdict(False, checked, prev_digest,
-                                "broken-link", event.seq)
-        if prev_seq is not None and event.seq != prev_seq + 1:
-            return ChainVerdict(False, checked, prev_digest or "",
-                                "reordered", event.seq)
-        recomputed = audit_chain_digest(expect_prev, event.seq, event.cycle,
-                                        event.kind, event.detail)
-        if recomputed != event.digest:
-            return ChainVerdict(False, checked, prev_digest or "",
-                                "mutated", event.seq)
-        prev_digest = event.digest
-        prev_seq = event.seq
-        checked += 1
-    final = prev_digest if prev_digest is not None else AUDIT_GENESIS
-    if head is not None and final != head:
-        return ChainVerdict(False, checked, final, "truncated",
-                            prev_seq + 1 if prev_seq is not None else 0)
-    return ChainVerdict(True, checked, final)
+__all__ = [
+    "AUDIT_GENESIS",
+    "AuditEvent",
+    "BootVerificationError",
+    "ChainVerdict",
+    "EreborFeatures",
+    "EreborMonitor",
+    "MonitorOps",
+    "MonitorStats",
+    "audit_chain_digest",
+    "verify_audit_chain",
+    "verify_audit_segment",
+]
 
 
 class EreborMonitor:

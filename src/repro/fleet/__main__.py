@@ -12,6 +12,7 @@ Examples::
     python -m repro.fleet --trace-request client-2           # causal tree
     python -m repro.fleet --trace-out trace.json --trace-digests d.json
     python -m repro.fleet --hostprof hostprof.json           # host time
+    python -m repro.fleet --cert-dir certs/    # execution certificates
 
 The default export is the :class:`~repro.fleet.loadgen.FleetReport`
 JSON; ``--export bundle`` wraps the run in the full ``repro.obs`` export
@@ -111,6 +112,15 @@ def main(argv: list[str] | None = None) -> int:
                         help="write the trace-id -> span-tree-digest JSON "
                              "map (byte-identical across seeded reruns; "
                              "the CI reqtrace smoke job diffs two runs)")
+    parser.add_argument("--cert-dir", default=None, metavar="DIR",
+                        help="issue one execution certificate per admitted "
+                             "session and write the batch (plus "
+                             "published.json golden values) to DIR; verify "
+                             "offline with `python -m repro.certs verify "
+                             "--dir DIR`")
+    parser.add_argument("--certificates", action="store_true",
+                        help="issue certificates without writing files "
+                             "(hashes ride in the report's `certs` map)")
     parser.add_argument("--hostprof", default=None, metavar="PATH",
                         help="profile host wall-time by simulator "
                              "subsystem during the run; write the report "
@@ -162,7 +172,8 @@ def main(argv: list[str] | None = None) -> int:
         requests=args.requests, pool_size=args.pool, tenants=args.tenants,
         seed=args.seed, scale=args.scale, n_cpus=args.cores,
         pool_config=pool_config, admission=admission,
-        slo=slo, anomaly=anomaly, flight=bool(args.flight_dump))
+        slo=slo, anomaly=anomaly, flight=bool(args.flight_dump),
+        certificates=args.certificates, cert_dir=args.cert_dir)
 
     want_trace = any(flag is not None for flag in
                      (args.trace_request, args.trace_out, args.trace_digests))
@@ -204,6 +215,11 @@ def main(argv: list[str] | None = None) -> int:
         report = execute()
 
     _write_flight(args, state["clock"].tracer)
+
+    if args.cert_dir:
+        print(f"certificates: {len(report.certs)} issued -> {args.cert_dir} "
+              f"(verify: python -m repro.certs verify --dir {args.cert_dir})",
+              file=sys.stderr)
 
     if args.export_format == "bundle":
         from ..obs.harness import ObservedRun, export_bundle

@@ -109,6 +109,10 @@ class FleetReport:
     #: (seed+name) but adding them to `_base_dict` would invalidate every
     #: historical pinned digest for zero information gain
     traces: dict = field(default_factory=dict)
+    #: session name → certificate body hash (repro.certs); OUTSIDE the
+    #: digest preimage for the same reason — issuance charges no cycles
+    #: and the hashes are themselves derived from the run
+    certs: dict = field(default_factory=dict)
 
     @property
     def throughput_rps(self) -> float:
@@ -157,6 +161,8 @@ class FleetReport:
             out["flight"] = dict(self.flight)
         if self.traces:
             out["traces"] = dict(self.traces)
+        if self.certs:
+            out["certs"] = dict(self.certs)
         return out
 
     def _base_dict(self) -> dict:
@@ -213,7 +219,8 @@ def run_fleet(*, workload: str = "llama.cpp", clients: int = 4,
               pool_config: PoolConfig | None = None,
               memory_bytes: int = 768 * MIB, cma_bytes: int = 256 * MIB,
               instrument=None, system=None, slo=None, anomaly=None,
-              flight=None) -> tuple[FleetReport, object]:
+              flight=None, certificates: bool = False,
+              cert_dir=None) -> tuple[FleetReport, object]:
     """Run one multi-tenant fleet; returns ``(report, system)``.
 
     ``instrument`` is called with the freshly built machine before any
@@ -229,8 +236,18 @@ def run_fleet(*, workload: str = "llama.cpp", clients: int = 4,
     or ``True``) installs an always-on flight recorder that freezes a
     black-box dump on any trigger. All three read the cycle clock but
     never charge it, so enabling them cannot move a seeded digest.
+
+    ``certificates`` issues one :mod:`repro.certs` execution certificate
+    per admitted session after the fleet drains (arming a request tracer
+    if none is installed); ``cert_dir`` additionally writes the batch —
+    plus the ``published.json`` golden values — to a directory for
+    offline verification, and implies ``certificates``. Issuance signs
+    through the platform authority directly and charges zero simulated
+    cycles, so seeded report digests are identical with it on or off.
     """
     import repro.apps  # noqa: F401  (populates the workload registry)
+
+    certificates = bool(certificates) or cert_dir is not None
 
     if system is None:
         machine = CvmMachine(MachineConfig(memory_bytes=memory_bytes,
@@ -246,6 +263,13 @@ def run_fleet(*, workload: str = "llama.cpp", clients: int = 4,
             machine.clock.tracer = FlightRecorder(machine.clock, cfg)
         system = erebor_boot(machine, cma_bytes=cma_bytes)
     clock = system.machine.clock
+
+    # certificates attach the request's causal span tree: arm a tracer
+    # before any fleet work if the caller didn't install one (reading
+    # the clock only — arming never moves a seeded digest)
+    if certificates and not clock.tracer.enabled:
+        from ..obs.trace import Tracer
+        clock.tracer = Tracer(clock, capacity=1 << 19)
 
     # an armed recorder retains one tuple per record; batch the host
     # collector for the duration so it doesn't rescan the ring hundreds
@@ -325,6 +349,16 @@ def run_fleet(*, workload: str = "llama.cpp", clients: int = 4,
     if getattr(recorder, "dumps", None) is not None:
         report.flight = {"triggers": recorder.triggers,
                          "dumps": len(recorder.dumps)}
+    if certificates:
+        from ..certs.issue import CertificateIssuer, write_certificates
+        issuer = CertificateIssuer(system, workload=workload,
+                                   fleet_seed=seed)
+        certs = issuer.issue_all(finished, traces=report.traces)
+        report.certs = {name: cert["body_sha256"]
+                        for name, cert in certs.items()}
+        system.fleet_certificates = certs
+        if cert_dir is not None:
+            write_certificates(certs, cert_dir)
     # postmortem handles: callers holding the system can inspect the
     # drained pool's slots (scrub state) and the admission decision log
     system.fleet_pool = pool

@@ -200,7 +200,7 @@ class WarmPool:
         return None
 
     def release(self, slot: PoolSlot,
-                patterns: list[bytes] | None = None) -> None:
+                patterns: list[bytes] | None = None) -> dict:
         """Recycle a slot: scrub, verify the scrub, restock the pool.
 
         ``patterns`` is the released client's plaintext (requests and
@@ -208,13 +208,21 @@ class WarmPool:
         have dirtied — its private CoW copies (now back in the CMA), its
         remaining confined frames, and the shared template image — is
         scanned for them after the reset.
+
+        Returns the *scrub record*: the evidence dict execution
+        certificates attach as the departing session's C8 proof
+        (``scrub-verify`` for a verified warm reset, ``kill-scrub`` for
+        a dead slot whose kill path already scrubbed, ``reset-only``
+        when verification is configured off — the certificate verifier
+        accepts only the first two).
         """
         sandbox = slot.instance.sandbox
         if sandbox.dead:
             # killed/evicted mid-session: the kill path already scrubbed
             self.slots.remove(slot)
             self.refill()
-            return
+            return {"kind": "kill-scrub", "sandbox": sandbox.sandbox_id,
+                    "cycle": self.clock.cycles}
         frames_before = list(sandbox.confined_frames)
         t0 = self.clock.cycles
         with self.clock.tracer.span("fleet:warm_reset", "fleet",
@@ -226,20 +234,29 @@ class WarmPool:
         slot.instance.start_kind = "warm"
         slot.instance.start_cycles = cycles
         if self.config.scrub_verify:
-            self.verify_scrub(slot, frames_before, patterns or [])
+            record = self.verify_scrub(slot, frames_before, patterns or [])
+        else:
+            record = {"kind": "reset-only", "sandbox": sandbox.sandbox_id,
+                      "cycle": self.clock.cycles}
         slot.busy = False
         slot.sessions_served += 1
         self.clock.metrics.observe("erebor_fleet_start_cycles", cycles,
                                    kind="warm")
         self.refill()
+        return record
 
     # ------------------------------------------------------------------ #
     # C8 scrub verification
     # ------------------------------------------------------------------ #
 
     def verify_scrub(self, slot: PoolSlot, frames_before: list[int],
-                     patterns: list[bytes]) -> None:
-        """Assert no client-keyed bytes survived the reset (C8 at scale)."""
+                     patterns: list[bytes]) -> dict:
+        """Assert no client-keyed bytes survived the reset (C8 at scale).
+
+        Returns the scrub record (see :meth:`release`) and commits the
+        verdict to the monitor's audit chain, so a certificate's scrub
+        evidence is corroborated by a chained audit event.
+        """
         sandbox = slot.instance.sandbox
         scan = set(frames_before) | set(sandbox.confined_frames)
         for vma in sandbox.confined_vmas:
@@ -264,3 +281,9 @@ class WarmPool:
         self.clock.tracer.event("fleet:scrub_verified", "fleet",
                                 sandbox=sandbox.sandbox_id,
                                 frames=len(scan))
+        self.system.monitor.audit(
+            "scrub", f"scrub-verified sandbox #{sandbox.sandbox_id} "
+            f"({len(scan)} frames, {len(patterns)} patterns)")
+        return {"kind": "scrub-verify", "sandbox": sandbox.sandbox_id,
+                "frames_scanned": len(scan), "patterns": len(patterns),
+                "cycle": self.clock.cycles}

@@ -69,6 +69,18 @@ class ClientSession:
     #: preimage must stay byte-identical whether tracing is armed or not,
     #: so IDs ride in ``FleetReport.to_dict()["traces"]`` outside it.
     trace_id: str = ""
+    #: execution-certificate evidence anchors (repro.certs). Like
+    #: ``trace_id``, none of these enter :meth:`summary`: certificates
+    #: ride outside the report digest preimage.
+    sandbox_id: int = -1
+    #: monitor audit-chain window covering the session's lifetime
+    #: (``[seq_start, seq_end)``; start is snapshotted at submission,
+    #: end + committed head at slot release, after the scrub audit)
+    audit_seq_start: int = 0
+    audit_seq_end: int = 0
+    audit_head_end: str = ""
+    #: the pool's C8 scrub record returned by ``WarmPool.release``
+    scrub_record: dict | None = None
 
     def summary(self) -> dict:
         return {
@@ -316,6 +328,7 @@ class FleetScheduler:
         request.
         """
         session.submit_cycle = self.clock.cycles
+        session.audit_seq_start = self.monitor.audit_seq
         if not session.trace_id:
             session.trace_id = mint_trace_id(session.seed, session.name)
         with self.clock.tracer.bind(session.trace_id):
@@ -384,6 +397,10 @@ class FleetScheduler:
         # ... and the request trace context, so channel-side records and
         # the AEAD trace binding see it; scrub-on-release clears it (C8)
         slot.instance.sandbox.trace_context = session.trace_id or None
+        session.sandbox_id = slot.instance.sandbox.sandbox_id
+        self.monitor.audit(
+            "admit", f"session {session.name} (tenant {session.tenant}) "
+            f"bound to sandbox #{session.sandbox_id} core {core}")
         if self.slo is not None:
             self.slo.observe(session.tenant, "queue_wait",
                              self.clock.cycles - session.submit_cycle)
@@ -458,6 +475,10 @@ class FleetScheduler:
         session.responses.append(output)
         session.served += 1
         self.requests_served += 1
+        self.monitor.audit(
+            "response", f"session {session.name} request "
+            f"{session.served}/{len(session.payloads)} "
+            f"({len(output)} B) via sandbox #{instance.sandbox.sandbox_id}")
         # EMC metering reads the executing core's private event ledger,
         # so concurrent cores never contend on one shared counter
         request_emc = self.clock.cpu_events(core).get("emc", 0) - emc0
@@ -512,7 +533,9 @@ class FleetScheduler:
         with self.clock.on_cpu(session.core):
             sandbox.kill(f"tenant {session.tenant} exceeded EMC allowance "
                          f"({request_emc} per request)")
-            self.pool.release(session.slot)  # dead slot: replaced by a fork
+            # dead slot: replaced by a fork; the kill path scrubbed it
+            record = self.pool.release(session.slot)
+        self._seal_evidence(session, record)
         self._drain_queue()
 
     def _finish(self, session: ClientSession, outcome: str) -> None:
@@ -522,10 +545,24 @@ class FleetScheduler:
         # the scrub + verify on release is the departing session's cost:
         # it runs on the core that served it
         with self.clock.on_cpu(session.core):
-            self.pool.release(session.slot,
-                              patterns=[session.secret, *session.payloads,
-                                        *session.responses])
+            record = self.pool.release(
+                session.slot,
+                patterns=[session.secret, *session.payloads,
+                          *session.responses])
+        self._seal_evidence(session, record)
         self._drain_queue()
+
+    def _seal_evidence(self, session: ClientSession, record: dict) -> None:
+        """Snapshot the closing session's certificate evidence anchors.
+
+        Taken right after the slot released — the scrub's own audit
+        event has committed, so ``audit_head_end`` covers the full
+        admit → … → scrub (or kill) arc and the audit window
+        ``[audit_seq_start, audit_seq_end)`` is closed.
+        """
+        session.scrub_record = record
+        session.audit_seq_end = self.monitor.audit_seq
+        session.audit_head_end = self.monitor.audit_head
 
     def _drain_queue(self) -> None:
         """FIFO re-admission after slots free up: one single-pass sweep.

@@ -42,7 +42,8 @@ TRACE_ID_LEN = 16
 
 #: span names that must appear in a complete session trace (in causal
 #: order): admission decision, per-request execution, channel response
-_REQUIRED_STAGES = ("fleet:admit", "fleet:request", "channel:response")
+REQUIRED_STAGES = ("fleet:admit", "fleet:request", "channel:response")
+_REQUIRED_STAGES = REQUIRED_STAGES   # historical alias
 
 
 def mint_trace_id(seed: int, name: str) -> str:
@@ -54,6 +55,37 @@ def mint_trace_id(seed: int, name: str) -> str:
     """
     preimage = f"erebor-trace:{seed}:{name}".encode()
     return hashlib.sha256(preimage).hexdigest()[:TRACE_ID_LEN]
+
+
+def tree_digest_of(payload: list[dict]) -> str:
+    """sha256 over a canonical tree payload (a list of node dicts).
+
+    The single digest definition shared by :meth:`RequestTraceIndex.
+    tree_digest` (issuer side, over live :class:`SpanNode` trees) and the
+    offline certificate verifier (:mod:`repro.certs.verify`, over the
+    JSON-roundtripped tree attached to a certificate). Node dicts contain
+    only JSON-native types, so a dump/load roundtrip re-canonicalizes to
+    the same bytes and both sides derive the same digest.
+    """
+    canonical = json.dumps(payload, sort_keys=True,
+                           separators=(",", ":"), default=str)
+    return hashlib.sha256(canonical.encode()).hexdigest()
+
+
+def payload_stage_names(payload: list[dict]) -> set[str]:
+    """Every span/instant name in a tree payload (recursing children).
+
+    Lets a consumer holding only the serialized tree — the offline
+    certificate verifier — run the same arc-completeness check
+    :meth:`RequestTraceIndex.complete` runs on live trees.
+    """
+    names: set[str] = set()
+    stack = list(payload)
+    while stack:
+        node = stack.pop()
+        names.add(node.get("name", ""))
+        stack.extend(node.get("children", ()))
+    return names
 
 
 class SpanNode:
@@ -202,12 +234,17 @@ class RequestTraceIndex:
                  for node in root.walk()}
         return all(stage in names for stage in _REQUIRED_STAGES)
 
+    def tree_payload(self, query: str) -> list[dict]:
+        """The canonical (JSON-native) form of one request's tree.
+
+        This is what execution certificates attach as trace evidence:
+        hashable via :func:`tree_digest_of` on either side of the wire.
+        """
+        return [node.to_dict() for node in self.tree(query)]
+
     def tree_digest(self, query: str) -> str:
         """sha256 over the canonical tree (names, cycles, nesting)."""
-        payload = [node.to_dict() for node in self.tree(query)]
-        canonical = json.dumps(payload, sort_keys=True,
-                               separators=(",", ":"), default=str)
-        return hashlib.sha256(canonical.encode()).hexdigest()
+        return tree_digest_of(self.tree_payload(query))
 
     def digests(self) -> dict[str, str]:
         """``trace_id → tree digest`` for every request in the index.

@@ -1,4 +1,12 @@
-"""TDX substrate: trusted module, host VMM, attestation authority."""
+"""TDX substrate: trusted module, host VMM, attestation authority.
+
+:mod:`repro.tdx.attestation` is simulator-free and imported eagerly —
+it is what the offline certificate verifier needs. The trusted module
+and host VMM (which pull in the hardware model) resolve lazily
+(PEP 562), so ``import repro.tdx`` stays pure.
+"""
+
+from __future__ import annotations
 
 from .attestation import (
     AttestationAuthority,
@@ -7,20 +15,6 @@ from .attestation import (
     TdReport,
     expected_measurement,
 )
-from .module import (
-    LEAF_ACCEPT_PAGE,
-    LEAF_TDREPORT,
-    LEAF_VMCALL,
-    PRIVATE,
-    SHARED,
-    VMCALL_CPUID,
-    VMCALL_GETQUOTE,
-    VMCALL_HLT,
-    VMCALL_IO,
-    VMCALL_MAPGPA,
-    TdxModule,
-)
-from .vmm import HostVmm, PrivateMemoryError
 
 __all__ = [
     "AttestationAuthority", "HostVmm", "LEAF_ACCEPT_PAGE", "LEAF_TDREPORT",
@@ -29,3 +23,36 @@ __all__ = [
     "VMCALL_CPUID", "VMCALL_GETQUOTE", "VMCALL_HLT", "VMCALL_IO",
     "VMCALL_MAPGPA", "expected_measurement",
 ]
+
+#: lazy re-exports → (module, attribute); module/vmm load the simulator
+_LAZY = {
+    "LEAF_ACCEPT_PAGE": ("module", "LEAF_ACCEPT_PAGE"),
+    "LEAF_TDREPORT": ("module", "LEAF_TDREPORT"),
+    "LEAF_VMCALL": ("module", "LEAF_VMCALL"),
+    "PRIVATE": ("module", "PRIVATE"),
+    "SHARED": ("module", "SHARED"),
+    "VMCALL_CPUID": ("module", "VMCALL_CPUID"),
+    "VMCALL_GETQUOTE": ("module", "VMCALL_GETQUOTE"),
+    "VMCALL_HLT": ("module", "VMCALL_HLT"),
+    "VMCALL_IO": ("module", "VMCALL_IO"),
+    "VMCALL_MAPGPA": ("module", "VMCALL_MAPGPA"),
+    "TdxModule": ("module", "TdxModule"),
+    "HostVmm": ("vmm", "HostVmm"),
+    "PrivateMemoryError": ("vmm", "PrivateMemoryError"),
+}
+
+
+def __getattr__(name: str):
+    try:
+        module_name, attr = _LAZY[name]
+    except KeyError:
+        raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+    import importlib
+    module = importlib.import_module(f".{module_name}", __name__)
+    value = getattr(module, attr)
+    globals()[name] = value
+    return value
+
+
+def __dir__():
+    return sorted(set(globals()) | set(_LAZY))

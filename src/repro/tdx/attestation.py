@@ -67,12 +67,17 @@ class AttestationAuthority:
         sig = hmac.new(self._secret, report.serialize(), hashlib.sha384).digest()
         return Quote(report, sig)
 
-    def verify(self, quote: Quote, *, expected_mrtd: bytes | None = None) -> TdReport:
+    def verify(self, quote: Quote, *, expected_mrtd: bytes | None = None,
+               expected_rtmrs: dict[int, bytes] | None = None) -> TdReport:
         """Validate a quote; returns the authenticated report.
 
         Raises :class:`QuoteVerificationError` on a bad signature or, when
         ``expected_mrtd`` is given, a measurement mismatch — the check a
         client performs before trusting the in-CVM monitor.
+        ``expected_rtmrs`` maps RTMR index → expected digest and is checked
+        the same way (paravisor deployments measure the monitor into
+        RTMR[2], the CFG verifier lands in RTMR[3]); callers should pass it
+        here instead of open-coding register comparisons.
         """
         good = hmac.new(self._secret, quote.report.serialize(), hashlib.sha384).digest()
         if not hmac.compare_digest(good, quote.signature):
@@ -81,6 +86,17 @@ class AttestationAuthority:
             raise QuoteVerificationError(
                 f"measurement mismatch: expected {expected_mrtd.hex()[:16]}..., "
                 f"got {quote.report.mrtd.hex()[:16]}...")
+        for index, wanted in (expected_rtmrs or {}).items():
+            try:
+                measured = quote.report.rtmrs[index]
+            except IndexError:
+                raise QuoteVerificationError(
+                    f"RTMR[{index}] mismatch: report carries only "
+                    f"{len(quote.report.rtmrs)} runtime registers") from None
+            if measured != wanted:
+                raise QuoteVerificationError(
+                    f"RTMR[{index}] mismatch: expected {wanted.hex()[:16]}..., "
+                    f"got {measured.hex()[:16]}...")
         return quote.report
 
 

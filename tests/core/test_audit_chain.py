@@ -18,6 +18,7 @@ from repro.core.monitor import (
     AuditEvent,
     audit_chain_digest,
     verify_audit_chain,
+    verify_audit_segment,
 )
 from repro.vm import CvmMachine, MachineConfig, MIB
 
@@ -130,6 +131,61 @@ def test_forged_continuation_fails_without_the_secret_linkage(system):
     verdict = verify_audit_chain(events + [forged])
     assert not verdict.ok and verdict.error == "mutated"
     assert verdict.first_bad_seq == forged.seq
+
+
+# --------------------------------------------------------------------------- #
+# segment verification (satellite: certificates carry chain *slices* —
+# anchored at both ends, with the first bad link localized)
+# --------------------------------------------------------------------------- #
+
+def test_segment_verifies_between_its_two_anchors(system):
+    events = _audited(system)
+    segment = events[2:6]
+    verdict = verify_audit_segment(segment, segment[-1].digest,
+                                   expected_prev=segment[0].prev)
+    assert verdict.ok and verdict.checked == len(segment)
+    assert verdict.head == segment[-1].digest
+
+
+def test_segment_spliced_onto_a_different_position_is_bad_anchor(system):
+    events = _audited(system)
+    segment = events[3:6]
+    # the host claims this slice sits where events[1:] actually was
+    verdict = verify_audit_segment(segment, segment[-1].digest,
+                                   expected_prev=events[0].digest)
+    assert not verdict.ok
+    assert verdict.error == "bad-anchor"
+    assert verdict.first_bad_seq == segment[0].seq
+
+
+def test_segment_mid_mutation_localizes_the_first_bad_link(system):
+    events = _audited(system)
+    segment = list(events[1:7])
+    segment[2] = dataclasses.replace(segment[2], detail="rewritten")
+    verdict = verify_audit_segment(segment, events[6].digest,
+                                   expected_prev=segment[0].prev)
+    assert not verdict.ok
+    assert verdict.error == "mutated"
+    assert verdict.first_bad_seq == events[3].seq
+    assert verdict.checked == 2        # the two links before the break
+
+
+def test_segment_tail_truncation_fails_the_committed_head(system):
+    events = _audited(system)
+    committed = events[5].digest
+    verdict = verify_audit_segment(events[1:5], committed,
+                                   expected_prev=events[1].prev)
+    assert not verdict.ok
+    assert verdict.error == "truncated"
+
+
+def test_empty_segment_must_collapse_to_its_anchor():
+    ok = verify_audit_segment([], "abc123", expected_prev="abc123")
+    assert ok and ok.checked == 0
+    bad = verify_audit_segment([], "abc123", expected_prev="def456")
+    assert not bad and bad.error == "empty-mismatch"
+    # with no anchor claim, an empty segment asserts nothing checkable
+    assert verify_audit_segment([], "abc123")
 
 
 # --------------------------------------------------------------------------- #

@@ -28,6 +28,15 @@ D4    blanket-except      bare ``except:`` and ``except Exception/
 D5    cpu-attribution     ``.charge`` calls in ``repro/fleet`` outside any
                           ``with clock.on_cpu(...):`` scope and without an
                           explicit ``# serial-section`` marker on the line
+D6    tcache-host-plane   any cycle-clock access from the translation cache
+                          (``repro/hw/translate.py``): ``.charge`` /
+                          ``.count`` / ``.fast_forward`` calls *and* reads
+                          of ``.cycles`` or ``.clock``. Superblock build and
+                          lookup are a host-speed plane; every charge they
+                          caused out of program order would skew the
+                          bit-exact ledger, so the module may not touch the
+                          clock at all — execution charges stay in
+                          ``Cpu._translated_burst``, in program order
 ====  ==================  ===================================================
 
 Findings can be grandfathered through :mod:`repro.analysis.ratchet`; the
@@ -47,7 +56,11 @@ RULES = {
     "D3": "ordered-preimage",
     "D4": "blanket-except",
     "D5": "cpu-attribution",
+    "D6": "tcache-host-plane",
 }
+
+#: modules bound by D6 (path suffixes): the translation-cache plane
+_D6_MODULES = ("repro/hw/translate.py",)
 
 _WALL_CLOCK_TIME_ATTRS = frozenset({
     "time", "time_ns", "monotonic", "monotonic_ns",
@@ -173,6 +186,7 @@ def lint_source(source: str, path: str) -> list[LintFinding]:
     norm = path.replace("\\", "/")
     in_obs = "repro/obs/" in norm
     in_fleet = "repro/fleet/" in norm
+    in_tcache = any(norm.endswith(suffix) for suffix in _D6_MODULES)
     try:
         tree = ast.parse(source, filename=path)
     except SyntaxError as exc:
@@ -214,6 +228,14 @@ def lint_source(source: str, path: str) -> list[LintFinding]:
                     f"{blanket} swallows simulator faults indiscriminately"
                     " — catch the specific error types"))
             continue
+        if in_tcache and isinstance(node, ast.Attribute) and \
+                node.attr in ("cycles", "clock"):
+            findings.append(LintFinding(
+                "D6", norm, node.lineno,
+                f".{node.attr} read from the translation cache — superblock "
+                "build/lookup is a host-speed plane and may not observe "
+                "the cycle clock"))
+            continue
         if not isinstance(node, ast.Call):
             continue
         chain = _attr_chain(node.func)
@@ -227,6 +249,12 @@ def lint_source(source: str, path: str) -> list[LintFinding]:
             findings.append(LintFinding("D3", norm, node.lineno, msg))
         if isinstance(node.func, ast.Attribute):
             attr = node.func.attr
+            if in_tcache and attr in _CLOCK_SPENDERS:
+                findings.append(LintFinding(
+                    "D6", norm, node.lineno,
+                    f".{attr}() from the translation cache — charges out of "
+                    "program order would skew the bit-exact ledger; leave "
+                    "all charging to the burst executor"))
             if in_obs and attr in _CLOCK_SPENDERS:
                 findings.append(LintFinding(
                     "D2", norm, node.lineno,

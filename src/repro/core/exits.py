@@ -20,7 +20,7 @@ from typing import TYPE_CHECKING
 from ..hw.cycles import Cost
 from ..kernel.kernel import ExitPath
 from ..obs.metrics import HandleCache, sandbox_label
-from ..kernel.process import Task
+from ..kernel.process import CowBacking, Task
 from .policy import SandboxViolation
 
 if TYPE_CHECKING:
@@ -125,7 +125,8 @@ class MonitorExitPath(ExitPath):
                 raise SandboxViolation(sandbox.sandbox_id,
                                        f"syscall {name!r} while locked")
 
-    def on_secure_pagefault(self, task: Task, va: int, write: bool) -> bool:
+    def on_secure_pagefault(self, task: Task, va: int, write: bool,
+                            vma=None) -> bool:
         """Self-paging (§6.1 future work / Autarky): the monitor resolves
         faults on secure-paged confined memory without exposing the
         faulting address to the OS, closing the controlled channel.
@@ -135,9 +136,9 @@ class MonitorExitPath(ExitPath):
         sandbox = self._sandbox_of(task)
         if sandbox is None:
             return False
-        vma = task.find_vma(va)
+        if vma is None:
+            vma = task.find_vma(va)
         if vma is not None and vma.kind == "confined":
-            from ..kernel.process import CowBacking
             if isinstance(vma.backing, CowBacking):
                 return sandbox.resolve_cow_fault(vma, va, write)
         if not sandbox.secure_paging:

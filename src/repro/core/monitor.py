@@ -59,12 +59,18 @@ class EreborFeatures:
     microarchitectural disturbance model can be disabled for direct-cost
     microbenchmarks. ``cfg_verifier`` gates the stage-2 CFG pass
     (:mod:`repro.analysis`) — off reproduces the paper's scan-only boot.
+
+    ``translation_cache`` gates the host-plane fast path only (superblock
+    dispatch + memoized MMU walks, :mod:`repro.hw.translate`): simulated
+    cycle ledgers, digests and certificates are byte-identical either
+    way; off exists for lockstep oracle tests and A/B speed benchmarks.
     """
 
     mmu_isolation: bool = True
     exit_protection: bool = True
     uarch_model: bool = True
     cfg_verifier: bool = True
+    translation_cache: bool = True
 
 
 class MonitorStats:
@@ -298,6 +304,19 @@ class EreborMonitor:
         kernel.boot()
         self.machine.vmm.interrupt_sink = lambda vector: kernel.pump()
         self.machine.kernel = kernel
+        if self.cpu.tcache.enabled:
+            # CFG-keyed pre-translation: the StaticVerifier just proved
+            # the image decodes into well-formed basic blocks, so each
+            # block head is decoded once into a superblock now instead of
+            # lazily at first execution (host-plane only; blocks whose
+            # VAs the kernel has not mapped are skipped).
+            from ..hw.errors import InvalidOpcode
+            for section in image.executable_sections():
+                try:
+                    self.cpu.tcache.preload(kernel.kernel_aspace,
+                                            section.va, section.data)
+                except InvalidOpcode:
+                    pass
         return kernel
 
     # ------------------------------------------------------------------ #
@@ -305,23 +324,49 @@ class EreborMonitor:
     # ------------------------------------------------------------------ #
 
     def charge_emc(self, validation_cycles: int, kind: str = "nop") -> None:
+        self.charge_emc_batch(validation_cycles, kind, 1)
+
+    def _emc_charges(self, clock, validation_cycles: int, count: int) -> None:
+        clock.charge(count * Cost.EMC_ROUND_TRIP, "emc")
+        # validation rides inside the emc span rather than a nested
+        # span of its own: it is a single charge, its cost stays
+        # separately visible via the ``emc_validate`` ledger tag and
+        # the per-kind EMC-cycles histogram, and dropping the extra
+        # record cuts a third of the armed run's span volume
+        clock.charge(count * validation_cycles, "emc_validate")
+        clock.count("emc", count)
+        if self.features.uarch_model:
+            clock.charge(count * Cost.UARCH_PER_EMC, "uarch")
+
+    def charge_emc_batch(self, validation_cycles: int, kind: str = "nop",
+                         count: int = 1) -> None:
+        """Charge ``count`` identical EMC round trips as one gate burst.
+
+        Bit-exact with ``count`` sequential :meth:`charge_emc` calls —
+        same cycle totals per tag, same event counts, same per-call
+        histogram samples (each round trip's delta is the burst delta
+        divided by ``count``, exactly) — but pays one span pair and one
+        metric write on the host. Burst call sites must not interleave
+        observers (``pump``/tracer reads) between the constituent calls,
+        which none of the batched paths do.
+        """
         clock = self.clock
         emc_start = clock.cycles
-        span_name = _EMC_SPAN_NAMES.get(kind)
-        if span_name is None:
-            span_name = _EMC_SPAN_NAMES[kind] = f"emc:{kind}"
-        with clock.tracer.span("gate", "gate"), \
-                clock.tracer.span(span_name, "emc"):
-            clock.charge(Cost.EMC_ROUND_TRIP, "emc")
-            # validation rides inside the emc span rather than a nested
-            # span of its own: it is a single charge, its cost stays
-            # separately visible via the ``emc_validate`` ledger tag and
-            # the per-kind EMC-cycles histogram, and dropping the extra
-            # record cuts a third of the armed run's span volume
-            clock.charge(validation_cycles, "emc_validate")
-            clock.count("emc")
-            if self.features.uarch_model:
-                clock.charge(Cost.UARCH_PER_EMC, "uarch")
+        tracer = clock.tracer
+        if tracer.enabled:
+            span_name = _EMC_SPAN_NAMES.get(kind)
+            if span_name is None:
+                span_name = _EMC_SPAN_NAMES[kind] = f"emc:{kind}"
+            if count == 1:
+                with tracer.span("gate", "gate"), \
+                        tracer.span(span_name, "emc"):
+                    self._emc_charges(clock, validation_cycles, count)
+            else:
+                with tracer.span("gate", "gate"), \
+                        tracer.span(span_name, "emc", calls=count):
+                    self._emc_charges(clock, validation_cycles, count)
+        else:
+            self._emc_charges(clock, validation_cycles, count)
         metrics = clock.metrics
         if metrics.enabled:
             kernel = self.kernel
@@ -337,10 +382,14 @@ class EreborMonitor:
                     metrics.histogram_handle("erebor_emc_cycles", cls=kind),
                 ))
             emc_total, pkrs_toggles, emc_cycles = handles
-            emc_total.inc()
+            emc_total.inc(count)
             # each EMC round trip writes IA32_PKRS twice (revoke + restore)
-            pkrs_toggles.inc(2)
-            emc_cycles.observe(clock.cycles - emc_start)
+            pkrs_toggles.inc(2 * count)
+            if count == 1:
+                emc_cycles.observe(clock.cycles - emc_start)
+            else:
+                emc_cycles.observe_n((clock.cycles - emc_start) // count,
+                                     count)
 
     def audit(self, kind: str, detail: str) -> None:
         cycle = self.clock.cycles
@@ -540,10 +589,11 @@ class MonitorOps(PrivilegedOps):
             self.clock.charge(n * Cost.PTE_WRITE_NATIVE, "mmu_op")
             self.clock.count("pte_write", n)
             return
-        for _ in range(n):
-            self.monitor.charge_emc(Cost.VALIDATE_MMU, kind="mmu")
-            self.clock.charge(Cost.PTE_WRITE_NATIVE, "mmu_op")
-            self.clock.count("pte_write")
+        # one gate burst for the n validations: identical totals, tags,
+        # events and histogram samples as n sequential round trips
+        self.monitor.charge_emc_batch(Cost.VALIDATE_MMU, kind="mmu", count=n)
+        self.clock.charge(n * Cost.PTE_WRITE_NATIVE, "mmu_op")
+        self.clock.count("pte_write", n)
 
     # --- CR / MSR / IDT ----------------------------------------------------
 
@@ -646,3 +696,31 @@ class MonitorOps(PrivilegedOps):
         self.clock.charge(Cost.STAC_CLAC_NATIVE
                           + pages * Cost.USER_COPY_PER_PAGE, "user_copy")
         self.clock.count("user_copy")
+
+    def user_copy_burst(self, nbytes, count, *, to_user, task=None):
+        """``count`` same-sized user copies dispatched as one gate burst.
+
+        Bit-exact with ``count`` sequential :meth:`user_copy` calls for
+        admissible targets; a locked-sandbox target is delegated to the
+        single-copy path so the C6 denial charges exactly what the first
+        call of the unbatched sequence would have charged.
+        """
+        pages = max(pages_for(nbytes), 1)
+        if not self.monitor.features.mmu_isolation:
+            self.clock.charge(count * (Cost.STAC_CLAC_NATIVE
+                              + pages * Cost.COPY_PER_PAGE_NATIVE),
+                              "user_copy")
+            self.clock.count("user_copy", count)
+            return
+        kernel = self.monitor.kernel
+        if task is None:
+            task = kernel.current if kernel else None
+        if (task is not None and task.kind == "sandbox"
+                and task.sandbox is not None and task.sandbox.locked):
+            self.user_copy(nbytes, to_user=to_user, task=task)  # denies
+            return
+        self.monitor.charge_emc_batch(Cost.VALIDATE_SMAP, kind="smap",
+                                      count=count)
+        self.clock.charge(count * (Cost.STAC_CLAC_NATIVE
+                          + pages * Cost.USER_COPY_PER_PAGE), "user_copy")
+        self.clock.count("user_copy", count)

@@ -163,10 +163,11 @@ class NestedMmu:
         self.clock.charge(Cost.PTE_WRITE_NATIVE, "mmu_op")
         self.clock.count("pte_write")
         if pte:
-            slot = aspace.set_pte(va, pte)
-            frame = self.phys.frame(pte_frame(pte))
-            if frame.owner.startswith("confined") or pte_frame(pte) in self.confined_owner:
-                self.confined_mapping[pte_frame(pte)] = (aspace.root_fn, va)
+            aspace.set_pte(va, pte)
+            fn = pte_frame(pte)
+            frame = self.phys.frame(fn)
+            if frame.owner.startswith("confined") or fn in self.confined_owner:
+                self.confined_mapping[fn] = (aspace.root_fn, va)
         else:
             old = aspace.get_pte(va)
             if old & PTE_P:
@@ -215,7 +216,9 @@ class NestedMmu:
                     f"double mapping of confined frame {fn:#x} refused "
                     f"(already mapped at {existing[1]:#x})")
 
-        region = self._region_of(fn)
+        owner = frame.owner
+        region = (self.common_regions.get(owner[7:])
+                  if owner.startswith("common:") else None)
         if region is not None and writable and not region.writable:
             raise PolicyViolation(
                 f"common region {region.name!r} is sealed read-only; "

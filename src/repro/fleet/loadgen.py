@@ -220,7 +220,7 @@ def run_fleet(*, workload: str = "llama.cpp", clients: int = 4,
               memory_bytes: int = 768 * MIB, cma_bytes: int = 256 * MIB,
               instrument=None, system=None, slo=None, anomaly=None,
               flight=None, certificates: bool = False,
-              cert_dir=None) -> tuple[FleetReport, object]:
+              cert_dir=None, features=None) -> tuple[FleetReport, object]:
     """Run one multi-tenant fleet; returns ``(report, system)``.
 
     ``instrument`` is called with the freshly built machine before any
@@ -244,6 +244,11 @@ def run_fleet(*, workload: str = "llama.cpp", clients: int = 4,
     offline verification, and implies ``certificates``. Issuance signs
     through the platform authority directly and charges zero simulated
     cycles, so seeded report digests are identical with it on or off.
+
+    ``features`` (:class:`~repro.core.monitor.EreborFeatures`) is passed
+    through to :func:`~repro.core.boot.erebor_boot` when this call boots
+    its own system — e.g. ``translation_cache=False`` runs the fully
+    interpreted simulator for A/B digest checks.
     """
     import repro.apps  # noqa: F401  (populates the workload registry)
 
@@ -261,7 +266,8 @@ def run_fleet(*, workload: str = "llama.cpp", clients: int = 4,
             from ..obs.flight import FlightConfig, FlightRecorder
             cfg = flight if isinstance(flight, FlightConfig) else None
             machine.clock.tracer = FlightRecorder(machine.clock, cfg)
-        system = erebor_boot(machine, cma_bytes=cma_bytes)
+        system = erebor_boot(machine, cma_bytes=cma_bytes,
+                             features=features)
     clock = system.machine.clock
 
     # certificates attach the request's causal span tree: arm a tracer
@@ -292,9 +298,19 @@ def run_fleet(*, workload: str = "llama.cpp", clients: int = 4,
         serve_t0 = clock.cycles
         wall_t0 = clock.wall_cycles
         busy_t0 = [clock.cpu_busy(c) for c in range(scheduler.n_cpus)]
+        cpu0 = system.machine.cpu
+        tlb_t0, sb_t0 = cpu0.mmu.tlb_hits, cpu0.tcache.sb_exec
         finished = scheduler.run(sessions)
         serve_cycles = clock.cycles - serve_t0
         serve_wall_cycles = clock.wall_cycles - wall_t0
+        # host-plane cache statistics: exported as metrics only, never
+        # part of the report digest preimage
+        if cpu0.mmu.tlb_hits > tlb_t0:
+            clock.metrics.inc("erebor_sim_tlb_hits_total",
+                              cpu0.mmu.tlb_hits - tlb_t0)
+        if cpu0.tcache.sb_exec > sb_t0:
+            clock.metrics.inc("erebor_sim_superblock_exec_total",
+                              cpu0.tcache.sb_exec - sb_t0)
         core_busy = [clock.cpu_busy(c) - busy_t0[c]
                      for c in range(scheduler.n_cpus)]
 

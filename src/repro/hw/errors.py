@@ -32,8 +32,13 @@ class HardwareFault(Exception):
     vector = -1
 
     def __init__(self, description: str = ""):
-        super().__init__(f"{type(self).__name__}(vector={self.vector}): {description}")
+        super().__init__()
         self.description = description
+
+    def __str__(self) -> str:
+        # formatted lazily: fault delivery is a hot simulated path and the
+        # message is only ever rendered for unhandled faults and test output
+        return f"{type(self).__name__}(vector={self.vector}): {self.description}"
 
 
 class DivideError(HardwareFault):
@@ -85,17 +90,26 @@ class PageFault(HardwareFault):
         pkey_violation: bool = False,
         description: str = "",
     ):
+        Exception.__init__(self)
         self.address = address
         self.is_write = is_write
         self.is_exec = is_exec
         self.is_user = is_user
         self.present = present
         self.pkey_violation = pkey_violation
-        detail = description or (
-            f"addr={address:#x} write={is_write} exec={is_exec} user={is_user} "
-            f"present={present} pkey={pkey_violation}"
+        self._description = description
+
+    @property
+    def description(self) -> str:
+        return self._description or (
+            f"addr={self.address:#x} write={self.is_write} "
+            f"exec={self.is_exec} user={self.is_user} "
+            f"present={self.present} pkey={self.pkey_violation}"
         )
-        super().__init__(detail)
+
+    @description.setter
+    def description(self, value: str) -> None:
+        self._description = value
 
 
 class ControlProtectionFault(HardwareFault):

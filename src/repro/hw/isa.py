@@ -133,6 +133,30 @@ def decode(blob: bytes, offset: int = 0) -> Instr:
     return Instr(name, dst=_operand_from_byte(b2), src=_operand_from_byte(b3), imm=imm)
 
 
+#: Content-addressed decode memo. ``Instr`` is frozen, so one decoded
+#: instruction can safely back every site that executes the same 12 bytes
+#: — no invalidation needed: a changed byte is a different key. Bounded
+#: so adversarial byte churn cannot grow host memory without limit.
+_DECODE_CACHE: dict[bytes, Instr] = {}
+_DECODE_CACHE_MAX = 65536
+
+
+def decode_cached(raw: bytes) -> Instr:
+    """Decode one aligned 12-byte encoding through the content memo.
+
+    Exactly equivalent to ``decode(raw)`` (including the
+    :class:`InvalidOpcode` raises — failures are never cached); only the
+    host-side re-decode work is skipped.
+    """
+    hit = _DECODE_CACHE.get(raw)
+    if hit is None:
+        hit = decode(raw)
+        if len(_DECODE_CACHE) >= _DECODE_CACHE_MAX:
+            _DECODE_CACHE.clear()
+        _DECODE_CACHE[raw] = hit
+    return hit
+
+
 def assemble(instrs: list[Instr], *, forbid_sensitive_bytes: bool = False) -> bytes:
     """Assemble a program to bytes.
 

@@ -16,6 +16,7 @@ their faults and mappings without allocating gigabytes on the host.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from heapq import heappop, heappush
 
 from .errors import SimulatorError
 
@@ -48,6 +49,9 @@ class Frame:
             through shadow-stack operations, per the SDM's
             "non-writable-but-dirty" encoding).
         data: lazily-allocated byte contents.
+        version: bumped on every byte mutation (write / zero / free).
+            Host-plane staleness witness for the MMU TLB and the
+            translation cache — never consulted by simulated semantics.
     """
 
     fn: int
@@ -55,6 +59,7 @@ class Frame:
     is_page_table: bool = False
     is_shadow_stack: bool = False
     data: bytearray | None = field(default=None, repr=False)
+    version: int = 0
 
     def materialize(self) -> bytearray:
         if self.data is None:
@@ -71,6 +76,17 @@ class PhysicalMemory:
         self.num_frames = size_bytes // PAGE_SIZE
         self.frames: dict[int, Frame] = {}
         self._next_free = 0
+        #: min-heap of explicitly freed frame numbers below the bump
+        #: pointer, so reallocation never rescans the allocated prefix.
+        #: Entries may be stale (re-taken by the bump scan); consumers
+        #: re-check the owner tag. Allocation order — ascending, lowest
+        #: free frame first — is identical to a full scan.
+        self._freed: list[int] = []
+        #: gates the paging-structure cache of every AddressSpace over this
+        #: memory (host-plane walk memoization; see AddressSpace.leaf_slot).
+        #: Cleared by boot when EreborFeatures.translation_cache is off so
+        #: the cache-off configuration interprets every walk.
+        self.psc_enabled = True
 
     # ------------------------------------------------------------------ #
     # frame lifecycle
@@ -78,10 +94,10 @@ class PhysicalMemory:
 
     def frame(self, fn: int) -> Frame:
         """Return (creating on first touch) the frame with number ``fn``."""
-        if not 0 <= fn < self.num_frames:
-            raise SimulatorError(f"frame {fn:#x} outside physical memory")
         f = self.frames.get(fn)
         if f is None:
+            if not 0 <= fn < self.num_frames:
+                raise SimulatorError(f"frame {fn:#x} outside physical memory")
             f = Frame(fn)
             self.frames[fn] = f
         return f
@@ -96,15 +112,35 @@ class PhysicalMemory:
         if count <= 0:
             raise SimulatorError("allocation count must be positive")
         got: list[int] = []
-        fn = self._next_free
-        while len(got) < count and fn < self.num_frames:
-            f = self.frames.get(fn)
-            if f is None or f.owner == "free":
-                got.append(fn)
-            elif contiguous and got:
-                got.clear()
-            fn += 1
+        freed = self._freed
+        if contiguous:
+            # rare path: scan for a run, starting at the lowest free frame
+            fn = min(freed[0], self._next_free) if freed else self._next_free
+            while len(got) < count and fn < self.num_frames:
+                f = self.frames.get(fn)
+                if f is None or f.owner == "free":
+                    got.append(fn)
+                elif got:
+                    for g in got:
+                        heappush(freed, g)
+                    got.clear()
+                fn += 1
+        else:
+            # take explicitly freed frames first (ascending), then bump
+            while freed and len(got) < count and freed[0] < self._next_free:
+                cand = heappop(freed)
+                f = self.frames.get(cand)
+                if f is None or f.owner == "free":
+                    got.append(cand)
+            fn = self._next_free
+            while len(got) < count and fn < self.num_frames:
+                f = self.frames.get(fn)
+                if f is None or f.owner == "free":
+                    got.append(fn)
+                fn += 1
         if len(got) < count:
+            for g in got:          # return candidates: nothing was tagged
+                heappush(freed, g)
             raise MemoryError(f"out of physical frames (wanted {count})")
         for g in got:
             frame = self.frame(g)
@@ -119,12 +155,13 @@ class PhysicalMemory:
     def free_frames(self, fns: list[int]) -> None:
         for fn in fns:
             f = self.frame(fn)
+            if f.owner != "free":   # guard: double-free must not enqueue twice
+                heappush(self._freed, fn)
             f.owner = "free"
             f.is_page_table = False
             f.is_shadow_stack = False
             f.data = None
-            if fn < self._next_free:
-                self._next_free = fn
+            f.version += 1
 
     def owned_by(self, owner: str) -> list[int]:
         return [fn for fn, f in self.frames.items() if f.owner == owner]
@@ -153,21 +190,46 @@ class PhysicalMemory:
         while off_in < size:
             fn, off = pa >> PAGE_SHIFT, pa & (PAGE_SIZE - 1)
             chunk = min(size - off_in, PAGE_SIZE - off)
-            buf = self.frame(fn).materialize()
+            frame = self.frame(fn)
+            buf = frame.materialize()
             buf[off:off + chunk] = data[off_in:off_in + chunk]
+            frame.version += 1
             pa += chunk
             off_in += chunk
 
     def read_u64(self, pa: int) -> int:
+        off = pa & (PAGE_SIZE - 1)
+        if off <= PAGE_SIZE - 8:
+            fn = pa >> PAGE_SHIFT
+            f = self.frames.get(fn)
+            if f is None:
+                if not 0 <= fn < self.num_frames:
+                    raise SimulatorError(f"frame {fn:#x} outside physical memory")
+                return 0
+            data = f.data
+            if data is None:
+                return 0
+            return int.from_bytes(data[off:off + 8], "little")
         return int.from_bytes(self.read(pa, 8), "little")
 
     def write_u64(self, pa: int, value: int) -> None:
-        self.write(pa, (value & (2 ** 64 - 1)).to_bytes(8, "little"))
+        off = pa & (PAGE_SIZE - 1)
+        value &= 2 ** 64 - 1
+        if off <= PAGE_SIZE - 8:
+            frame = self.frame(pa >> PAGE_SHIFT)
+            data = frame.data
+            if data is None:
+                data = frame.materialize()
+            data[off:off + 8] = value.to_bytes(8, "little")
+            frame.version += 1
+            return
+        self.write(pa, value.to_bytes(8, "little"))
 
     def zero_frame(self, fn: int) -> None:
         f = self.frame(fn)
         if f.data is not None:
             f.data = bytearray(PAGE_SIZE)
+        f.version += 1
 
     # ------------------------------------------------------------------ #
     # accounting

@@ -32,6 +32,7 @@ from .cycles import Cost, CycleClock
 from .errors import PageFault, SimulatorError
 from .memory import PAGE_SIZE, PhysicalMemory
 from .paging import (
+    _PSC_AD_MASK,
     HUGE_PAGE_SIZE,
     PTE_A,
     PTE_D,
@@ -62,11 +63,41 @@ class AccessContext:
 
 
 class Mmu:
-    """Translation + permission engine bound to one physical memory."""
+    """Translation + permission engine bound to one physical memory.
+
+    A host-plane TLB memoizes successful walks: the key is the full
+    architectural input of a check (``root_fn``, VA page, access kind and
+    every :class:`AccessContext` field); the value carries the resolved
+    physical page plus a *witness*:
+
+    * the leaf PTE's own 8 bytes, re-read and compared on every hit — a
+      rewrite of *this* entry (``mprotect``, CoW resolution, pool scrub,
+      template seal, or a raw scribble through the direct map) changes
+      the bytes and misses, while A/D traffic on *neighbouring* entries
+      in the same table leaves the witness intact;
+    * the byte images of the interior (root/L1) entries the walk read,
+      via the address space's paging-structure-cache record — matching
+      bytes mean an interpreted walk would reach the same leaf table,
+      so neighbour table creation never invalidates unrelated entries;
+    * the data frame's shadow-stack flag (flipped without a byte write).
+
+    Hits charge zero cycles — exactly what the interpreted walk charges —
+    so the simulated ledger is byte-identical with the TLB on or off.
+    """
+
+    #: deterministic capacity guard: drop everything rather than evict
+    TLB_CAPACITY = 65536
 
     def __init__(self, phys: PhysicalMemory, clock: CycleClock):
         self.phys = phys
         self.clock = clock
+        self.tlb_enabled = True
+        self._tlb: dict[tuple, tuple] = {}
+        self.tlb_hits = 0
+        self.tlb_misses = 0
+
+    def tlb_flush(self) -> None:
+        self._tlb.clear()
 
     # ------------------------------------------------------------------ #
     # the permission pipeline
@@ -79,8 +110,35 @@ class Mmu:
             raise SimulatorError(f"bad access type {access!r}")
         user = ctx.mode == USER_MODE
 
-        slot = aspace.leaf_slot(va)
-        pte = 0 if slot is None else self.phys.read_u64(slot.pa)
+        tlb_key = None
+        if self.tlb_enabled:
+            tlb_key = (aspace.root_fn, va >> 12, access, ctx.mode, ctx.cr0,
+                       ctx.cr4, ctx.pkrs, ctx.ac, ctx.shadow_stack_op)
+            entry = self._tlb.get(tlb_key)
+            if entry is not None:
+                (pa_base, cached_pte, pte_bytes, leaf_frame, slot_off,
+                 rf, e2_off, e2_img, lf, e1_off, e1_head, e1_tail,
+                 hit_frame, ss_flag) = entry
+                data = leaf_frame.data
+                if (data is not None
+                        and data[slot_off:slot_off + 8] == pte_bytes
+                        and hit_frame.is_shadow_stack == ss_flag):
+                    rd = rf.data
+                    if rd is not None and rd[e2_off:e2_off + 8] == e2_img:
+                        ld = lf.data
+                        if (ld is not None
+                                and ld[e1_off] & _PSC_AD_MASK == e1_head
+                                and ld[e1_off + 1:e1_off + 8] == e1_tail):
+                            self.tlb_hits += 1
+                            return pa_base | (va & (PAGE_SIZE - 1)), cached_pte
+                del self._tlb[tlb_key]
+
+        path = aspace.leaf_path(va)
+        if path is None:
+            slot, walk_wit, pte = None, None, 0
+        else:
+            slot, walk_wit = path
+            pte = self.phys.read_u64(slot.pa)
         if not pte & PTE_P:
             raise PageFault(va, is_write=access == "write", is_exec=access == "exec",
                             is_user=user, present=False)
@@ -133,6 +191,18 @@ class Mmu:
         if new != pte:
             self.phys.write_u64(slot.pa, new)
         pa = (hit_fn << 12) | (va & (PAGE_SIZE - 1))
+        if tlb_key is not None:
+            self.tlb_misses += 1
+            if len(self._tlb) >= self.TLB_CAPACITY:
+                self._tlb.clear()
+            # The witness is captured *after* the A/D write so the entry
+            # does not invalidate itself: the cached PTE (and its byte
+            # image) is the post-A/D value — exactly what a steady-state
+            # re-walk reads and returns.
+            self._tlb[tlb_key] = (
+                pa & ~(PAGE_SIZE - 1), new, new.to_bytes(8, "little"),
+                self.phys.frame(slot.table_fn), slot.index * 8,
+                ) + walk_wit[2:] + (frame, frame.is_shadow_stack)
         return pa, pte
 
     # ------------------------------------------------------------------ #
@@ -162,15 +232,28 @@ class Mmu:
 
     def fetch(self, aspace: AddressSpace, va: int, size: int, ctx: AccessContext) -> bytes:
         pa, _ = self.check(aspace, va, "exec", ctx)
-        if (va & (PAGE_SIZE - 1)) + size > PAGE_SIZE:
-            # straddles a page: validate the second page too
-            self.check(aspace, (va + size - 1) & ~(PAGE_SIZE - 1), "exec", ctx)
-        return self.phys.read(pa, size)
+        first = PAGE_SIZE - (va & (PAGE_SIZE - 1))
+        if first >= size:
+            return self.phys.read(pa, size)
+        # straddles a page: validate and translate the second page too —
+        # adjacent virtual pages need not map adjacent frames
+        pa2, _ = self.check(aspace, va + first, "exec", ctx)
+        return self.phys.read(pa, first) + self.phys.read(pa2, size - first)
 
     def read_u64(self, aspace: AddressSpace, va: int, ctx: AccessContext) -> int:
+        if va & (PAGE_SIZE - 1) <= PAGE_SIZE - 8:
+            pa, _ = self.check(aspace, va, "read", ctx)
+            value = self.phys.read_u64(pa)
+            self.clock.charge(Cost.MEM, "mem")
+            return value
         return int.from_bytes(self.read(aspace, va, 8, ctx), "little")
 
     def write_u64(self, aspace: AddressSpace, va: int, value: int, ctx: AccessContext) -> None:
+        if va & (PAGE_SIZE - 1) <= PAGE_SIZE - 8:
+            pa, _ = self.check(aspace, va, "write", ctx)
+            self.phys.write_u64(pa, value)
+            self.clock.charge(Cost.MEM, "mem")
+            return
         self.write(aspace, va, (value & (2 ** 64 - 1)).to_bytes(8, "little"), ctx)
 
     def touch(self, aspace: AddressSpace, va: int, access: str, ctx: AccessContext) -> int:

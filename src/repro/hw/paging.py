@@ -47,6 +47,12 @@ LEVELS = 3
 VA_BITS = 39
 VA_LIMIT = 1 << VA_BITS
 
+#: low-byte mask dropping A/D from an interior-entry byte image: for huge
+#: mappings the L1 entry doubles as the leaf and takes A/D maintenance,
+#: which must not invalidate the cached *walk* (the leaf bytes themselves
+#: are compared separately by whoever caches the translation).
+_PSC_AD_MASK = 0xFF & ~(PTE_A | PTE_D)
+
 
 def make_pte(fn: int, flags: int, pkey: int = 0) -> int:
     """Compose a PTE from a frame number, flag bits and a protection key."""
@@ -101,6 +107,12 @@ class AddressSpace:
         self.root_fn = root_fn
         #: every page-table frame in this hierarchy (root included)
         self.table_frames: set[int] = {root_fn}
+        #: paging-structure cache: ``va >> 21`` → the upper-level walk,
+        #: witnessed by the byte images of the two interior entries it
+        #: replays (see :meth:`leaf_slot`). Host-plane only — a hit is
+        #: provably identical to the interpreted walk because the walk
+        #: is a pure function of exactly the compared bytes.
+        self._psc: dict[int, tuple] = {}
 
     # ------------------------------------------------------------------ #
     # construction / mutation
@@ -130,25 +142,77 @@ class AddressSpace:
 
         For huge mappings (PS bit at the L1 level) the *L1 slot is the
         leaf*: callers see one PTE covering 2 MiB.
+
+        A paging-structure cache memoizes the two interior lookups per
+        2 MiB region. A cached walk is validated by byte-comparing the
+        live interior entries against the images captured at fill time
+        (the L1 entry with A/D masked, since for huge mappings that
+        entry *is* the leaf and takes A/D maintenance): if the bytes
+        match, the interpreted walk would reach the same leaf table, so
+        the hit is exact whatever happened to frames in between.
         """
+        key = va >> 21
+        e = self._psc.get(key) if self.phys.psc_enabled else None
+        if e is not None:
+            huge, tab_fn, rf, e2_off, e2_img, lf, e1_off, e1_head, e1_tail = e
+            rd = rf.data
+            if rd is not None and rd[e2_off:e2_off + 8] == e2_img:
+                ld = lf.data
+                if (ld is not None and ld[e1_off] & _PSC_AD_MASK == e1_head
+                        and ld[e1_off + 1:e1_off + 8] == e1_tail):
+                    if huge:
+                        return PteSlot(tab_fn, key & 0x1FF)
+                    return PteSlot(tab_fn, (va >> 12) & 0x1FF)
+            del self._psc[key]
         i2, i1, i0 = va_indices(va)
+        e2_off = i2 * 8
         entry = self._table_entry(self.root_fn, i2)
         if entry & PTE_P:
             fn = pte_frame(entry)
         elif create:
             fn = self._ensure_table(self.root_fn, i2)
+            entry = self._table_entry(self.root_fn, i2)
         else:
             return None
+        e1_off = i1 * 8
         l1_entry = self._table_entry(fn, i1)
         if l1_entry & PTE_P and l1_entry & PTE_PS:
+            self._fill_psc(key, True, fn, e2_off, entry, fn, e1_off, l1_entry)
             return PteSlot(fn, i1)
         if l1_entry & PTE_P:
-            fn = pte_frame(l1_entry)
+            leaf_fn = pte_frame(l1_entry)
         elif create:
-            fn = self._ensure_table(fn, i1)
+            leaf_fn = self._ensure_table(fn, i1)
+            l1_entry = self._table_entry(fn, i1)
         else:
             return None
-        return PteSlot(fn, i0)
+        self._fill_psc(key, False, leaf_fn, e2_off, entry, fn, e1_off, l1_entry)
+        return PteSlot(leaf_fn, i0)
+
+    def _fill_psc(self, key: int, huge: bool, tab_fn: int, e2_off: int,
+                  e2: int, l1_fn: int, e1_off: int, e1: int) -> None:
+        e1_img = e1.to_bytes(8, "little")
+        self._psc[key] = (
+            huge, tab_fn, self.phys.frame(self.root_fn), e2_off,
+            e2.to_bytes(8, "little"), self.phys.frame(l1_fn), e1_off,
+            e1_img[0] & _PSC_AD_MASK, e1_img[1:8])
+
+    def leaf_path(self, va: int) -> tuple[PteSlot, tuple] | None:
+        """Like :meth:`leaf_slot` (no create), but also return the
+        paging-structure-cache record that witnesses the walk.
+
+        The record is the tuple documented on ``_psc``: the interior
+        entries' byte images plus the frames holding them. A consumer
+        (the MMU TLB, the translation cache) revalidates a memoized
+        translation by re-comparing those bytes — any remap, table
+        teardown or frame reuse that could change the walk changes the
+        compared bytes, while unrelated traffic (neighbour PTE writes,
+        A/D maintenance) leaves them untouched.
+        """
+        slot = self.leaf_slot(va)
+        if slot is None:
+            return None
+        return slot, self._psc[va >> 21]
 
     def set_pte(self, va: int, pte: int) -> PteSlot:
         """Install a leaf PTE for ``va`` (raw write; no policy checks here)."""

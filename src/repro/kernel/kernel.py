@@ -66,8 +66,13 @@ class ExitPath:
     def on_pagefault(self, task: Task, va: int, write: bool) -> None:
         """A task faulted."""
 
-    def on_secure_pagefault(self, task: Task, va: int, write: bool) -> bool:
-        """Offer the fault to a secure pager first; True if fully handled."""
+    def on_secure_pagefault(self, task: Task, va: int, write: bool,
+                            vma=None) -> bool:
+        """Offer the fault to a secure pager first; True if fully handled.
+
+        ``vma`` is the already-resolved VMA for ``va`` (or None if the
+        caller did not look it up) so the fault path resolves it once.
+        """
         return False
 
     def on_interrupt(self, task: Task, vector: int) -> None:
@@ -366,7 +371,8 @@ class GuestKernel:
     def _handle_page_fault(self, task: Task, va: int, write: bool) -> None:
         self.clock.count("page_fault")
         self.clock.charge(Cost.EXC_DELIVERY, "pagefault")
-        handled = self.exit_path.on_secure_pagefault(task, va, write)
+        vma = task.find_vma(va)
+        handled = self.exit_path.on_secure_pagefault(task, va, write, vma)
         if handled:
             # the monitor resolved the fault internally (self-paging): the
             # kernel only learns that *a* fault occurred, not where
@@ -377,7 +383,6 @@ class GuestKernel:
         self.fault_log.append((task.pid, va, write))
         self.clock.charge(Cost.PF_HANDLER_BASE, "pagefault")
         self.exit_path.on_pagefault(task, va, write)
-        vma = task.find_vma(va)
         if vma is None:
             self.clock.charge(Cost.IRET, "pagefault")
             raise SegmentationFault(f"{task.name}: no VMA for {va:#x}")
@@ -412,15 +417,28 @@ class GuestKernel:
         end = va + length
         page_va = va & ~(PAGE_SIZE - 1)
         mmu = self.cpu.mmu
+        clock = self.clock
+        aspace = task.aspace
+        # Per-page MEM charges are accumulated and flushed before any
+        # point that can observe the clock (the fault handler's spans and
+        # the final pump), so the cycle value at every observation — and
+        # the resulting ledger — is identical to per-page charging.
+        pending = 0
+        check = mmu.check
         while page_va < end:
             try:
-                mmu.touch(task.aspace, page_va, access, ctx)
+                check(aspace, page_va, access, ctx)
             except PageFault:
+                if pending:
+                    clock.charge(pending * Cost.MEM, "mem")
+                    pending = 0
                 self.handle_page_fault(task, page_va, write)
-                mmu.touch(task.aspace, page_va, access, ctx)
+                check(aspace, page_va, access, ctx)
                 faults += 1
-            self.clock.charge(Cost.MEM, "mem")
+            pending += 1
             page_va += stride
+        if pending:
+            clock.charge(pending * Cost.MEM, "mem")
         self.pump()
         return faults
 

@@ -88,6 +88,17 @@ class PrivilegedOps(ABC):
         sandbox.
         """
 
+    def user_copy_burst(self, nbytes: int, count: int, *, to_user: bool,
+                        task=None) -> None:
+        """Model ``count`` same-sized user copies issued back to back.
+
+        Implementations may batch the privilege crossings (one gate span
+        per burst) but must charge exactly what ``count`` sequential
+        :meth:`user_copy` calls would charge. This default just loops.
+        """
+        for _ in range(count):
+            self.user_copy(nbytes, to_user=to_user, task=task)
+
     def mmu_housekeeping(self, n: int) -> None:
         """Model ``n`` ancillary MMU updates (A/D bits, TLB bookkeeping).
 
@@ -166,6 +177,13 @@ class NativeOps(PrivilegedOps):
         self.clock.charge(Cost.STAC_CLAC_NATIVE
                           + pages * Cost.COPY_PER_PAGE_NATIVE, "user_copy")
         self.clock.count("user_copy")
+
+    def user_copy_burst(self, nbytes, count, *, to_user, task=None):
+        from ..hw.memory import pages_for
+        pages = max(pages_for(nbytes), 1)
+        self.clock.charge(count * (Cost.STAC_CLAC_NATIVE
+                          + pages * Cost.COPY_PER_PAGE_NATIVE), "user_copy")
+        self.clock.count("user_copy", count)
 
     def mmu_housekeeping(self, n):
         self.clock.charge(n * Cost.PTE_WRITE_NATIVE, "mmu_op")

@@ -161,7 +161,7 @@ class Task:
 
     def find_vma(self, va: int) -> Vma | None:
         for vma in self.vmas:
-            if vma.contains(va):
+            if vma.start <= va < vma.start + vma.length:
                 return vma
         return None
 

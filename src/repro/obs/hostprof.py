@@ -52,13 +52,17 @@ from time import perf_counter  # D1-exempt: host attribution is the product
 #: already-imported call sites resolve the wrapper).
 SUBSYSTEMS: tuple[tuple[str, str, str], ...] = (
     ("cpu:fetch-decode", "repro.hw.cpu", "Cpu.step"),
+    ("cpu:superblock", "repro.hw.cpu", "Cpu._translated_burst"),
     ("cpu:run-loop", "repro.hw.cpu", "Cpu.run"),
+    ("tcache:acquire", "repro.hw.translate", "TranslationCache.acquire"),
     ("mmu:walk", "repro.hw.mmu", "Mmu.check"),
     ("mmu:fetch", "repro.hw.mmu", "Mmu.fetch"),
     ("mmu:read", "repro.hw.mmu", "Mmu.read"),
     ("mmu:write", "repro.hw.mmu", "Mmu.write"),
     ("mmu:touch", "repro.hw.mmu", "Mmu.touch"),
     ("emc:gate-dispatch", "repro.core.monitor", "EreborMonitor.charge_emc"),
+    ("emc:gate-dispatch", "repro.core.monitor",
+     "EreborMonitor.charge_emc_batch"),
     ("kernel:syscall", "repro.kernel.kernel", "GuestKernel.syscall"),
     ("kernel:page-fault", "repro.kernel.kernel",
      "GuestKernel.handle_page_fault"),

@@ -113,6 +113,19 @@ class HistogramHandle:
         hist["sum"] += value
         hist["count"] += 1
 
+    def observe_n(self, value: float, n: int) -> None:
+        """Record ``n`` identical samples (batched gate dispatch).
+
+        Exactly equivalent to ``n`` `observe` calls: the bucket, sum and
+        count updates all scale linearly in the sample count.
+        """
+        i = bisect_left(self._bounds, value)
+        if i < self._n:
+            self._buckets[i] += n
+        hist = self._hist
+        hist["sum"] += value * n
+        hist["count"] += n
+
 
 class _NullHandle:
     """Write handle of the disabled registry (shared no-op singleton)."""
@@ -123,6 +136,9 @@ class _NullHandle:
         return None
 
     def observe(self, value: float) -> None:
+        return None
+
+    def observe_n(self, value: float, n: int) -> None:
         return None
 
 

@@ -184,4 +184,35 @@ def test_tree_lints_clean_under_shipped_ratchet():
 
 
 def test_rule_table_is_complete():
-    assert list(RULES) == ["D1", "D2", "D3", "D4", "D5"]
+    assert list(RULES) == ["D1", "D2", "D3", "D4", "D5", "D6"]
+
+
+# --------------------------------------------------------------------------- #
+# D6: the translation cache is a host-speed plane
+# --------------------------------------------------------------------------- #
+
+TCACHE_PATH = "src/repro/hw/translate.py"
+
+
+def test_d6_flags_clock_spender_in_tcache():
+    src = "def build(self):\n    self.cpu.clock.charge(3, 'instr')\n"
+    findings = lint_source(src, TCACHE_PATH)
+    assert any(f.rule == "D6" for f in findings)
+
+
+def test_d6_flags_cycle_read_in_tcache():
+    src = "def fresh(self):\n    return self.cpu.clock.cycles > 0\n"
+    findings = lint_source(src, TCACHE_PATH)
+    assert any(f.rule == "D6" for f in findings)
+
+
+def test_d6_ignores_other_modules():
+    src = "def step(self):\n    self.clock.charge(1, 'instr')\n"
+    findings = lint_source(src, "src/repro/hw/cpu.py")
+    assert not any(f.rule == "D6" for f in findings)
+
+
+def test_d6_shipping_translate_module_is_clean():
+    source = Path(TCACHE_PATH).read_text()
+    findings = lint_source(source, TCACHE_PATH)
+    assert [f for f in findings if f.rule == "D6"] == []

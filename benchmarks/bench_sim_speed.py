@@ -39,6 +39,7 @@ from repro.vm import MIB
 
 _ROOT = Path(__file__).resolve().parent.parent
 ARTIFACT = _ROOT / "BENCH_sim_speed.json"
+HISTORY = _ROOT / "BENCH_history.jsonl"
 TABLES = _ROOT / "bench_tables.txt"
 TABLES_MARKER = "Simulator speed, translation cache on vs off"
 
@@ -238,6 +239,23 @@ def write_artifact(micro, fleet_timing, fleet_fidelity, smp) -> dict:
         },
     }
     ARTIFACT.write_text(json.dumps(payload, indent=2) + "\n")
+
+    # perf-trajectory history: append one min-of-N plane-ledger summary
+    # per arm. The simulated half (cycles, planes, digest) must reproduce
+    # bit-exactly across commits — `python -m repro.obs gate` fails on
+    # any drift; the host seconds are threshold-gated only.
+    from repro.obs.ledger import append_history, capture_ledger, history_entry
+    micro_led = capture_ledger(machine.clock, machine)
+    append_history(HISTORY, history_entry(
+        "sim-speed-micro", micro_led,
+        host_seconds={"cache_off": off_host, "cache_on": on_host},
+        meta={"loops": LOOPS, "steps": micro_on["steps"]}))
+    append_history(HISTORY, history_entry(
+        "sim-speed-fleet", fleet_on.ledger, digest=fid_on["digest"],
+        host_seconds={"cache_off": fleet_off_host,
+                      "cache_on": fleet_on_host},
+        meta={"requests": payload["fleet"]["requests"],
+              "n_cpus": FLEET_PARAMS["n_cpus"]}))
     return payload
 
 

@@ -225,7 +225,8 @@ def main(argv: list[str] | None = None) -> int:
         from ..obs.harness import ObservedRun, export_bundle
         from ..obs.schema import check_export
         run = ObservedRun(args.workload, "fleet", state["tracer"],
-                          state["registry"], None, state["clock"])
+                          state["registry"], None, state["clock"],
+                          state["system"].machine)
         bundle = export_bundle(run)
         bundle["meta"]["fleet"] = report.to_dict()
         check_export(bundle)                    # self-validate before emit

@@ -113,6 +113,13 @@ class FleetReport:
     #: digest preimage for the same reason — issuance charges no cycles
     #: and the hashes are themselves derived from the run
     certs: dict = field(default_factory=dict)
+    #: plane-attribution budget ledger (repro.obs.ledger): where every
+    #: simulated cycle went, conservation-verified. OUTSIDE the digest
+    #: preimage — capture reads the clock, never moves it
+    ledger: dict = field(default_factory=dict)
+    #: translation-cache effectiveness (TLB hit rate, superblock
+    #: coverage): host-plane counters, metrics-only, never digested
+    translation: dict = field(default_factory=dict)
 
     @property
     def throughput_rps(self) -> float:
@@ -163,6 +170,10 @@ class FleetReport:
             out["traces"] = dict(self.traces)
         if self.certs:
             out["certs"] = dict(self.certs)
+        if self.ledger:
+            out["ledger"] = dict(self.ledger)
+        if self.translation:
+            out["translation"] = dict(self.translation)
         return out
 
     def _base_dict(self) -> dict:
@@ -365,6 +376,11 @@ def run_fleet(*, workload: str = "llama.cpp", clients: int = 4,
     if getattr(recorder, "dumps", None) is not None:
         report.flight = {"triggers": recorder.triggers,
                          "dumps": len(recorder.dumps)}
+    # plane-attribution budget + translation-cache effectiveness: both
+    # read-only on the clock/counters, both outside the digest preimage
+    from ..obs.ledger import capture_ledger
+    report.ledger = capture_ledger(clock, system.machine)
+    report.translation = report.ledger.get("translation", {})
     if certificates:
         from ..certs.issue import CertificateIssuer, write_certificates
         issuer = CertificateIssuer(system, workload=workload,

@@ -322,6 +322,7 @@ class Cpu:
             if kind == 0:                      # SEG_PURE: fused run
                 charge(cost, "instr")
                 tcache.sb_exec += len(ops)
+                tcache.sb_cycles += cost
                 override = None
                 for instr, handler in ops:
                     override = handler(instr)
@@ -334,6 +335,7 @@ class Cpu:
                 instr, handler = ops[0]
                 charge(cost, "instr")
                 tcache.sb_exec += 1
+                tcache.sb_cycles += cost
                 iva = va + done * INSTR_SIZE
                 self.rip = iva + INSTR_SIZE
                 try:

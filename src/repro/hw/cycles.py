@@ -42,6 +42,10 @@ from ..obs.trace import NULL_TRACER
 #: Simulated core frequency (Hz); matches the paper's 2.1 GHz Xeon 8570.
 CPU_FREQ_HZ = 2_100_000_000
 
+#: :attr:`CycleClock.tags_by_cpu` lane key for serial-section charges
+#: (and single-core charges outside any :meth:`CycleClock.on_cpu` scope)
+SERIAL_LANE = -1
+
 
 class Cost:
     """Calibrated cycle costs for primitive operations.
@@ -209,6 +213,15 @@ class CycleClock:
     #: cycles charged while each CPU was the executing core (busy work;
     #: serial sections are excluded — they belong to no single core)
     busy_by_cpu: Counter = field(default_factory=Counter)
+    #: lane-resolved tag ledgers: executing cpu id (or :data:`SERIAL_LANE`
+    #: for serial/barrier sections and single-core unscoped charges) →
+    #: ``{tag: cycles}``. Untagged charges land under ``"untagged"`` here
+    #: (never in :attr:`by_tag`, which keeps its historical contents).
+    #: Maintained in the same branch as the busy accounting, so for every
+    #: cpu lane ``sum(tags_by_cpu[cpu].values()) == busy_by_cpu[cpu]``
+    #: bit-exactly — the conservation invariant the budget ledger
+    #: (:mod:`repro.obs.ledger`) verifies and exports.
+    tags_by_cpu: dict = field(default_factory=dict)
     #: per-CPU event ledgers (only events counted inside an on_cpu scope)
     events_by_cpu: dict = field(default_factory=dict)
     #: mirror of the monitor's audit-chain head digest (the monitor is
@@ -251,16 +264,24 @@ class CycleClock:
             self.by_tag[tag] += n
         per = self.per_cpu
         if self._cpu_stack:
-            cpu = self._cpu_stack[-1]
-            per[cpu] += n
-            self.busy_by_cpu[cpu] += n
+            lane = self._cpu_stack[-1]
+            per[lane] += n
+            self.busy_by_cpu[lane] += n
         elif len(per) == 1:
             per[0] += n
+            lane = SERIAL_LANE
         else:
             # serial section: barrier-sync every core, advance together
             wall = max(per) + n
             for i in range(len(per)):
                 per[i] = wall
+            lane = SERIAL_LANE
+        tags = self.tags_by_cpu.get(lane)
+        if tags is None:
+            tags = self.tags_by_cpu[lane] = {}
+        if tag is None:
+            tag = "untagged"
+        tags[tag] = tags.get(tag, 0) + n
 
     def fast_forward(self, cpu_id: int) -> int:
         """Advance one core's clock to the current wall; returns the wait.
@@ -303,6 +324,11 @@ class CycleClock:
     def cpu_events(self, cpu_id: int) -> Counter:
         """Event ledger of one core (empty Counter if untouched)."""
         return self.events_by_cpu.get(cpu_id) or Counter()
+
+    def cpu_tags(self, lane: int) -> dict:
+        """Tag → cycles ledger of one lane (:data:`SERIAL_LANE` for the
+        serial lane); a copy — the live ledger is never handed out."""
+        return dict(self.tags_by_cpu.get(lane, ()))
 
     @property
     def wall_cycles(self) -> int:

@@ -99,6 +99,15 @@ class Mmu:
     def tlb_flush(self) -> None:
         self._tlb.clear()
 
+    def stats(self) -> dict:
+        """Host-plane TLB counters, JSON-able (never in a digest preimage)."""
+        walks = self.tlb_hits + self.tlb_misses
+        return {
+            "tlb_hits": self.tlb_hits,
+            "tlb_misses": self.tlb_misses,
+            "tlb_hit_rate": round(self.tlb_hits / walks, 6) if walks else 0.0,
+        }
+
     # ------------------------------------------------------------------ #
     # the permission pipeline
     # ------------------------------------------------------------------ #

@@ -156,6 +156,16 @@ class TranslationCache:
         self.sb_exec = 0      # instructions retired from superblocks
         self.sb_builds = 0
         self.sb_hits = 0
+        #: simulated cycles charged through superblock segments. Written
+        #: by ``Cpu._translated_burst`` (D6 keeps all clock interaction
+        #: out of this module); the budget ledger carves these out of the
+        #: ``instr`` tag as the ``exec.superblock`` plane.
+        self.sb_cycles = 0
+
+    def stats(self) -> dict:
+        """Host-plane counters, JSON-able (never in a digest preimage)."""
+        return {"sb_exec": self.sb_exec, "sb_builds": self.sb_builds,
+                "sb_hits": self.sb_hits, "sb_cycles": self.sb_cycles}
 
     def flush(self) -> None:
         self._blocks.clear()

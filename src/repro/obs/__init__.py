@@ -22,6 +22,13 @@ stack. Four pieces:
   deliberate D1 exemption): where real seconds go — fetch/decode, MMU
   walks, EMC dispatch, tracer emit, crypto — as a ranked table and
   collapsed-stack flamegraph.
+* :mod:`repro.obs.ledger` — the plane-attribution budget ledger: every
+  simulated cycle assigned to a named plane per execution lane, with a
+  bit-exact conservation invariant against the clock's busy/wall
+  ledgers.
+* :mod:`repro.obs.diff` — differential run comparator (``python -m
+  repro.obs diff A B``) and the perf-trajectory regression gate over
+  ``BENCH_history.jsonl``.
 
 Observability *reads* the clock and never charges it: enabling a tracer
 changes no calibrated number (empty EMC stays 1224 cycles, empty syscall
@@ -77,15 +84,17 @@ __all__ = [
     "FlightConfig", "FlightDump", "FlightRecorder", "HostProfiler",
     "INSTANT", "MetricsRegistry", "NULL_METRICS", "NULL_TRACER",
     "NullMetrics", "NullTracer", "RequestTraceIndex", "RingBuffer",
-    "SPAN", "TraceEvent", "Tracer", "WindowedHistogram", "chrome_trace",
-    "check_chrome_trace", "check_export", "check_flight_dump",
-    "check_hostprof_report", "check_request_trace", "collapsed_stacks",
-    "hotspots", "install", "label_key", "mint_trace_id",
-    "parse_label_key", "profile_fleet", "profile_report",
-    "prometheus_text", "run_observed", "sandbox_label",
+    "SPAN", "TraceEvent", "Tracer", "WindowedHistogram",
+    "capture_ledger", "chrome_trace", "check_chrome_trace",
+    "check_diff_report", "check_export", "check_flight_dump",
+    "check_hostprof_report", "check_ledger", "check_request_trace",
+    "collapsed_stacks", "diff_any", "diff_bundles", "diff_digest_maps",
+    "gate_history", "gate_report", "hotspots", "host_planes", "install",
+    "label_key", "mint_trace_id", "parse_label_key", "profile_fleet",
+    "profile_report", "prometheus_text", "run_observed", "sandbox_label",
     "snapshot_counter_total", "snapshot_delta", "total_attributed",
     "trace_json", "uninstall", "utilization_timeline",
-    "write_chrome_trace",
+    "verify_conservation", "write_chrome_trace",
 ]
 
 #: lazy re-exports → (module, attribute); avoids import cycles with hw/bench
@@ -112,6 +121,16 @@ _LAZY = {
     "mint_trace_id": ("reqtrace", "mint_trace_id"),
     "HostProfiler": ("hostprof", "HostProfiler"),
     "profile_fleet": ("hostprof", "profile_fleet"),
+    "capture_ledger": ("ledger", "capture_ledger"),
+    "verify_conservation": ("ledger", "verify_conservation"),
+    "host_planes": ("ledger", "host_planes"),
+    "diff_any": ("diff", "diff_any"),
+    "diff_bundles": ("diff", "diff_bundles"),
+    "diff_digest_maps": ("diff", "diff_digest_maps"),
+    "gate_history": ("diff", "gate_history"),
+    "gate_report": ("diff", "gate_report"),
+    "check_ledger": ("schema", "check_ledger"),
+    "check_diff_report": ("schema", "check_diff_report"),
 }
 
 

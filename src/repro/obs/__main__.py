@@ -8,6 +8,9 @@ Examples::
     python -m repro.obs --workload helloworld --export collapsed
     python -m repro.obs flight --workload helloworld -o flight.json
     python -m repro.obs hostprof --workload helloworld -o hostprof.json
+    python -m repro.obs diff bundle_a.json bundle_b.json -o report.json
+    python -m repro.obs diff a.json b.json --gate
+    python -m repro.obs gate --history BENCH_history.jsonl --warn-only
     python -m repro.obs --list
 
 The ``json`` export is the full bundle (meta + trace + metrics + profile)
@@ -39,7 +42,101 @@ def _workload_names() -> list[str]:
     return sorted(REGISTRY)
 
 
+def _main_diff(argv: list[str]) -> int:
+    """``python -m repro.obs diff A B`` — differential run comparator."""
+    from .diff import diff_any, dumps_report, gate_report, render_report
+    from .schema import check_diff_report
+
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.obs diff",
+        description="Compare two obs bundles (or two {name: digest} "
+                    "maps) and emit a deterministic divergence report "
+                    "localizing deltas to plane -> span -> tenant.")
+    parser.add_argument("a", help="first bundle / digest-map JSON file")
+    parser.add_argument("b", help="second bundle / digest-map JSON file")
+    parser.add_argument("--out", "-o", default=None,
+                        help="write the report JSON here (default: stdout)")
+    parser.add_argument("--gate", action="store_true",
+                        help="exit non-zero on any simulated divergence "
+                             "(the perf-gate CI contract)")
+    args = parser.parse_args(argv)
+
+    with open(args.a) as fh:
+        payload_a = json.load(fh)
+    with open(args.b) as fh:
+        payload_b = json.load(fh)
+    report = diff_any(payload_a, payload_b, label_a=args.a, label_b=args.b)
+    check_diff_report(report)                   # self-validate before emit
+    text = dumps_report(report)
+    if args.out:
+        with open(args.out, "w") as fh:
+            fh.write(text + "\n")
+    else:
+        sys.stdout.write(text + "\n")
+    print(render_report(report), file=sys.stderr)
+    if args.gate:
+        verdict = gate_report(report)
+        for failure in verdict["failures"]:
+            print(f"gate: {failure}", file=sys.stderr)
+        return 0 if verdict["ok"] else 1
+    return 0
+
+
+def _main_gate(argv: list[str]) -> int:
+    """``python -m repro.obs gate`` — perf-trajectory regression gate."""
+    from .diff import HOST_REGRESSION_THRESHOLD, gate_history
+    from .ledger import load_history
+
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.obs gate",
+        description="Gate the newest BENCH_history.jsonl record per "
+                    "bench against its predecessor: simulated drift "
+                    "fails, host-seconds regressions past the threshold "
+                    "warn (or fail without --warn-only).")
+    parser.add_argument("--history", default="BENCH_history.jsonl",
+                        help="history JSONL path (default: "
+                             "BENCH_history.jsonl)")
+    parser.add_argument("--bench", default=None,
+                        help="gate only this bench name (default: all)")
+    parser.add_argument("--threshold", type=float,
+                        default=HOST_REGRESSION_THRESHOLD,
+                        help="relative host-seconds regression threshold "
+                             "(default: %(default)s)")
+    parser.add_argument("--warn-only", action="store_true",
+                        help="host regressions warn instead of failing "
+                             "(simulated drift always fails)")
+    parser.add_argument("--out", "-o", default=None,
+                        help="write the verdict JSON here")
+    args = parser.parse_args(argv)
+
+    verdict = gate_history(load_history(args.history), bench=args.bench,
+                           threshold=args.threshold)
+    if args.out:
+        with open(args.out, "w") as fh:
+            fh.write(json.dumps(verdict, indent=1, sort_keys=True) + "\n")
+    checked = ", ".join(verdict["checked"]) or "nothing (need >= 2 records)"
+    print(f"perf gate over {args.history}: checked {checked}",
+          file=sys.stderr)
+    for warning in verdict["warnings"]:
+        print(f"gate WARNING: {warning}", file=sys.stderr)
+    for failure in verdict["failures"]:
+        print(f"gate FAILURE: {failure}", file=sys.stderr)
+    if not verdict["ok"]:
+        return 1
+    if verdict["warnings"] and not args.warn_only:
+        return 1
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
+    if argv is None:
+        argv = sys.argv[1:]
+    # diff/gate take their own positionals; dispatch before the run parser
+    if argv and argv[0] == "diff":
+        return _main_diff(argv[1:])
+    if argv and argv[0] == "gate":
+        return _main_gate(argv[1:])
+
     parser = argparse.ArgumentParser(
         prog="python -m repro.obs",
         description="Run a workload under full observability and export "

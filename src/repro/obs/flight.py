@@ -93,6 +93,8 @@ class FlightRecorder(Tracer):
     # -- freezing -------------------------------------------------------- #
 
     def _freeze(self, reason: str, detail: str) -> "FlightDump":
+        from .ledger import capture_ledger   # late: ledger imports hw.cycles
+
         now = self.clock.cycles
         window_start = max(0, now - self.config.lookback_kcycles * 1000)
         events_by_cpu: dict[int, list[TraceEvent]] = {}
@@ -112,6 +114,9 @@ class FlightRecorder(Tracer):
             dropped_by_cpu=dropped_by_cpu,
             timeline_buckets=self.config.timeline_buckets,
             trace_id=self._trace or "",
+            # where the budget stood when the box froze: the postmortem
+            # can see which plane was eating the machine at the trigger
+            ledger=capture_ledger(self.clock),
         )
 
     def __repr__(self) -> str:
@@ -137,6 +142,8 @@ class FlightDump:
     timeline_buckets: int = 20
     #: request trace ID bound when the trigger fired ("" = none bound)
     trace_id: str = ""
+    #: plane-attribution budget snapshot at freeze time (repro.obs.ledger)
+    ledger: dict = field(default_factory=dict)
 
     def event_count(self) -> int:
         return sum(len(v) for v in self.events_by_cpu.values())
@@ -163,6 +170,7 @@ class FlightDump:
             "wall_cycles": self.wall_cycles,
             "per_cpu_cycles": list(self.per_cpu_cycles),
             "per_cpu": per_cpu,
+            "ledger": dict(self.ledger),
             "utilization": utilization_timeline(
                 self.events_by_cpu, self.window_start, self.cycle,
                 buckets=self.timeline_buckets),

@@ -33,6 +33,9 @@ class ObservedRun:
     registry: MetricsRegistry
     result: RunResult
     clock: object          # the machine's CycleClock
+    #: the machine itself, when the harness saw it — lets the budget
+    #: ledger carve superblock cycles and attach translation stats
+    machine: object = None
 
 
 def run_observed(workload: str = "helloworld", setting: str = "erebor", *,
@@ -59,13 +62,14 @@ def run_observed(workload: str = "helloworld", setting: str = "erebor", *,
         state["tracer"] = tracer
         state["registry"] = registry
         state["clock"] = machine.clock
+        state["machine"] = machine
 
     runner = WorkloadRunner(scale=scale, seed=seed, instrument=instrument)
     result = runner.run(workload, setting)
     tracer = state["tracer"]
     tracer.finish()
     return ObservedRun(workload, setting, tracer, state["registry"],
-                       result, state["clock"])
+                       result, state["clock"], state["machine"])
 
 
 def export_bundle(run: ObservedRun) -> dict:
@@ -83,6 +87,8 @@ def export_bundle(run: ObservedRun) -> dict:
         trace = {"clock": "simulated-cycles", "capacity": 0,
                  "dropped": 0, "events": []}
         profile = {"total_cycles": 0, "collapsed": []}
+
+    from .ledger import capture_ledger
 
     return {
         "meta": {
@@ -108,4 +114,7 @@ def export_bundle(run: ObservedRun) -> dict:
         "trace": trace,
         "metrics": run.registry.snapshot(),
         "profile": profile,
+        # plane-attribution budget: conservation-checked, read-only on
+        # the clock, and outside every digest preimage
+        "ledger": capture_ledger(run.clock, run.machine),
     }

@@ -55,7 +55,10 @@ SUBSYSTEMS: tuple[tuple[str, str, str], ...] = (
     ("cpu:superblock", "repro.hw.cpu", "Cpu._translated_burst"),
     ("cpu:run-loop", "repro.hw.cpu", "Cpu.run"),
     ("tcache:acquire", "repro.hw.translate", "TranslationCache.acquire"),
+    ("tcache:build", "repro.hw.translate", "TranslationCache._build"),
+    ("tcache:preload", "repro.hw.translate", "TranslationCache.preload"),
     ("mmu:walk", "repro.hw.mmu", "Mmu.check"),
+    ("mmu:leaf-path", "repro.hw.paging", "AddressSpace.leaf_path"),
     ("mmu:fetch", "repro.hw.mmu", "Mmu.fetch"),
     ("mmu:read", "repro.hw.mmu", "Mmu.read"),
     ("mmu:write", "repro.hw.mmu", "Mmu.write"),

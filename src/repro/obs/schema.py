@@ -89,6 +89,11 @@ def validate_export(obj) -> list[str]:
                     errors.append(f"profile.collapsed[{i}]: not a "
                                   f"'path cycles' line: {line!r}")
 
+    # the budget ledger is optional (older bundles predate it) but must
+    # be internally conserved when present
+    if "ledger" in obj:
+        errors.extend(validate_ledger(obj["ledger"]))
+
     return errors
 
 
@@ -97,6 +102,119 @@ def check_export(obj) -> None:
     errors = validate_export(obj)
     if errors:
         raise ValueError("obs export failed schema check:\n  "
+                         + "\n  ".join(errors))
+
+
+def validate_ledger(obj) -> list[str]:
+    """Structural + conservation check of one budget ledger
+    (:func:`repro.obs.ledger.capture_ledger`)."""
+    errors: list[str] = []
+    if not isinstance(obj, dict):
+        return [f"ledger: expected dict, got {type(obj).__name__}"]
+    for key, types in (("version", int), ("cycles", int),
+                       ("wall_cycles", int),
+                       ("wall_seconds", (int, float)),
+                       ("per_cpu_cycles", list), ("per_cpu_busy", list),
+                       ("lanes", dict), ("planes", dict),
+                       ("conservation", dict)):
+        if key not in obj:
+            errors.append(f"ledger: missing key {key!r}")
+        elif not isinstance(obj[key], types):
+            errors.append(f"ledger.{key}: expected "
+                          f"{getattr(types, '__name__', types)}, "
+                          f"got {type(obj[key]).__name__}")
+    lanes = obj.get("lanes")
+    if isinstance(lanes, dict):
+        for name, lane in lanes.items():
+            if not isinstance(lane, dict):
+                errors.append(f"ledger.lanes[{name!r}]: not a dict")
+                continue
+            for key in ("busy", "planes", "tags"):
+                if key not in lane:
+                    errors.append(f"ledger.lanes[{name!r}]: "
+                                  f"missing key {key!r}")
+            for section in ("planes", "tags"):
+                body = lane.get(section)
+                if isinstance(body, dict):
+                    for tag, cycles in body.items():
+                        if not isinstance(cycles, int) or cycles < 0:
+                            errors.append(
+                                f"ledger.lanes[{name!r}].{section}"
+                                f"[{tag!r}]: not a non-negative int")
+    conservation = obj.get("conservation")
+    if isinstance(conservation, dict):
+        if not isinstance(conservation.get("ok"), bool):
+            errors.append("ledger.conservation.ok: missing or not a bool")
+        elif not conservation["ok"]:
+            for violation in conservation.get("violations", ()):
+                errors.append(f"ledger.conservation: {violation}")
+    # re-derive the invariant rather than trusting the embedded verdict
+    if not errors:
+        from .ledger import verify_conservation
+        rerun = verify_conservation(obj)
+        for violation in rerun["violations"]:
+            errors.append(f"ledger (re-derived): {violation}")
+    return errors
+
+
+def check_ledger(obj) -> None:
+    errors = validate_ledger(obj)
+    if errors:
+        raise ValueError("budget ledger failed schema check:\n  "
+                         + "\n  ".join(errors))
+
+
+def validate_diff_report(obj) -> list[str]:
+    """Structural check of one divergence report
+    (:func:`repro.obs.diff.diff_any`)."""
+    errors: list[str] = []
+    if not isinstance(obj, dict):
+        return [f"diff: expected dict, got {type(obj).__name__}"]
+    for key, types in (("version", int), ("mode", str),
+                       ("inputs", dict), ("divergent", bool),
+                       ("digest_mismatches", list)):
+        if key not in obj:
+            errors.append(f"diff: missing key {key!r}")
+        elif not isinstance(obj[key], types):
+            errors.append(f"diff.{key}: expected {types.__name__}, "
+                          f"got {type(obj[key]).__name__}")
+    mode = obj.get("mode")
+    if mode not in ("bundle", "digest-map"):
+        errors.append(f"diff.mode: unknown mode {mode!r}")
+    if mode == "bundle":
+        for section in ("simulated_deltas", "plane_deltas",
+                        "span_deltas", "tenant_deltas"):
+            deltas = obj.get(section)
+            if not isinstance(deltas, list):
+                errors.append(f"diff.{section}: missing or not a list")
+                continue
+            for i, d in enumerate(deltas):
+                if not isinstance(d, dict) or not {"name", "a", "b",
+                                                   "delta"} <= set(d):
+                    errors.append(f"diff.{section}[{i}]: "
+                                  "missing name/a/b/delta")
+        seq = obj.get("first_divergent_audit_seq")
+        if seq is not None and not isinstance(seq, int):
+            errors.append("diff.first_divergent_audit_seq: not an int")
+    for i, d in enumerate(obj.get("digest_mismatches") or []):
+        if not isinstance(d, dict) or not {"name", "a", "b"} <= set(d):
+            errors.append(f"diff.digest_mismatches[{i}]: "
+                          "missing name/a/b")
+    # the verdict must agree with the evidence
+    if isinstance(obj.get("divergent"), bool):
+        has_deltas = bool(obj.get("digest_mismatches")) or any(
+            obj.get(s) for s in ("simulated_deltas", "plane_deltas",
+                                 "span_deltas", "tenant_deltas"))
+        if obj["divergent"] != has_deltas:
+            errors.append("diff.divergent: verdict disagrees with the "
+                          "recorded deltas")
+    return errors
+
+
+def check_diff_report(obj) -> None:
+    errors = validate_diff_report(obj)
+    if errors:
+        raise ValueError("diff report failed schema check:\n  "
                          + "\n  ".join(errors))
 
 
@@ -140,7 +258,7 @@ def validate_flight_dump(obj) -> list[str]:
                        ("window", dict), ("audit_head", str),
                        ("wall_cycles", int), ("per_cpu_cycles", list),
                        ("per_cpu", dict), ("utilization", dict),
-                       ("traceEvents", list)):
+                       ("ledger", dict), ("traceEvents", list)):
         if key not in obj:
             errors.append(f"flight: missing key {key!r}")
         elif not isinstance(obj[key], types):
@@ -166,6 +284,8 @@ def validate_flight_dump(obj) -> list[str]:
             if not isinstance(body.get("dropped"), int):
                 errors.append(f"flight.per_cpu[{lane!r}].dropped: "
                               "missing or not an int")
+    if isinstance(obj.get("ledger"), dict) and obj["ledger"]:
+        errors.extend(validate_ledger(obj["ledger"]))
     if isinstance(obj.get("traceEvents"), list):
         errors.extend(validate_chrome_trace(
             {"traceEvents": obj["traceEvents"]}))

@@ -59,9 +59,9 @@ FLEET_PARAMS = dict(workload="llama.cpp", clients=8, requests=2,
 SMP_PARAMS = dict(workload="helloworld", clients=4, requests=2,
                   pool_size=2, tenants=2, seed=2025, scale=1.0)
 SMP_PINNED = {
-    1: "c1c17db1a7fe7d50ac55a92b4d044b7b4cffcda3df96e83352c71d11c676a9ae",
-    2: "2cb6e0b5474ea8fcf33def60206af63af4aebf9b719b10ebb2765a4150f05e63",
-    4: "cd20fc2abaf267e06dea4f078c96abc667dca22a7b83aa1e6084e2bbb9c6b7e5",
+    1: "ac56b4d36619825613ca95d6b8798cf6a5b3514014efd23af3e42bd699661e84",
+    2: "b5c4370350c831ad6ec9ac795b5410edbd48cf02f7346793dc197d922da0ae65",
+    4: "b214646e8d839a90c3009b6b798166eb32510827d660194249e7d48a6e5e54ff",
 }
 
 LOOPS = 20_000

@@ -20,19 +20,34 @@ validation):
   measurement (RTMR[3]) so remote clients can distinguish scan-only from
   CFG-verified boots.
 
-* **Prong 2 — the discipline linter** (:mod:`repro.analysis.lint`):
-  AST rules D1–D5 over ``src/repro`` enforcing the invariants the
+* **Prong 2 — the dataflow verifier** (:mod:`repro.analysis.absint`):
+  a deterministic worklist fixpoint (join-semilattice abstract
+  interpreter) over the same CFGs, adding the *semantic* checks V8–V10:
+  sensitive-taint proofs for EMC gate arguments, whole-image push/pop
+  balance, and a sound per-image :class:`~repro.analysis.absint.
+  StaticBudget` of worst-case EMC/exit counts that
+  :mod:`repro.fleet.admission` consumes at admit time.
+
+* **Prong 3 — the discipline linter** (:mod:`repro.analysis.lint`):
+  AST rules D1–D7 over ``src/repro`` enforcing the invariants the
   simulator's determinism and calibration depend on (no wall-clock or
   unseeded randomness, observability read-only on the clock, ordered hash
-  preimages, no blanket excepts, per-CPU cycle charging in fleet code),
-  with a count-based ratchet (:mod:`repro.analysis.ratchet`) for
+  preimages, no blanket excepts, per-CPU cycle charging in fleet code,
+  shared scheduler state committed only on the serial core-ordered
+  path), with a count-based ratchet (:mod:`repro.analysis.ratchet`) for
   grandfathered findings.
 
-CLI: ``python -m repro.analysis {verify,lint,report}``.
+CLI: ``python -m repro.analysis {verify,dataflow,lint,report}``.
 """
 
 from __future__ import annotations
 
+from .absint import (
+    DATAFLOW_CHECKS,
+    DataflowReport,
+    DataflowVerifier,
+    StaticBudget,
+)
 from .cfg import BasicBlock, ControlFlowGraph, Edge, build_cfg
 from .lint import LintFinding, RULES, lint_paths, lint_source
 from .ratchet import Ratchet, apply_ratchet, default_ratchet_path
@@ -46,6 +61,7 @@ from .verifier import (
 )
 
 __all__ = [
+    "DATAFLOW_CHECKS", "DataflowReport", "DataflowVerifier", "StaticBudget",
     "BasicBlock", "ControlFlowGraph", "Edge", "build_cfg",
     "LintFinding", "RULES", "lint_paths", "lint_source",
     "Ratchet", "apply_ratchet", "default_ratchet_path",

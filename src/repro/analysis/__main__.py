@@ -1,4 +1,4 @@
-"""CLI: ``python -m repro.analysis {verify,lint,report}``.
+"""CLI: ``python -m repro.analysis {verify,dataflow,lint,report}``.
 
 ``verify``
     CFG-verify a SELF image (default: the instrumented distribution
@@ -6,15 +6,23 @@
     and requires every attack to be rejected with its expected check ID —
     the CI gate. ``--json`` writes the VerifierReport artifact.
 
+``dataflow``
+    Run the abstract-interpretation plane (V8 sensitive-taint, V9
+    stack-balance, V10 static-budget) over a SELF image and print the
+    proven StaticBudget. ``--self-check`` runs the dataflow attack
+    corpus: every attack must pass V0–V7 *and* be rejected with exactly
+    its expected dataflow check. ``--json`` writes the DataflowReport.
+
 ``lint``
-    Run rules D1–D5 over paths (default: the installed ``repro``
-    package), applying the in-tree ratchet. ``--update-ratchet``
-    regenerates the ratchet from current findings (D1/D2 never
-    ratchetable). Exit 1 on any non-waived finding.
+    Run rules D1–D7 over paths (default: the installed ``repro``
+    package), applying the in-tree ratchet. ``--update`` (alias
+    ``--update-ratchet``) regenerates the ratchet from current findings,
+    carrying existing rationales (D1/D2 never ratchetable). Exit 1 on
+    any non-waived finding.
 
 ``report``
-    One JSON document combining kernel verification, the attack-corpus
-    self-check, and the lint summary.
+    One JSON document combining kernel verification (both planes), the
+    attack-corpus self-checks, and the lint summary.
 """
 
 from __future__ import annotations
@@ -69,6 +77,68 @@ def _verify_payload(args) -> dict:
     return payload
 
 
+def _dataflow_payload(args) -> dict:
+    from .absint import DataflowVerifier
+    verifier = DataflowVerifier()
+    if getattr(args, "image", None):
+        image = SelfImage.deserialize(Path(args.image).read_bytes())
+    else:
+        image = _kernel_image()
+    report = verifier.verify_image(image)
+    payload = {"kernel": report.as_dict(),
+               "kernel_digest": report.digest()}
+    if getattr(args, "self_check", False):
+        from .attacks import dataflow_attack_corpus
+        structural = StaticVerifier()
+        attacks = []
+        for attack in dataflow_attack_corpus():
+            rep = verifier.verify_image(attack.image)
+            v0_v7 = structural.verify_image(attack.image)
+            attacks.append({
+                "name": attack.name,
+                "expected_check": attack.expected_check,
+                "failed_checks": rep.failed_checks,
+                "rejected_as_expected":
+                    rep.failed_checks == [attack.expected_check],
+                "passes_v0_v7": v0_v7.ok,
+                "digest": rep.digest(),
+            })
+        payload["attacks"] = attacks
+    return payload
+
+
+def _cmd_dataflow(args) -> int:
+    payload = _dataflow_payload(args)
+    kernel = payload["kernel"]
+    ok = kernel["ok"]
+    budget = kernel["budget"] or {}
+    print(f"kernel {kernel['image']}: "
+          f"{'PROVEN' if ok else 'REJECTED'} "
+          f"({kernel['instructions']} instrs, {kernel['iterations']} "
+          f"fixpoint iterations, digest {payload['kernel_digest'][:16]})")
+    for check in kernel["checks"]:
+        mark = "ok" if check["passed"] else f"FAIL x{check['count']}"
+        print(f"  {check['id']} {check['name']:<20} {mark}")
+    if budget:
+        print(f"  budget: emc<={budget['emc_per_activation']} "
+              f"exits<={budget['exits_per_activation']} per activation, "
+              f"emc<={budget['emc_per_kcycle']}/kcycle")
+    for attack in payload.get("attacks", []):
+        good = attack["rejected_as_expected"] and attack["passes_v0_v7"]
+        ok = ok and good
+        verdict = "ok" if good else "UNEXPECTED"
+        print(f"  attack {attack['name']:<28} expected "
+              f"{attack['expected_check']} got "
+              f"{','.join(attack['failed_checks']) or '-'} "
+              f"(V0-V7 {'clean' if attack['passes_v0_v7'] else 'DIRTY'}) "
+              f"[{verdict}]")
+    if args.json:
+        Path(args.json).write_text(
+            json.dumps(payload, sort_keys=True, indent=2) + "\n")
+        print(f"report written to {args.json}")
+    return 0 if ok else 1
+
+
 def _cmd_verify(args) -> int:
     payload = _verify_payload(args)
     kernel = payload["kernel"]
@@ -101,7 +171,8 @@ def _cmd_lint(args) -> int:
         else default_ratchet_path()
     if args.update_ratchet:
         findings, _ = lint_paths(paths, ratchet=None)
-        ratchet = Ratchet.from_findings(findings)
+        previous = Ratchet.load(ratchet_path)
+        ratchet = Ratchet.from_findings(findings, previous=previous)
         ratchet.save(ratchet_path)
         unr = [f for f in findings if f.rule in ("D1", "D2")]
         print(f"ratchet written to {ratchet_path} "
@@ -126,6 +197,7 @@ def _cmd_report(args) -> int:
         image = None
         self_check = True
     payload = _verify_payload(_Args())
+    payload["dataflow"] = _dataflow_payload(_Args())
     ratchet = Ratchet.load(default_ratchet_path())
     paths = args.paths or [str(Path(__file__).resolve().parents[1])]
     kept, waived = lint_paths(paths, ratchet=ratchet)
@@ -143,6 +215,9 @@ def _cmd_report(args) -> int:
     ok = payload["kernel"]["ok"] and not kept and all(
         a["rejected_as_expected"] and a["byte_scan_as_expected"]
         for a in payload["attacks"])
+    ok = ok and payload["dataflow"]["kernel"]["ok"] and all(
+        a["rejected_as_expected"] and a["passes_v0_v7"]
+        for a in payload["dataflow"]["attacks"])
     return 0 if ok else 1
 
 
@@ -160,12 +235,24 @@ def main(argv: list[str] | None = None) -> int:
     p.add_argument("--json", help="write the report JSON here")
     p.set_defaults(fn=_cmd_verify)
 
-    p = sub.add_parser("lint", help="run discipline rules D1-D5")
+    p = sub.add_parser("dataflow",
+                       help="dataflow-verify a SELF image (V8-V10)")
+    p.add_argument("--image", help="path to a serialized SELF image "
+                   "(default: the instrumented distribution kernel)")
+    p.add_argument("--self-check", action="store_true", dest="self_check",
+                   help="also run the dataflow attack corpus")
+    p.add_argument("--json", help="write the report JSON here")
+    p.set_defaults(fn=_cmd_dataflow)
+
+    p = sub.add_parser("lint", help="run discipline rules D1-D7")
     p.add_argument("paths", nargs="*", help="files/dirs "
                    "(default: the repro package)")
     p.add_argument("--ratchet", help="ratchet file "
                    "(default: the in-tree one)")
-    p.add_argument("--update-ratchet", action="store_true")
+    p.add_argument("--update", "--update-ratchet", action="store_true",
+                   dest="update_ratchet",
+                   help="regenerate the ratchet from current findings "
+                        "(rationales carried over)")
     p.add_argument("--show-waived", action="store_true")
     p.set_defaults(fn=_cmd_lint)
 

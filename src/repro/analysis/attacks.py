@@ -20,9 +20,20 @@ from dataclasses import dataclass
 
 from ..emc_abi import ENTRY_GATE_VA, EmcCall
 from ..hw.isa import INSTR_SIZE, I, assemble
-from ..kernel.image import KERNEL_TEXT_VA, SEC_EXEC, SEC_WRITE, Section, SelfImage
+from ..kernel.image import (
+    KERNEL_TEXT_VA,
+    SEC_EXEC,
+    SEC_SENSITIVE,
+    SEC_WRITE,
+    Section,
+    SelfImage,
+)
 
 _VA = KERNEL_TEXT_VA
+
+#: where the dataflow attacks stash their private bytes (any non-exec
+#: VA works; the V8 taint domain keys on the SEC_SENSITIVE flag)
+_SECRET_VA = _VA + 0x2000_0000
 
 
 @dataclass(frozen=True)
@@ -160,6 +171,92 @@ def erim_spanning_instructions() -> AttackImage:
         _image("erim-spanning-instructions", instrs), "V6", False,
         "sensitive sequence spanning two adjacent instructions "
         "(ERIM-style straddle)")
+
+
+# --- dataflow attacks: pass V0-V7, each trips exactly one of V8-V10 ----
+
+def tainted_gate_argument() -> AttackImage:
+    """A byte-perfect wrmsr thunk fed a secret through ``rcx``.
+
+    Structurally impeccable — the thunk is exactly what the
+    instrumentation pass emits, so V3/V7 accept it — but the caller
+    loads a ``SEC_SENSITIVE`` byte into ``rcx`` first, and the thunk's
+    marshalling (``mov rsi, rcx``) exfiltrates it as an EMC argument.
+    Only the taint domain sees the flow.
+    """
+    from ..kernel.instrument import thunk_shape
+    thunk = thunk_shape("wrmsr", gate_va=ENTRY_GATE_VA)
+    entry = [
+        I("movi", "rbx", imm=_SECRET_VA),
+        I("load", "rcx", "rbx", imm=0),       # rcx <- secret byte
+        I("call", imm=_VA + 4 * INSTR_SIZE),  # the (perfect) thunk
+        I("hlt"),
+    ]
+    image = SelfImage("tainted-gate-argument", _VA, [
+        Section(".text", _VA, assemble(entry + thunk), SEC_EXEC),
+        Section(".secret", _SECRET_VA, b"\x2a" * 64, SEC_SENSITIVE),
+        Section(".data", _VA + 0x4000_0000, b"\x00" * 64, SEC_WRITE),
+    ])
+    return AttackImage(
+        "tainted-gate-argument", image, "V8", True,
+        "template-exact gate thunk whose marshalling forwards a value "
+        "loaded from a SEC_SENSITIVE section — a declassification-free "
+        "secret flow into an EMC argument register")
+
+
+def unbalanced_stack_paths() -> AttackImage:
+    """Push/pop balance that depends on which branch executes.
+
+    One path pops the saved register, the other skips the pop; the two
+    join before ``ret`` with unequal frame depths, so the popped return
+    address can disagree with the hardware shadow stack. Every check up
+    to V7 passes — only path-sensitive stack accounting (V9) sees it.
+    """
+    instrs = [
+        I("push", "rbx"),
+        I("cmpi", "rax", imm=0),
+        I("jz", imm=_VA + 4 * INSTR_SIZE),    # skip the pop when zf
+        I("pop", "rbx"),
+        I("ret"),                             # join: depth 0 vs depth 1
+    ]
+    return AttackImage(
+        "unbalanced-stack-paths", _image("unbalanced-stack-paths", instrs),
+        "V9", True,
+        "conditionally-skipped pop: paths join at ret with unequal frame "
+        "depths, corrupting the return/shadow-stack discipline")
+
+
+def looped_gate_thunk() -> AttackImage:
+    """A perfect gate thunk called from a data-dependent loop.
+
+    Each call is individually legal (V3/V7 pass), but the loop's trip
+    count is unprovable, so the worst-case EMC invocation count is
+    unbounded — an exit-burn side channel no per-site check can see.
+    Only the V10 call-graph fold rejects it.
+    """
+    from ..kernel.instrument import thunk_shape
+    thunk = thunk_shape("stac", gate_va=ENTRY_GATE_VA)
+    entry = [
+        I("call", imm=_VA + 4 * INSTR_SIZE),  # one EMC per iteration
+        I("cmpi", "rax", imm=0),
+        I("jnz", imm=_VA),                    # data-dependent back edge
+        I("hlt"),
+    ]
+    return AttackImage(
+        "looped-gate-thunk",
+        _image("looped-gate-thunk", entry + thunk), "V10", True,
+        "template-exact gate thunk inside an unbounded loop: per-site "
+        "checks pass, but the worst-case EMC rate is unprovable")
+
+
+def dataflow_attack_corpus() -> list[AttackImage]:
+    """Attacks for the V8-V10 plane: each passes the whole V0-V7 battery
+    and is rejected by exactly one dataflow check (stable order)."""
+    return [
+        tainted_gate_argument(),
+        unbalanced_stack_paths(),
+        looped_gate_thunk(),
+    ]
 
 
 def attack_corpus() -> list[AttackImage]:

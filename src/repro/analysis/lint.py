@@ -37,6 +37,16 @@ D6    tcache-host-plane   any cycle-clock access from the translation cache
                           bit-exact ledger, so the module may not touch the
                           clock at all — execution charges stay in
                           ``Cpu._translated_burst``, in program order
+D7    fleet-commit-       mutations of scheduler/pool *shared* state
+      discipline          (``queue``/``active``/``cores``/``finished``/
+                          ``counts``/``slots``) from ``repro/fleet`` code
+                          *inside* a ``with clock.on_cpu(...):`` scope.
+                          Per-core execution may only touch per-session
+                          state; shared structures commit on the serial,
+                          core-ordered path outside any core pin (the
+                          fixed interleaving seeded digests depend on),
+                          or on a line marked ``# commit-path`` where the
+                          serial order is established another way
 ====  ==================  ===================================================
 
 Findings can be grandfathered through :mod:`repro.analysis.ratchet`; the
@@ -57,6 +67,7 @@ RULES = {
     "D4": "blanket-except",
     "D5": "cpu-attribution",
     "D6": "tcache-host-plane",
+    "D7": "fleet-commit-discipline",
 }
 
 #: modules bound by D6 (path suffixes): the translation-cache plane
@@ -79,6 +90,41 @@ _HASH_ATTRS = frozenset({
     "sha1", "sha256", "sha384", "sha512", "md5", "blake2b", "blake2s",
 })
 _DICT_ITERATORS = frozenset({"items", "keys", "values"})
+
+#: scheduler/pool shared-state attribute names bound by D7: collections
+#: every core can observe, whose mutation order IS the deterministic
+#: interleaving seeded fleet digests pin
+_D7_SHARED = frozenset({
+    "queue", "active", "cores", "finished", "counts", "slots",
+})
+#: in-place mutating methods on those collections
+_D7_MUTATORS = frozenset({
+    "append", "appendleft", "extend", "extendleft", "insert", "add",
+    "pop", "popleft", "remove", "discard", "clear", "update",
+    "setdefault", "rotate",
+})
+
+
+def _d7_shared_target(node: ast.AST) -> str | None:
+    """The shared-state attribute a node mutates, if any.
+
+    Matches ``self.queue`` and friends anywhere in the attribute chain
+    (``self.pool.slots.append`` mutates ``slots``).
+    """
+    chain = _attr_chain(node)
+    if not chain:
+        return None
+    for part in chain.split(".")[1:]:        # skip the base name
+        if part in _D7_SHARED:
+            return part
+    return None
+
+
+def _peel_subscripts(node: ast.AST) -> ast.AST:
+    """``self.cores[i]`` → the ``self.cores`` attribute node."""
+    while isinstance(node, ast.Subscript):
+        node = node.value
+    return node
 
 
 @dataclass(frozen=True)
@@ -236,6 +282,20 @@ def lint_source(source: str, path: str) -> list[LintFinding]:
                 "build/lookup is a host-speed plane and may not observe "
                 "the cycle clock"))
             continue
+        if in_fleet and isinstance(node, (ast.Assign, ast.AugAssign)):
+            targets = node.targets if isinstance(node, ast.Assign) \
+                else [node.target]
+            for target in targets:
+                shared = _d7_shared_target(_peel_subscripts(target))
+                if shared and _in_on_cpu_scope(node, parents) and \
+                        "# commit-path" not in line_text(node.lineno):
+                    findings.append(LintFinding(
+                        "D7", norm, node.lineno,
+                        f"shared scheduler state '{shared}' assigned "
+                        "inside an on_cpu(...) scope — commit shared "
+                        "state on the serial core-ordered path or mark "
+                        "the line '# commit-path'"))
+            continue
         if not isinstance(node, ast.Call):
             continue
         chain = _attr_chain(node.func)
@@ -260,6 +320,17 @@ def lint_source(source: str, path: str) -> list[LintFinding]:
                     "D2", norm, node.lineno,
                     f".{attr}() from an obs module — observability must "
                     "be read-only on the clock"))
+            if in_fleet and attr in _D7_MUTATORS:
+                shared = _d7_shared_target(
+                    _peel_subscripts(node.func.value))
+                if shared and _in_on_cpu_scope(node, parents) and \
+                        "# commit-path" not in line_text(node.lineno):
+                    findings.append(LintFinding(
+                        "D7", norm, node.lineno,
+                        f".{attr}() mutates shared scheduler state "
+                        f"'{shared}' inside an on_cpu(...) scope — "
+                        "commit shared state on the serial core-ordered "
+                        "path or mark the line '# commit-path'"))
             if in_fleet and attr == "charge" and \
                     not _in_on_cpu_scope(node, parents) and \
                     "# serial-section" not in line_text(node.lineno):

@@ -2,10 +2,20 @@
 
 A ratchet entry ``"D4|repro/baselines/sfi.py": 1`` waives up to one D4
 finding in that file — existing debt is tolerated, *new* debt is not, and
-regenerating the file (``python -m repro.analysis lint --update-ratchet``)
-can only shrink entries in CI review.  Determinism rule: within one
+regenerating the file (``python -m repro.analysis lint --update``, alias
+``--update-ratchet``) can only shrink entries in CI review.  Entries are
+keyed per rule *and* per file, so one grandfathered finding in one module
+never buys slack anywhere else: a new finding in a previously-clean file
+fails CI even when the same rule is ratcheted elsewhere.  Determinism
+rules: the file is written with stable sorted keys, and within one
 (rule, file) group the waiver applies to the lowest line numbers first,
-so the same tree always yields the same kept/waived split.
+so the same tree always yields the same kept/waived split and the same
+bytes on disk.
+
+An entry may also carry a rationale —
+``"D4|...": {"count": 1, "rationale": "legacy SFI shim"}`` — which
+``--update`` preserves across regenerations, so the *why* of each piece
+of grandfathered debt survives count churn.
 
 Policy: D1 (wall-clock) and D2 (obs-read-only) findings are *never*
 ratchetable — those two rules guard the determinism and calibration
@@ -29,38 +39,68 @@ def default_ratchet_path() -> Path:
 
 @dataclass
 class Ratchet:
-    """Allowed finding counts, keyed ``"RULE|path"``."""
+    """Allowed finding counts, keyed ``"RULE|path"``.
+
+    ``rationales`` holds the optional per-entry justification text; it
+    never affects which findings are waived, only how the file reads.
+    """
 
     entries: dict[str, int] = field(default_factory=dict)
+    rationales: dict[str, str] = field(default_factory=dict)
 
     @classmethod
     def load(cls, path: Path) -> "Ratchet":
         if not Path(path).exists():
             return cls()
         data = json.loads(Path(path).read_text())
-        entries = {str(k): int(v) for k, v in data.items()}
+        entries: dict[str, int] = {}
+        rationales: dict[str, str] = {}
+        for key, value in data.items():
+            key = str(key)
+            if isinstance(value, dict):
+                entries[key] = int(value["count"])
+                rationale = str(value.get("rationale", ""))
+                if rationale:
+                    rationales[key] = rationale
+            else:
+                entries[key] = int(value)
         bad = sorted(k for k in entries if k.split("|", 1)[0]
                      in UNRATCHETABLE)
         if bad:
             raise ValueError(
                 f"ratchet file {path} grandfathers unratchetable rules: "
                 f"{', '.join(bad)} (D1/D2 findings must be fixed)")
-        return cls(entries)
+        return cls(entries, rationales)
 
     def save(self, path: Path) -> None:
-        Path(path).write_text(json.dumps(
-            dict(sorted(self.entries.items())), indent=2) + "\n")
+        payload: dict = {}
+        for key in sorted(self.entries):
+            rationale = self.rationales.get(key, "")
+            payload[key] = ({"count": self.entries[key],
+                             "rationale": rationale} if rationale
+                            else self.entries[key])
+        Path(path).write_text(json.dumps(payload, indent=2,
+                                         sort_keys=True) + "\n")
 
     @classmethod
-    def from_findings(cls, findings) -> "Ratchet":
-        """Build the smallest ratchet waiving exactly ``findings``."""
+    def from_findings(cls, findings, previous: "Ratchet | None" = None
+                      ) -> "Ratchet":
+        """Build the smallest ratchet waiving exactly ``findings``.
+
+        Rationales from ``previous`` are carried over for keys that
+        still have debt (``--update`` regeneration keeps the why).
+        """
         entries: dict[str, int] = {}
         for f in findings:
             if f.rule in UNRATCHETABLE:
                 continue
             key = f"{f.rule}|{f.path}"
             entries[key] = entries.get(key, 0) + 1
-        return cls(entries)
+        rationales = {}
+        if previous is not None:
+            rationales = {k: v for k, v in previous.rationales.items()
+                          if k in entries}
+        return cls(entries, rationales)
 
 
 def apply_ratchet(findings, ratchet: Ratchet):

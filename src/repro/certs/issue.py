@@ -103,6 +103,34 @@ class CertificateIssuer:
     # evidence snapshots
     # ------------------------------------------------------------------ #
 
+    def _kernel_body(self) -> dict:
+        """The certificate's ``kernel`` section.
+
+        ``dataflow_digest`` and the ``static_budget`` summary appear only
+        on dataflow-proven boots; the offline verifier folds the digest
+        into its recomputed RTMR[3] when (and only when) present, so the
+        field is covered by the quote, not merely self-reported.
+        """
+        body = {
+            "verifier_digest":
+                self.monitor.kernel_verifier_report.digest(),
+            "instructions":
+                self.monitor.kernel_verifier_report.instructions,
+            "gate_sites":
+                self.monitor.kernel_verifier_report.gate_sites,
+        }
+        dataflow = self.monitor.kernel_dataflow_report
+        if dataflow is not None:
+            budget = dataflow.budget
+            body["dataflow_digest"] = dataflow.digest()
+            body["static_budget"] = {
+                "emc_per_activation": budget.emc_per_activation,
+                "exits_per_activation": budget.exits_per_activation,
+                "emc_per_kcycle": budget.emc_per_kcycle,
+                "exits_per_kcycle": budget.exits_per_kcycle,
+            }
+        return body
+
     def _audit_segment(self, session) -> list:
         """The session's contiguous slice of the monitor's audit chain.
 
@@ -161,14 +189,7 @@ class CertificateIssuer:
                 "rtmrs": {str(i): measurement.rtmrs[i].hex()
                           for i in _NAMED_RTMRS},
             },
-            "kernel": {
-                "verifier_digest":
-                    self.monitor.kernel_verifier_report.digest(),
-                "instructions":
-                    self.monitor.kernel_verifier_report.instructions,
-                "gate_sites":
-                    self.monitor.kernel_verifier_report.gate_sites,
-            },
+            "kernel": self._kernel_body(),
             "audit": {
                 "seq_start": segment[0].seq,
                 "seq_end": session.audit_seq_end,

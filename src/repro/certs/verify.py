@@ -249,20 +249,27 @@ class CertificateVerifier:
 
     def _check_kernel_digest(self, body: dict, quote: Quote,
                              checks: list[str]) -> None:
-        """RTMR[3] must be the one-step extension of the claimed
-        CFG-verifier report digest — binding the certificate's kernel
-        claim to the measured boot without any simulator state."""
+        """RTMR[3] must be the extension chain of the claimed verifier
+        report digests — the CFG digest, then (on dataflow-proven boots)
+        the dataflow digest — binding the certificate's kernel claims to
+        the measured boot without any simulator state."""
         digest = str(body["kernel"].get("verifier_digest", ""))
         if not digest:
             raise CertificateError(
                 "kernel-digest", "body carries no kernel verifier digest")
-        derived = expected_rtmr([digest.encode()])
+        preimages = [digest.encode()]
+        dataflow = str(body["kernel"].get("dataflow_digest", ""))
+        if dataflow:
+            preimages.append(dataflow.encode())
+        derived = expected_rtmr(preimages)
         measured = quote.report.rtmrs[KERNEL_CFG_RTMR_INDEX]
         if derived != measured:
+            what = ("verifier+dataflow digests" if dataflow
+                    else "claimed verifier digest")
             raise CertificateError(
                 "kernel-digest",
                 f"RTMR[{KERNEL_CFG_RTMR_INDEX}] is not the extension of "
-                f"the claimed verifier digest {digest[:16]}...")
+                f"the {what} {digest[:16]}...")
         checks.append("kernel-digest")
 
     # -- layer 4: the self-authenticating attachments -------------------- #

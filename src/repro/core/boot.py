@@ -50,21 +50,29 @@ def published_measurement() -> bytes:
     ])
 
 
-def published_kernel_cfg_rtmr() -> bytes:
-    """Golden RTMR[3] for a CFG-verified boot of the distribution kernel.
+def published_kernel_cfg_rtmr(*, dataflow: bool = True) -> bytes:
+    """Golden RTMR[3] for a verified boot of the distribution kernel.
 
-    A remote client replays the monitor's stage-2 CFG pass offline — the
-    verifier is pure and deterministic — over the published instrumented
-    kernel image and derives the RTMR value the monitor must have
-    extended. A scan-only boot (``EreborFeatures(cfg_verifier=False)``)
-    leaves RTMR[3] at its reset value, so the quote alone distinguishes
-    the two boot flavours.
+    A remote client replays the monitor's stage-2 CFG pass (and, for the
+    default full boot, the stage-3 dataflow pass) offline — both
+    verifiers are pure and deterministic — over the published
+    instrumented kernel image and derives the RTMR value the monitor
+    must have extended. A scan-only boot
+    (``EreborFeatures(cfg_verifier=False)``) leaves RTMR[3] at its reset
+    value and a CFG-only boot (``dataflow_verifier=False``) carries just
+    the first extension, so the quote alone distinguishes all three boot
+    flavours.
     """
     from ..analysis.verifier import StaticVerifier
     from ..tdx.attestation import expected_rtmr
     image, _ = instrument_image(build_kernel_image())
     report = StaticVerifier().verify_image(image)
-    return expected_rtmr([report.digest().encode()])
+    preimages = [report.digest().encode()]
+    if dataflow:
+        from ..analysis.absint import DataflowVerifier
+        preimages.append(DataflowVerifier().verify_image(image)
+                         .digest().encode())
+    return expected_rtmr(preimages)
 
 
 def published_paravisor_measurement() -> tuple[bytes, bytes]:

@@ -59,6 +59,9 @@ class EreborFeatures:
     microarchitectural disturbance model can be disabled for direct-cost
     microbenchmarks. ``cfg_verifier`` gates the stage-2 CFG pass
     (:mod:`repro.analysis`) — off reproduces the paper's scan-only boot.
+    ``dataflow_verifier`` gates the stage-3 abstract-interpretation plane
+    (:mod:`repro.analysis.absint`, checks V8–V10) layered on the CFG
+    pass; it is inert unless ``cfg_verifier`` is also on.
 
     ``translation_cache`` gates the host-plane fast path only (superblock
     dispatch + memoized MMU walks, :mod:`repro.hw.translate`): simulated
@@ -70,6 +73,7 @@ class EreborFeatures:
     exit_protection: bool = True
     uarch_model: bool = True
     cfg_verifier: bool = True
+    dataflow_verifier: bool = True
     translation_cache: bool = True
 
 
@@ -182,6 +186,10 @@ class EreborMonitor:
         #: the stage-2 CFG verifier's report for the loaded kernel image
         #: (None on scan-only boots); its digest is extended into RTMR[3]
         self.kernel_verifier_report = None
+        #: the stage-3 dataflow verifier's report (V8–V10, None when the
+        #: plane is off); digest extended into RTMR[3] after the CFG one,
+        #: and its StaticBudget feeds fleet admission
+        self.kernel_dataflow_report = None
         self.sandboxes: dict[int, "Sandbox"] = {}
         self._next_sandbox_id = 1
         self._cpuid_cache: tuple | None = None
@@ -280,6 +288,51 @@ class EreborMonitor:
                                              digest.encode())
         return report
 
+    def verify_image_dataflow(self, image: SelfImage):
+        """Stage-3 dataflow pass: abstract interpretation over the CFGs.
+
+        Runs :class:`repro.analysis.absint.DataflowVerifier` (V8
+        sensitive-taint, V9 stack-balance, V10 static-budget), charges
+        the calibrated fixpoint cost under the same ``verify`` budget
+        tag, audits the verdict, and — on success — extends the report
+        digest into RTMR[3] as a second extension after the CFG digest,
+        so attestation distinguishes scan-only, CFG-verified, and
+        dataflow-proven boots.
+        """
+        from ..analysis.absint import DataflowVerifier
+        from ..tdx.attestation import KERNEL_CFG_RTMR_INDEX
+        report = DataflowVerifier().verify_image(image)
+        with self.clock.tracer.span("verify:dataflow", "monitor",
+                                    image=image.name,
+                                    instructions=report.instructions,
+                                    iterations=report.iterations):
+            self.clock.charge(Cost.VERIFY_DATAFLOW_BASE
+                              + Cost.VERIFY_DATAFLOW_PER_INSTR
+                              * report.instructions, "verify")
+        self.clock.count("dataflow_verified_image")
+        self.kernel_dataflow_report = report
+        digest = report.digest()
+        self.clock.dataflow_report_digest = digest
+        if not report.ok:
+            first = report.first_failure
+            failed = ", ".join(report.failed_checks)
+            self.audit("verify", f"REJECTED {image.name} dataflow "
+                       f"[{failed}]: {first.detail}")
+            self.clock.tracer.trigger(
+                "verify_reject", f"{image.name} dataflow [{failed}]")
+            raise BootVerificationError(
+                f"kernel {image.name}: dataflow verification failed "
+                f"[{failed}] — {first.detail}")
+        budget = report.budget
+        self.audit("verify", f"dataflow-proven {image.name} "
+                   f"(emc<={budget.emc_per_activation}, "
+                   f"exits<={budget.exits_per_activation} per activation) "
+                   f"digest {digest[:16]}")
+        if self.tdx is not None:
+            self.tdx.measurement.extend_rtmr(KERNEL_CFG_RTMR_INDEX,
+                                             digest.encode())
+        return report
+
     def verify_and_load_kernel(self, image_blob: bytes,
                                config: KernelConfig | None = None) -> GuestKernel:
         """Stage-2 boot: scan + CFG-verify, then boot a deprivileged kernel."""
@@ -290,6 +343,8 @@ class EreborMonitor:
             self.verify_code(section.data, what=f"kernel {section.name}")
         if self.features.cfg_verifier:
             self.verify_image_cfg(image)
+            if self.features.dataflow_verifier:
+                self.verify_image_dataflow(image)
         # mark kernel text frames so W^X policy can identify them
         text_frames = self.phys.alloc_frames(
             max(pages_for(len(image.section(".text").data)), 1), "ktext")

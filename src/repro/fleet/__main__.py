@@ -97,6 +97,10 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--flight-dump", default=None, metavar="PATH",
                         help="install the flight recorder and write its "
                              "black-box dump(s) to PATH after the run")
+    parser.add_argument("--static-budget", action="store_true",
+                        help="clamp tenant EMC quotas to the boot-time "
+                             "V10 StaticBudget proof (budget-informed "
+                             "admission)")
     parser.add_argument("--violate", action="store_true",
                         help="force a tenant-0 EMC-quota violation "
                              "(eviction) to exercise the trigger path")
@@ -173,7 +177,8 @@ def main(argv: list[str] | None = None) -> int:
         seed=args.seed, scale=args.scale, n_cpus=args.cores,
         pool_config=pool_config, admission=admission,
         slo=slo, anomaly=anomaly, flight=bool(args.flight_dump),
-        certificates=args.certificates, cert_dir=args.cert_dir)
+        certificates=args.certificates, cert_dir=args.cert_dir,
+        static_budget_admission=args.static_budget)
 
     want_trace = any(flag is not None for flag in
                      (args.trace_request, args.trace_out, args.trace_digests))

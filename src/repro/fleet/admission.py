@@ -14,11 +14,23 @@ Quotas are per tenant: concurrent sessions, total confined bytes, and an
 EMC-cycle allowance per request (enforced post-hoc by the scheduler —
 a session that burns past it is *evicted*, the fleet-scale analogue of
 the single-sandbox kill-on-violation policy).
+
+When the boot-time dataflow plane proved a :class:`StaticBudget` for the
+loaded image (check V10, :mod:`repro.analysis.absint`), admission can be
+*budget-informed*: :attr:`AdmissionConfig.static_budget` makes
+:meth:`AdmissionController.quota_for` clamp each tenant's
+``max_emc_per_request`` to the proven per-request bound, and images whose
+budget is unbounded (a weighted cycle V10 would reject at boot) are
+turned away outright — quotas derived from proofs, not reactions.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:
+    from ..analysis.absint import StaticBudget
 
 MIB = 1024 * 1024
 
@@ -36,6 +48,11 @@ class AdmissionConfig:
     queue_depth: int = 8
     default_quota: TenantQuota = field(default_factory=TenantQuota)
     quotas: dict[str, TenantQuota] = field(default_factory=dict)
+    #: V10-proven per-image bounds (None = budget-blind admission)
+    static_budget: "StaticBudget | None" = None
+    #: how many kernel-image activations one request is modelled as when
+    #: converting the per-activation proof into a per-request EMC ceiling
+    activations_per_request: int = 1_000
 
 
 @dataclass(frozen=True)
@@ -63,7 +80,14 @@ class AdmissionController:
         self.log: list[tuple[str, str, str, str]] = []
 
     def quota_for(self, tenant: str) -> TenantQuota:
-        return self.config.quotas.get(tenant, self.config.default_quota)
+        quota = self.config.quotas.get(tenant, self.config.default_quota)
+        budget = self.config.static_budget
+        if budget is not None:
+            ceiling = budget.max_emc_per_request(
+                self.config.activations_per_request)
+            if ceiling is not None and ceiling < quota.max_emc_per_request:
+                quota = replace(quota, max_emc_per_request=ceiling)
+        return quota
 
     def decide(self, tenant: str, *, requested_bytes: int,
                active: dict[str, tuple[int, int]], queued: int,
@@ -85,6 +109,11 @@ class AdmissionController:
     def _rule(self, tenant: str, *, requested_bytes: int,
               active: dict[str, tuple[int, int]], queued: int,
               free_slots: int, trace_id: str) -> Decision:
+        budget = self.config.static_budget
+        if budget is not None and not budget.bounded:
+            # V10 would reject such an image at boot; an operator who
+            # disarmed the plane still gets a deterministic refusal here
+            return Decision("reject", "static-budget", trace_id)
         quota = self.quota_for(tenant)
         if requested_bytes > quota.max_confined_bytes:
             return Decision("reject", "memory-quota", trace_id)

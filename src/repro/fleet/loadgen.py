@@ -231,7 +231,9 @@ def run_fleet(*, workload: str = "llama.cpp", clients: int = 4,
               memory_bytes: int = 768 * MIB, cma_bytes: int = 256 * MIB,
               instrument=None, system=None, slo=None, anomaly=None,
               flight=None, certificates: bool = False,
-              cert_dir=None, features=None) -> tuple[FleetReport, object]:
+              cert_dir=None, features=None,
+              static_budget_admission: bool = False
+              ) -> tuple[FleetReport, object]:
     """Run one multi-tenant fleet; returns ``(report, system)``.
 
     ``instrument`` is called with the freshly built machine before any
@@ -260,6 +262,12 @@ def run_fleet(*, workload: str = "llama.cpp", clients: int = 4,
     through to :func:`~repro.core.boot.erebor_boot` when this call boots
     its own system — e.g. ``translation_cache=False`` runs the fully
     interpreted simulator for A/B digest checks.
+
+    ``static_budget_admission`` plugs the boot-time V10
+    :class:`~repro.analysis.absint.StaticBudget` into the admission
+    config (see :mod:`repro.fleet.admission`): every tenant's EMC quota
+    is clamped to the image's proven per-request bound. Requires a
+    dataflow-verified boot.
     """
     import repro.apps  # noqa: F401  (populates the workload registry)
 
@@ -300,6 +308,13 @@ def run_fleet(*, workload: str = "llama.cpp", clients: int = 4,
         pool_size = len(pool.slots)
         config = admission or AdmissionConfig(
             queue_depth=queue_depth if queue_depth is not None else clients)
+        if static_budget_admission:
+            report = system.monitor.kernel_dataflow_report
+            if report is None:
+                raise ValueError(
+                    "static_budget_admission requires a dataflow-verified "
+                    "boot (EreborFeatures.dataflow_verifier)")
+            config.static_budget = report.budget
         scheduler = FleetScheduler(system, pool, work,
                                    AdmissionController(config), n_cpus=n_cpus,
                                    slo=slo, anomaly=anomaly)

@@ -132,6 +132,14 @@ class Cost:
     VERIFY_CFG_BASE = 540
     VERIFY_CFG_PER_INSTR = 14
 
+    # --- stage-3 dataflow verification (repro.analysis.absint) ----------
+    # Fixpoint engine on top of the recovered CFGs: setup (root seeding,
+    # budget fold bookkeeping, report assembly) plus a per-instruction
+    # cost covering the worklist transfer passes (the lattice has finite
+    # height, so passes-per-instruction is a small constant).
+    VERIFY_DATAFLOW_BASE = 760
+    VERIFY_DATAFLOW_PER_INSTR = 22
+
     # --- exception / interrupt machinery --------------------------------
     EXC_DELIVERY = 420                  # IDT vectoring + frame push
     IRET = 300
@@ -232,6 +240,10 @@ class CycleClock:
     #: repro.analysis.verifier.VerifierReport.digest); "" on scan-only
     #: boots, so exported bundles can tell the two apart offline.
     cfg_report_digest: str = ""
+    #: mirror of the stage-3 dataflow verifier's report digest (see
+    #: repro.analysis.absint.DataflowReport.digest); "" when the plane
+    #: is disabled, so bundles can tell CFG-only from dataflow-proven.
+    dataflow_report_digest: str = ""
     _cpu_stack: list = field(default_factory=list, repr=False)
 
     def ensure_cpus(self, n: int) -> None:

@@ -27,6 +27,10 @@ MAGIC = b"SELF\x01"
 
 SEC_EXEC = 1 << 0
 SEC_WRITE = 1 << 1
+#: section carries private/sensitive bytes — the V8 taint *source*:
+#: loads from these ranges seed the dataflow verifier's taint domain
+#: (repro.analysis.absint), the static companion to scan_for_sensitive
+SEC_SENSITIVE = 1 << 2
 
 
 @dataclass
@@ -45,6 +49,10 @@ class Section:
     @property
     def writable(self) -> bool:
         return bool(self.flags & SEC_WRITE)
+
+    @property
+    def sensitive(self) -> bool:
+        return bool(self.flags & SEC_SENSITIVE)
 
 
 @dataclass

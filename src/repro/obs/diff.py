@@ -154,7 +154,8 @@ def diff_bundles(a: dict, b: dict, *, label_a: str = "A",
                                _tenant_counters(b.get("metrics")))
 
     digests = []
-    for key in ("audit_head", "cfg_report_digest"):
+    for key in ("audit_head", "cfg_report_digest",
+                "dataflow_report_digest"):
         da, db = meta_a.get(key, ""), meta_b.get(key, "")
         if da != db:
             digests.append({"name": key, "a": da, "b": db})

@@ -110,6 +110,10 @@ def export_bundle(run: ObservedRun) -> dict:
             # "" on scan-only boots
             "cfg_report_digest": getattr(run.clock, "cfg_report_digest",
                                          ""),
+            # boot-time dataflow DataflowReport digest (V8-V10);
+            # "" when the plane is off
+            "dataflow_report_digest": getattr(run.clock,
+                                              "dataflow_report_digest", ""),
         },
         "trace": trace,
         "metrics": run.registry.snapshot(),

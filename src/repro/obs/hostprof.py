@@ -72,6 +72,8 @@ SUBSYSTEMS: tuple[tuple[str, str, str], ...] = (
     ("crypto:seal", "repro.crypto.aead", "SealedSession.seal"),
     ("crypto:open", "repro.crypto.aead", "SealedSession.open"),
     ("fleet:boot", "repro.fleet.loadgen", "erebor_boot"),
+    ("verify:dataflow", "repro.analysis.absint",
+     "DataflowVerifier.verify_image"),
     ("bench:run", "repro.bench.runner", "WorkloadRunner.run"),
     ("fleet:template-capture", "repro.fleet.template",
      "SandboxTemplate.capture"),

@@ -52,6 +52,8 @@ def validate_export(obj) -> list[str]:
         # but must be a string when present
         if "cfg_report_digest" in meta:
             need(meta, "cfg_report_digest", str, "meta")
+        if "dataflow_report_digest" in meta:
+            need(meta, "dataflow_report_digest", str, "meta")
 
     trace = need(obj, "trace", dict, "top")
     if trace is not None:

@@ -1,0 +1,228 @@
+"""Unit tests for the abstract-interpretation engine itself.
+
+Lattice laws, transfer-function monotonicity, fixpoint determinism, and
+the proven StaticBudget of the distribution kernel.  The boot-path and
+attack-corpus behaviour lives in ``tests/security/test_dataflow_attacks``.
+"""
+
+import itertools
+
+import pytest
+
+from repro.analysis.absint import (
+    AbsState,
+    AbsVal,
+    AnalysisContext,
+    CLEAN,
+    DATAFLOW_CHECKS,
+    DataflowVerifier,
+    EMC_ARG_REGS,
+    STACK_CAP,
+    TAINTED,
+    UNKNOWN_CLEAN,
+    UNKNOWN_TAINTED,
+    entry_state,
+    transfer_instr,
+)
+from repro.analysis.verifier import CHECKS
+from repro.hw.isa import I, REGISTERS, decode
+from repro.kernel.image import build_kernel_image
+from repro.kernel.instrument import instrument_image
+
+# a representative spread of lattice points: both taints crossed with
+# bottom-ish, concrete, and conflicting constants
+SAMPLES = [
+    AbsVal(CLEAN, 0),
+    AbsVal(CLEAN, 7),
+    AbsVal(CLEAN, None),
+    AbsVal(TAINTED, 7),
+    AbsVal(TAINTED, 9),
+    AbsVal(TAINTED, None),
+]
+
+
+def _instr(*args, **kwargs):
+    from repro.hw.isa import assemble
+    return decode(assemble([I(*args, **kwargs)]), 0)
+
+
+def _ctx(**kwargs):
+    defaults = dict(sensitive_ranges=(), gate_site_vas=frozenset(),
+                    has_secrets=False)
+    defaults.update(kwargs)
+    return AnalysisContext(**defaults)
+
+
+# --- lattice laws ------------------------------------------------------
+
+@pytest.mark.parametrize("a,b", list(itertools.product(SAMPLES, SAMPLES)))
+def test_join_is_commutative(a, b):
+    assert a.join(b) == b.join(a)
+
+
+@pytest.mark.parametrize(
+    "a,b,c",
+    list(itertools.product(SAMPLES[:4], SAMPLES[:4], SAMPLES[:4])))
+def test_join_is_associative(a, b, c):
+    assert a.join(b).join(c) == a.join(b.join(c))
+
+
+@pytest.mark.parametrize("a", SAMPLES)
+def test_join_is_idempotent(a):
+    assert a.join(a) == a
+
+
+@pytest.mark.parametrize("a,b", list(itertools.product(SAMPLES, SAMPLES)))
+def test_join_is_an_upper_bound(a, b):
+    j = a.join(b)
+    assert a.leq(j) and b.leq(j)
+
+
+@pytest.mark.parametrize("a,b", list(itertools.product(SAMPLES, SAMPLES)))
+def test_leq_agrees_with_join(a, b):
+    # a <= b iff join(a, b) == b — the defining property of a
+    # join-semilattice order
+    assert a.leq(b) == (a.join(b) == b)
+
+
+def test_join_resolves_constants():
+    assert AbsVal(CLEAN, 7).join(AbsVal(CLEAN, 7)).const == 7
+    assert AbsVal(CLEAN, 7).join(AbsVal(CLEAN, 9)).const is None
+    assert AbsVal(CLEAN, 7).join(AbsVal(TAINTED, 7)).taint == TAINTED
+
+
+def test_state_join_demands_equal_stack_depth():
+    s1 = entry_state()
+    s2 = AbsState(s1.regs, (UNKNOWN_CLEAN,))
+    assert s1.join(s2) is None          # recorded as a V9 conflict
+    assert s1.join(entry_state()) is not None
+
+
+# --- transfer-function properties --------------------------------------
+
+TRANSFER_INSTRS = [
+    _instr("movi", "rax", imm=42),
+    _instr("mov", "rbx", "rcx"),
+    _instr("add", "rax", "rbx"),
+    _instr("xor", "rdx", "rdx"),
+    _instr("push", "rsi"),
+    _instr("cpuid"),
+    _instr("load", "rcx", "rbx", imm=0),
+]
+
+
+@pytest.mark.parametrize("instr", TRANSFER_INSTRS,
+                         ids=lambda i: i.op)
+def test_transfer_is_monotone(instr):
+    ctx = _ctx(has_secrets=True)
+    lo = entry_state()
+    hi = AbsState(tuple(UNKNOWN_TAINTED for _ in REGISTERS), ())
+    assert lo.leq(hi)
+    out_lo = transfer_instr(instr, 0x1000, lo, ctx)
+    out_hi = transfer_instr(instr, 0x1000, hi, ctx)
+    assert out_lo.leq(out_hi), f"{instr.op}: transfer not monotone"
+
+
+def test_movi_and_self_xor_are_scrubs():
+    ctx = _ctx()
+    dirty = entry_state().set_reg("rax", UNKNOWN_TAINTED)
+    cleaned = transfer_instr(_instr("movi", "rax", imm=5), 0, dirty, ctx)
+    assert cleaned.reg("rax") == AbsVal(CLEAN, 5)
+    dirty = entry_state().set_reg("rbx", UNKNOWN_TAINTED)
+    cleaned = transfer_instr(_instr("xor", "rbx", "rbx"), 0, dirty, ctx)
+    assert cleaned.reg("rbx") == AbsVal(CLEAN, 0)
+
+
+def test_taint_propagates_through_mov_and_arith():
+    ctx = _ctx()
+    s = entry_state().set_reg("rcx", UNKNOWN_TAINTED)
+    s = transfer_instr(_instr("mov", "rsi", "rcx"), 0, s, ctx)
+    assert s.reg("rsi").taint == TAINTED
+    s = transfer_instr(_instr("add", "rsi", "rax"), 0, s, ctx)
+    assert s.reg("rsi").taint == TAINTED
+
+
+def test_load_taints_from_sensitive_range():
+    secret_va = 0x9000_0000
+    ctx = _ctx(sensitive_ranges=((secret_va, secret_va + 64),),
+               has_secrets=True)
+    s = entry_state().set_reg("rbx", AbsVal(CLEAN, secret_va))
+    s = transfer_instr(_instr("load", "rcx", "rbx", imm=0), 0, s, ctx)
+    assert s.reg("rcx").taint == TAINTED
+    # a load from a known-clean address stays clean
+    s2 = entry_state().set_reg("rbx", AbsVal(CLEAN, 0x1000))
+    s2 = transfer_instr(_instr("load", "rcx", "rbx", imm=0), 0, s2, ctx)
+    assert s2.reg("rcx").taint == CLEAN
+
+
+def test_push_pop_round_trip():
+    ctx = _ctx()
+    s = entry_state().set_reg("rdi", AbsVal(TAINTED, 3))
+    s = transfer_instr(_instr("push", "rdi"), 0, s, ctx)
+    assert len(s.stack) == 1
+    s = transfer_instr(_instr("pop", "rsi"), 0, s, ctx)
+    assert s.reg("rsi") == AbsVal(TAINTED, 3)
+    assert s.stack == ()
+
+
+def test_stack_cap_drops_oldest():
+    ctx = _ctx()
+    s = entry_state()
+    push = _instr("push", "rax")
+    for _ in range(STACK_CAP + 5):
+        s = transfer_instr(push, 0, s, ctx)
+    assert len(s.stack) == STACK_CAP
+
+
+# --- check namespaces and reporting ------------------------------------
+
+def test_check_ids_are_disjoint_from_v0_v7():
+    assert not set(DATAFLOW_CHECKS) & set(CHECKS)
+    assert set(DATAFLOW_CHECKS) == {"V8", "V9", "V10"}
+    assert set(EMC_ARG_REGS) <= set(REGISTERS)
+
+
+# --- whole-kernel determinism and budget -------------------------------
+
+@pytest.fixture(scope="module")
+def kernel_report():
+    image, _ = instrument_image(build_kernel_image())
+    return DataflowVerifier().verify_image(image)
+
+
+def test_distribution_kernel_is_clean(kernel_report):
+    assert kernel_report.ok
+    assert kernel_report.findings == []
+    assert all(row.passed for row in kernel_report.checks)
+
+
+def test_digest_is_deterministic(kernel_report):
+    image, _ = instrument_image(build_kernel_image())
+    again = DataflowVerifier().verify_image(image)
+    assert again.digest() == kernel_report.digest()
+    assert again.as_dict() == kernel_report.as_dict()
+    assert len(kernel_report.digest()) == 64
+
+
+def test_kernel_budget_is_bounded(kernel_report):
+    budget = kernel_report.budget
+    assert budget.bounded
+    assert budget.emc_per_activation is not None \
+        and budget.emc_per_activation > 0
+    assert budget.exits_per_activation == 0
+    assert budget.emc_per_kcycle is not None and budget.emc_per_kcycle > 0
+
+
+def test_budget_scales_to_request_quota(kernel_report):
+    budget = kernel_report.budget
+    per_act = budget.emc_per_activation
+    assert budget.max_emc_per_request(1) == per_act
+    assert budget.max_emc_per_request(1000) == 1000 * per_act
+    # activations below one clamp to one full activation
+    assert budget.max_emc_per_request(0) == per_act
+
+
+def test_fixpoint_terminates_quickly(kernel_report):
+    # the worklist is monotone over a finite-height lattice; the kernel
+    # should converge in a small multiple of its block count
+    assert kernel_report.iterations <= 16 * max(1, kernel_report.blocks)

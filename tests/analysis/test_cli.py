@@ -68,3 +68,28 @@ def test_report_bundle(tmp_path):
     assert payload["kernel"]["ok"] is True
     assert payload["lint"]["kept"] == []
     assert payload["attacks"]
+
+
+def test_dataflow_default_kernel_is_proven(capsys):
+    assert main(["dataflow"]) == 0
+    out = capsys.readouterr().out
+    assert "PROVEN" in out and "budget:" in out
+
+
+def test_dataflow_self_check_writes_artifact(tmp_path, capsys):
+    artifact = tmp_path / "dataflow.json"
+    assert main(["dataflow", "--self-check", "--json",
+                 str(artifact)]) == 0
+    payload = json.loads(artifact.read_text())
+    assert payload["kernel"]["ok"]
+    assert len(payload["attacks"]) == 3
+    assert all(a["rejected_as_expected"] and a["passes_v0_v7"]
+               for a in payload["attacks"])
+
+
+def test_dataflow_rejects_attack_image_file(tmp_path, capsys):
+    from repro.analysis.attacks import tainted_gate_argument
+    path = tmp_path / "attack.self"
+    path.write_bytes(tainted_gate_argument().image.serialize())
+    assert main(["dataflow", "--image", str(path)]) == 1
+    assert "V8" in capsys.readouterr().out

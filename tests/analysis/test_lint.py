@@ -1,4 +1,4 @@
-"""Discipline-linter rules D1–D5 and the ratchet."""
+"""Discipline-linter rules D1–D7 and the ratchet."""
 
 from pathlib import Path
 
@@ -184,7 +184,7 @@ def test_tree_lints_clean_under_shipped_ratchet():
 
 
 def test_rule_table_is_complete():
-    assert list(RULES) == ["D1", "D2", "D3", "D4", "D5", "D6"]
+    assert list(RULES) == ["D1", "D2", "D3", "D4", "D5", "D6", "D7"]
 
 
 # --------------------------------------------------------------------------- #
@@ -216,3 +216,122 @@ def test_d6_shipping_translate_module_is_clean():
     source = Path(TCACHE_PATH).read_text()
     findings = lint_source(source, TCACHE_PATH)
     assert [f for f in findings if f.rule == "D6"] == []
+
+
+# --------------------------------------------------------------------------- #
+# D7: shared scheduler state commits only on the serial path
+# --------------------------------------------------------------------------- #
+
+FLEET_PATH = "repro/fleet/scheduler.py"
+
+D7_MUTATION = ("def f(self, core):\n"
+               "    with self.clock.on_cpu(core):\n"
+               "        self.queue.append(1)\n")
+
+
+def test_d7_flags_mutation_inside_on_cpu():
+    findings = lint_source(D7_MUTATION, FLEET_PATH)
+    assert any(f.rule == "D7" for f in findings)
+
+
+def test_d7_flags_assignment_inside_on_cpu():
+    src = ("def f(self, core):\n"
+           "    with self.clock.on_cpu(core):\n"
+           "        self.counts['admit'] = 1\n")
+    assert any(f.rule == "D7" for f in lint_source(src, FLEET_PATH))
+
+
+def test_d7_commit_path_marker_waives():
+    src = ("def f(self, core):\n"
+           "    with self.clock.on_cpu(core):\n"
+           "        self.queue.append(1)  # commit-path\n")
+    assert not any(f.rule == "D7" for f in lint_source(src, FLEET_PATH))
+
+
+def test_d7_allows_mutation_outside_on_cpu():
+    src = "def f(self):\n    self.queue.append(1)\n"
+    assert not any(f.rule == "D7" for f in lint_source(src, FLEET_PATH))
+
+
+def test_d7_allows_non_shared_attributes():
+    src = ("def f(self, core):\n"
+           "    with self.clock.on_cpu(core):\n"
+           "        self.scratch.append(1)\n")
+    assert not any(f.rule == "D7" for f in lint_source(src, FLEET_PATH))
+
+
+def test_d7_scoped_to_fleet_only():
+    assert not any(f.rule == "D7" for f in
+                   lint_source(D7_MUTATION, "repro/core/monitor.py"))
+
+
+def test_d7_shipping_fleet_package_is_clean():
+    kept, waived = lint_paths([REPRO_SRC / "fleet"], ratchet=None)
+    assert [f for f in kept + waived if f.rule == "D7"] == []
+
+
+# --------------------------------------------------------------------------- #
+# ratchet hardening: per-rule-per-file entries, rationales, stable bytes
+# --------------------------------------------------------------------------- #
+
+def test_ratchet_entries_are_per_rule_per_file():
+    src = ("import hashlib, json\n"
+           "def f(d):\n"
+           "    try:\n"
+           "        return hashlib.sha256(json.dumps(d).encode())\n"
+           "    except Exception:\n"
+           "        pass\n")
+    findings = lint_source(src, "repro/legacy.py")
+    ratchet = Ratchet.from_findings(findings)
+    assert set(ratchet.entries) == \
+        {"D3|repro/legacy.py", "D4|repro/legacy.py"}
+    # a D4 allowance never soaks up a D3 finding in the same file
+    kept, waived = apply_ratchet(findings,
+                                 Ratchet({"D4|repro/legacy.py": 1}))
+    assert {f.rule for f in waived} == {"D4"}
+    assert {f.rule for f in kept} == {"D3"}
+
+
+def test_new_finding_in_clean_file_is_kept():
+    """The CI property: debt is frozen per (rule, file); a finding in a
+    previously-clean file fails the gate even with a fat ratchet."""
+    ratchet = Ratchet({"D4|repro/old.py": 99})
+    findings = lint_source("try:\n    x = 1\nexcept Exception:\n    pass\n",
+                           "repro/new.py")
+    kept, waived = apply_ratchet(findings, ratchet)
+    assert kept and not waived
+
+
+def test_ratchet_rationale_round_trip(tmp_path):
+    path = tmp_path / "ratchet.json"
+    Ratchet({"D4|repro/legacy.py": 2},
+            {"D4|repro/legacy.py": "pre-split exception sweep"}).save(path)
+    loaded = Ratchet.load(path)
+    assert loaded.entries == {"D4|repro/legacy.py": 2}
+    assert loaded.rationales == {"D4|repro/legacy.py":
+                                 "pre-split exception sweep"}
+    # bare-int legacy entries still parse
+    path.write_text('{"D4|repro/legacy.py": 2}')
+    assert Ratchet.load(path).entries == {"D4|repro/legacy.py": 2}
+
+
+def test_ratchet_update_carries_rationales():
+    findings = lint_source(
+        "try:\n    x = 1\nexcept Exception:\n    pass\n", "repro/legacy.py")
+    previous = Ratchet({"D4|repro/legacy.py": 5,
+                        "D4|repro/gone.py": 1},
+                       {"D4|repro/legacy.py": "historical",
+                        "D4|repro/gone.py": "stale"})
+    updated = Ratchet.from_findings(findings, previous=previous)
+    # count re-baselined to reality, rationale kept; paid-off debt drops
+    assert updated.entries == {"D4|repro/legacy.py": 1}
+    assert updated.rationales == {"D4|repro/legacy.py": "historical"}
+
+
+def test_ratchet_file_bytes_are_stable(tmp_path):
+    a, b = tmp_path / "a.json", tmp_path / "b.json"
+    Ratchet({"D4|z.py": 1, "D3|a.py": 2}, {"D3|a.py": "why"}).save(a)
+    Ratchet({"D3|a.py": 2, "D4|z.py": 1}, {"D3|a.py": "why"}).save(b)
+    assert a.read_bytes() == b.read_bytes()
+    keys = list(Ratchet.load(a).entries)
+    assert keys == sorted(keys)

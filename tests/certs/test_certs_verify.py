@@ -224,3 +224,30 @@ def test_written_files_roundtrip_and_carry_goldens(batch):
     refs = json.loads((cert_dir / "published.json").read_text())
     assert refs == published_refs()
     assert refs["mrtd"] and refs["rtmrs"]["3"]
+
+
+# --------------------------------------------------------------------------- #
+# the dataflow plane in certificate bodies
+# --------------------------------------------------------------------------- #
+
+def test_certificates_commit_the_dataflow_proof(batch, verifier):
+    """Every body carries the dataflow digest and the proven budget, and
+    the offline kernel-digest check replays the two-extension RTMR[3]
+    chain (CFG digest then dataflow digest)."""
+    _report, certs, _cert_dir = batch
+    for name, cert in certs.items():
+        kernel = cert["body"]["kernel"]
+        assert kernel["dataflow_digest"], name
+        budget = kernel["static_budget"]
+        assert budget["exits_per_activation"] == 0
+        assert budget["emc_per_activation"] > 0
+        result = verifier.verify(cert)
+        assert result.ok and "kernel-digest" in result.checks
+
+
+def test_forged_dataflow_digest_breaks_the_rtmr_chain(batch, verifier):
+    _report, certs, _cert_dir = batch
+    forged = json.loads(json.dumps(certs["client-1"]))
+    forged["body"]["kernel"]["dataflow_digest"] = "00" * 32
+    result = verifier.verify(forged)
+    assert not result.ok

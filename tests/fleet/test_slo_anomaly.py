@@ -25,7 +25,7 @@ PARAMS = dict(workload="helloworld", clients=4, requests=2, pool_size=2,
 
 #: must match tests/fleet/test_smp_scaling.py — the single-core pin
 PINNED_SINGLE_CORE = \
-    "c1c17db1a7fe7d50ac55a92b4d044b7b4cffcda3df96e83352c71d11c676a9ae"
+    "ac56b4d36619825613ca95d6b8798cf6a5b3514014efd23af3e42bd699661e84"
 
 
 # --------------------------------------------------------------------------- #

@@ -85,7 +85,8 @@ def test_boot_charges_calibrated_cfg_cycles():
         erebor_boot(m, features=features, cma_bytes=16 * MIB)
         return m.clock.cycles
 
-    with_cfg = boot_cycles(None)
+    # isolate the CFG pass from the stage-3 dataflow pass layered on it
+    with_cfg = boot_cycles(EreborFeatures(dataflow_verifier=False))
     without = boot_cycles(EreborFeatures(cfg_verifier=False))
     delta = with_cfg - without
     # delta = VERIFY_CFG_BASE + per-instr * instructions of the kernel

@@ -1,0 +1,138 @@
+"""Attack images that pass V0-V7 but fail the boot-time dataflow plane.
+
+These run the full stage-3 path (``Monitor.verify_image_dataflow`` via
+``verify_and_load_kernel``): the byte scan and the structural verifier
+accept each image, the abstract interpreter rejects it with its distinct
+check ID and a localized finding, the verdict lands on the audit chain,
+and the attestation measurement separates dataflow-proven boots from
+CFG-only ones.
+"""
+
+import pytest
+
+from repro.analysis.absint import DATAFLOW_CHECKS, DataflowVerifier
+from repro.analysis.attacks import dataflow_attack_corpus
+from repro.analysis.verifier import StaticVerifier
+from repro.core import BootVerificationError, erebor_boot
+from repro.core.boot import published_kernel_cfg_rtmr
+from repro.core.monitor import EreborFeatures
+from repro.hw.isa import scan_for_sensitive
+from repro.tdx.attestation import KERNEL_CFG_RTMR_INDEX
+from repro.vm import CvmMachine, MachineConfig, MIB
+
+CORPUS = dataflow_attack_corpus()
+
+
+def machine():
+    return CvmMachine(MachineConfig(memory_bytes=512 * MIB))
+
+
+@pytest.mark.parametrize("attack", CORPUS, ids=lambda a: a.name)
+def test_byte_scan_and_v0_v7_accept_the_attack(attack):
+    """The whole pre-dataflow battery is blind to these images."""
+    for section in attack.image.executable_sections():
+        assert scan_for_sensitive(section.data) == [], attack.name
+    report = StaticVerifier().verify_image(attack.image)
+    assert report.ok, f"{attack.name}: V0-V7 found {report.failed_checks}"
+
+
+@pytest.mark.parametrize("attack", CORPUS, ids=lambda a: a.name)
+def test_dataflow_rejects_with_exactly_one_check(attack):
+    report = DataflowVerifier().verify_image(attack.image)
+    assert report.failed_checks == [attack.expected_check]
+    first = report.first_failure
+    assert first.section == ".text" and first.offset is not None
+
+
+@pytest.mark.parametrize("attack", CORPUS, ids=lambda a: a.name)
+def test_boot_rejects_with_expected_check(attack):
+    with pytest.raises(BootVerificationError) as exc:
+        erebor_boot(machine(), kernel_image=attack.image,
+                    skip_instrumentation=True, cma_bytes=16 * MIB)
+    assert attack.expected_check in str(exc.value)
+    assert "dataflow verification failed" in str(exc.value)
+
+
+def test_each_attack_has_its_own_check_id():
+    assert sorted(a.expected_check for a in CORPUS) == \
+        sorted(DATAFLOW_CHECKS)
+
+
+@pytest.mark.parametrize("attack", CORPUS, ids=lambda a: a.name)
+def test_cfg_only_boot_would_have_accepted(attack):
+    """The dataflow plane is load-bearing: CFG-only boots miss these."""
+    m = machine()
+    features = EreborFeatures(dataflow_verifier=False)
+    system = erebor_boot(m, kernel_image=attack.image, features=features,
+                         skip_instrumentation=True, cma_bytes=16 * MIB)
+    assert system.kernel.booted
+    # and the quote betrays it: RTMR[3] carries only the CFG extension
+    assert m.tdx.measurement.rtmrs[KERNEL_CFG_RTMR_INDEX] != \
+        published_kernel_cfg_rtmr()
+
+
+def test_rejection_records_digest():
+    attack = CORPUS[0]
+    m = machine()
+    with pytest.raises(BootVerificationError):
+        erebor_boot(m, kernel_image=attack.image,
+                    skip_instrumentation=True, cma_bytes=16 * MIB)
+    # the monitor raised mid-boot; its clock mirror still records the
+    # digest of the failing report
+    assert m.clock.dataflow_report_digest != ""
+
+
+def test_audit_chain_includes_dataflow_verdict():
+    m = machine()
+    system = erebor_boot(m, cma_bytes=16 * MIB)
+    details = [e.detail for e in system.monitor.audit_log
+               if e.kind == "verify"]
+    assert any("dataflow-proven" in d for d in details)
+    assert system.monitor.verify_audit_chain().ok
+
+
+def test_dataflow_proven_boot_extends_rtmr3():
+    m = machine()
+    system = erebor_boot(m, cma_bytes=16 * MIB)
+    assert system.kernel.booted
+    report = system.monitor.kernel_dataflow_report
+    assert report is not None and report.ok
+    assert m.tdx.measurement.rtmrs[KERNEL_CFG_RTMR_INDEX] == \
+        published_kernel_cfg_rtmr()
+    assert m.clock.dataflow_report_digest == report.digest()
+    # the CFG-only golden value is a *different* RTMR: the two boot
+    # flavours are distinguishable from the quote alone
+    assert published_kernel_cfg_rtmr(dataflow=False) != \
+        published_kernel_cfg_rtmr()
+
+
+def test_boot_charges_calibrated_dataflow_cycles():
+    from repro.hw.cycles import Cost
+
+    def boot_cycles(features):
+        m = machine()
+        erebor_boot(m, features=features, cma_bytes=16 * MIB)
+        return m.clock.cycles
+
+    full = boot_cycles(None)
+    without = boot_cycles(EreborFeatures(dataflow_verifier=False))
+    delta = full - without
+    from repro.kernel.image import build_kernel_image
+    from repro.kernel.instrument import instrument_image
+    image, _ = instrument_image(build_kernel_image())
+    report = DataflowVerifier().verify_image(image)
+    assert delta == Cost.VERIFY_DATAFLOW_BASE + \
+        Cost.VERIFY_DATAFLOW_PER_INSTR * report.instructions
+
+
+def test_distribution_kernel_proves_zero_exit_budget():
+    """The headline V10 claim: the instrumented kernel's only exit
+    channel is the EMC gate — its static exit budget is exactly zero."""
+    from repro.kernel.image import build_kernel_image
+    from repro.kernel.instrument import instrument_image
+    image, _ = instrument_image(build_kernel_image())
+    report = DataflowVerifier().verify_image(image)
+    assert report.ok
+    assert report.budget.exits_per_activation == 0
+    assert report.budget.emc_per_activation is not None
+    assert report.budget.bounded
